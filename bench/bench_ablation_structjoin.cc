@@ -1,0 +1,74 @@
+// Ablation (DESIGN.md §4): pruned-tree construction via path-index merge
+// (our PDT module) vs tag-stream structural joins with base-data value
+// access (the GTP way). This isolates the paper's §6 claim that the two
+// GTP costs — structural joins for hierarchy and base-data access for
+// values — are what the path index eliminates.
+#include "bench/bench_common.h"
+
+#include "pdt/generate_pdt.h"
+#include "qpt/generate_qpt.h"
+#include "xquery/parser.h"
+
+namespace quickview::bench {
+namespace {
+
+std::vector<qpt::Qpt> QptsForDefaultView() {
+  auto query = DieOnError(
+      xquery::ParseQuery(workload::BuildInexView(workload::ViewSpec{})),
+      "parse");
+  return DieOnError(qpt::GenerateQpts(&query), "qpt");
+}
+
+void BM_PathIndexPdt(benchmark::State& state) {
+  workload::InexOptions opts;
+  opts.target_bytes = kBytesPerScaleUnit * static_cast<uint64_t>(
+                                                state.range(0));
+  Fixture& fixture = GetFixture(opts);
+  std::vector<qpt::Qpt> qpts = QptsForDefaultView();
+  auto keywords = workload::KeywordsForTier(workload::KeywordTier::kMedium);
+  for (auto _ : state) {
+    for (const qpt::Qpt& q : qpts) {
+      auto pdt = DieOnError(
+          pdt::GeneratePdt(q, *fixture.indexes->Get(q.source_doc), keywords,
+                           nullptr),
+          "pdt");
+      benchmark::DoNotOptimize(pdt);
+    }
+  }
+}
+BENCHMARK(BM_PathIndexPdt)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+
+// The same pruned trees built the GTP/Timber way: tag streams +
+// structural joins, with join values and byte lengths fetched from base
+// document storage.
+void BM_StructuralJoinBuild(benchmark::State& state) {
+  workload::InexOptions opts;
+  opts.target_bytes = kBytesPerScaleUnit * static_cast<uint64_t>(
+                                                state.range(0));
+  Fixture& fixture = GetFixture(opts);
+  std::vector<qpt::Qpt> qpts = QptsForDefaultView();
+  auto keywords = workload::KeywordsForTier(workload::KeywordTier::kMedium);
+  uint64_t fetches_before = fixture.store->stats().fetch_calls;
+  for (auto _ : state) {
+    for (const qpt::Qpt& q : qpts) {
+      auto doc = DieOnError(
+          baseline::BuildGtpPrunedDocument(
+              q, *fixture.indexes->Get(q.source_doc), fixture.store.get(),
+              keywords),
+          "gtp build");
+      benchmark::DoNotOptimize(doc);
+    }
+  }
+  state.counters["store_fetches_per_iter"] = benchmark::Counter(
+      static_cast<double>(fixture.store->stats().fetch_calls -
+                          fetches_before) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_StructuralJoinBuild)
+    ->DenseRange(1, 4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace quickview::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Ablation (DESIGN.md §4): selective value materialization. The paper's
+// PrepareLists retrieves values only for 'v'-annotated nodes ("combining
+// retrieval of IDs and values", §4.2.1). This bench compares the default
+// probe plan against an all-values plan (every node probed with values),
+// quantifying what selective materialization saves.
+#include "bench/bench_common.h"
+
+#include "pdt/prepare_lists.h"
+#include "qpt/generate_qpt.h"
+#include "xquery/parser.h"
+
+namespace quickview::bench {
+namespace {
+
+qpt::Qpt ArticleQpt() {
+  auto query = DieOnError(
+      xquery::ParseQuery(workload::BuildInexView(workload::ViewSpec{})),
+      "parse");
+  auto qpts = DieOnError(qpt::GenerateQpts(&query), "qpt");
+  for (qpt::Qpt& q : qpts) {
+    if (q.source_doc == "inex.xml") return std::move(q);
+  }
+  abort();
+}
+
+void BM_SelectiveValues(benchmark::State& state) {
+  workload::InexOptions opts;
+  opts.target_bytes = kBytesPerScaleUnit * 2;
+  Fixture& fixture = GetFixture(opts);
+  qpt::Qpt qpt = ArticleQpt();
+  auto keywords = workload::KeywordsForTier(workload::KeywordTier::kMedium);
+  for (auto _ : state) {
+    auto lists = DieOnError(
+        pdt::PrepareLists(qpt, *fixture.indexes->Get("inex.xml"), keywords),
+        "prepare");
+    benchmark::DoNotOptimize(lists);
+  }
+}
+BENCHMARK(BM_SelectiveValues)->Unit(benchmark::kMillisecond);
+
+void BM_AllValues(benchmark::State& state) {
+  workload::InexOptions opts;
+  opts.target_bytes = kBytesPerScaleUnit * 2;
+  Fixture& fixture = GetFixture(opts);
+  qpt::Qpt qpt = ArticleQpt();
+  // Force value retrieval everywhere: the "no selective materialization"
+  // configuration.
+  for (size_t i = 1; i < qpt.nodes.size(); ++i) qpt.nodes[i].v_ann = true;
+  auto keywords = workload::KeywordsForTier(workload::KeywordTier::kMedium);
+  for (auto _ : state) {
+    auto lists = DieOnError(
+        pdt::PrepareLists(qpt, *fixture.indexes->Get("inex.xml"), keywords),
+        "prepare");
+    benchmark::DoNotOptimize(lists);
+  }
+}
+BENCHMARK(BM_AllValues)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace quickview::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,29 @@
+// Figure 15: Efficient run time while varying the number of keywords
+// (1..5). Expected shape: slight growth — more inverted lists are read
+// while generating PDTs, everything else is unchanged.
+#include "bench/bench_common.h"
+
+namespace quickview::bench {
+namespace {
+
+void BM_Keywords(benchmark::State& state) {
+  workload::InexOptions opts;  // default size
+  Fixture& fixture = GetFixture(opts);
+  std::string view = workload::BuildInexView(workload::ViewSpec{});
+  auto keywords =
+      workload::DefaultKeywords(static_cast<int>(state.range(0)));
+  engine::SearchOptions options;
+  options.conjunctive = false;  // keep the match set stable across counts
+  engine::SearchResponse last;
+  for (auto _ : state) {
+    last = DieOnError(fixture.efficient->SearchView(view, keywords, options),
+                      "efficient");
+  }
+  ReportTimings(state, last);
+}
+BENCHMARK(BM_Keywords)->DenseRange(1, 5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace quickview::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// Figure 16: Efficient run time across keyword selectivity tiers
+// (Low = frequent terms / long inverted lists, Medium, High = rare).
+// Expected shape: mild increase as selectivity decreases (longer lists
+// cost more I/O during PDT generation).
+#include "bench/bench_common.h"
+
+namespace quickview::bench {
+namespace {
+
+void BM_Selectivity(benchmark::State& state) {
+  workload::InexOptions opts;
+  Fixture& fixture = GetFixture(opts);
+  std::string view = workload::BuildInexView(workload::ViewSpec{});
+  auto tier = static_cast<workload::KeywordTier>(state.range(0));
+  auto keywords = workload::KeywordsForTier(tier);
+  engine::SearchResponse last;
+  for (auto _ : state) {
+    last = DieOnError(fixture.efficient->SearchView(
+                          view, keywords, engine::SearchOptions{}),
+                      "efficient");
+  }
+  ReportTimings(state, last);
+  state.SetLabel(state.range(0) == 0   ? "low(frequent)"
+                 : state.range(0) == 1 ? "medium"
+                                       : "high(rare)");
+}
+BENCHMARK(BM_Selectivity)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace quickview::bench
+
+BENCHMARK_MAIN();

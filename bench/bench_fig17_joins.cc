@@ -1,0 +1,30 @@
+// Figure 17: Efficient run time while varying the number of value joins
+// in the view (0..4). Expected shape: cost grows with joins; the largest
+// jump is 0 -> 1 (a second PDT plus value-join evaluation replaces a
+// cheap selection).
+#include "bench/bench_common.h"
+
+namespace quickview::bench {
+namespace {
+
+void BM_Joins(benchmark::State& state) {
+  workload::InexOptions opts;
+  Fixture& fixture = GetFixture(opts);
+  workload::ViewSpec spec;
+  spec.num_joins = static_cast<int>(state.range(0));
+  std::string view = workload::BuildInexView(spec);
+  auto keywords = workload::KeywordsForTier(workload::KeywordTier::kMedium);
+  engine::SearchResponse last;
+  for (auto _ : state) {
+    last = DieOnError(fixture.efficient->SearchView(
+                          view, keywords, engine::SearchOptions{}),
+                      "efficient");
+  }
+  ReportTimings(state, last);
+}
+BENCHMARK(BM_Joins)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace quickview::bench
+
+BENCHMARK_MAIN();

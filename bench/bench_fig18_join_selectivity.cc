@@ -1,0 +1,31 @@
+// Figure 18: Efficient run time while varying join selectivity
+// (1X, 0.5X, 0.2X, 0.1X — the fraction of articles joined to a given
+// author). Expected shape: slight growth as selectivity decreases.
+#include "bench/bench_common.h"
+
+namespace quickview::bench {
+namespace {
+
+constexpr double kSelectivities[] = {1.0, 0.5, 0.2, 0.1};
+
+void BM_JoinSelectivity(benchmark::State& state) {
+  workload::InexOptions opts;
+  opts.join_selectivity = kSelectivities[state.range(0)];
+  Fixture& fixture = GetFixture(opts);
+  std::string view = workload::BuildInexView(workload::ViewSpec{});
+  auto keywords = workload::KeywordsForTier(workload::KeywordTier::kMedium);
+  engine::SearchResponse last;
+  for (auto _ : state) {
+    last = DieOnError(fixture.efficient->SearchView(
+                          view, keywords, engine::SearchOptions{}),
+                      "efficient");
+  }
+  ReportTimings(state, last);
+  state.SetLabel(std::to_string(kSelectivities[state.range(0)]) + "X");
+}
+BENCHMARK(BM_JoinSelectivity)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace quickview::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,29 @@
+// Figure 19: Efficient run time while varying the FLWOR nesting level of
+// the view (1..4). Expected shape: roughly linear growth, with the
+// evaluator's share growing fastest.
+#include "bench/bench_common.h"
+
+namespace quickview::bench {
+namespace {
+
+void BM_Nesting(benchmark::State& state) {
+  workload::InexOptions opts;
+  Fixture& fixture = GetFixture(opts);
+  workload::ViewSpec spec;
+  spec.nesting_level = static_cast<int>(state.range(0));
+  std::string view = workload::BuildInexView(spec);
+  auto keywords = workload::KeywordsForTier(workload::KeywordTier::kMedium);
+  engine::SearchResponse last;
+  for (auto _ : state) {
+    last = DieOnError(fixture.efficient->SearchView(
+                          view, keywords, engine::SearchOptions{}),
+                      "efficient");
+  }
+  ReportTimings(state, last);
+}
+BENCHMARK(BM_Nesting)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace quickview::bench
+
+BENCHMARK_MAIN();

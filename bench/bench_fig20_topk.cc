@@ -1,0 +1,31 @@
+// Figure 20: Efficient run time while varying K (# of results returned).
+// Expected shape: flat — materializing a few more results is negligible
+// because only the top-K touch base data.
+#include "bench/bench_common.h"
+
+namespace quickview::bench {
+namespace {
+
+void BM_TopK(benchmark::State& state) {
+  workload::InexOptions opts;
+  Fixture& fixture = GetFixture(opts);
+  std::string view = workload::BuildInexView(workload::ViewSpec{});
+  auto keywords = workload::KeywordsForTier(workload::KeywordTier::kMedium);
+  engine::SearchOptions options;
+  options.top_k = static_cast<size_t>(state.range(0));
+  engine::SearchResponse last;
+  for (auto _ : state) {
+    last = DieOnError(fixture.efficient->SearchView(view, keywords, options),
+                      "efficient");
+  }
+  ReportTimings(state, last);
+  state.counters["store_fetches"] =
+      benchmark::Counter(static_cast<double>(last.stats.store_fetches));
+}
+BENCHMARK(BM_TopK)->Arg(1)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace quickview::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// §5.2.3 "Other results": PDT size vs base data size. The paper reports
+// ~2 MB of PDTs for 500 MB of data (a 250x reduction); the shape to
+// verify is that PDTs stay a small, slowly-growing fraction of the data.
+#include "bench/bench_common.h"
+
+#include "xml/serializer.h"
+
+namespace quickview::bench {
+namespace {
+
+void BM_PdtSize(benchmark::State& state) {
+  workload::InexOptions opts;
+  opts.target_bytes = kBytesPerScaleUnit * static_cast<uint64_t>(
+                                                state.range(0));
+  Fixture& fixture = GetFixture(opts);
+  std::string view = workload::BuildInexView(workload::ViewSpec{});
+  auto keywords = workload::KeywordsForTier(workload::KeywordTier::kMedium);
+  engine::SearchResponse last;
+  for (auto _ : state) {
+    last = DieOnError(fixture.efficient->SearchView(
+                          view, keywords, engine::SearchOptions{}),
+                      "efficient");
+  }
+  const xml::Document* base = fixture.db->GetDocument("inex.xml");
+  double base_bytes =
+      static_cast<double>(xml::SubtreeByteLength(*base, base->root()));
+  state.counters["base_bytes"] = benchmark::Counter(base_bytes);
+  state.counters["pdt_bytes"] =
+      benchmark::Counter(static_cast<double>(last.stats.pdt.pdt_bytes));
+  state.counters["reduction_x"] = benchmark::Counter(
+      base_bytes / static_cast<double>(last.stats.pdt.pdt_bytes));
+}
+BENCHMARK(BM_PdtSize)->DenseRange(1, 5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace quickview::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Extension bench (paper §7): for monotone selection views, skipping view
+// evaluation and scoring straight from PDT statistics vs running the full
+// Fig 3 pipeline. Quantifies the "avoid producing pruned view elements"
+// head-room the conclusion describes.
+#include "bench/bench_common.h"
+
+#include "engine/ranked_selection.h"
+
+namespace quickview::bench {
+namespace {
+
+std::string SelectionView() {
+  return "for $a in fn:doc(inex.xml)/books//article[./year > 1995] "
+         "return $a";
+}
+
+void BM_FullPipelineSelection(benchmark::State& state) {
+  workload::InexOptions opts;
+  opts.target_bytes = kBytesPerScaleUnit * static_cast<uint64_t>(
+                                                state.range(0));
+  Fixture& fixture = GetFixture(opts);
+  auto keywords = workload::KeywordsForTier(workload::KeywordTier::kMedium);
+  engine::SearchResponse last;
+  for (auto _ : state) {
+    last = DieOnError(fixture.efficient->SearchView(
+                          SelectionView(), keywords, engine::SearchOptions{}),
+                      "full");
+  }
+  ReportTimings(state, last);
+}
+BENCHMARK(BM_FullPipelineSelection)
+    ->DenseRange(1, 4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RankedSelection(benchmark::State& state) {
+  workload::InexOptions opts;
+  opts.target_bytes = kBytesPerScaleUnit * static_cast<uint64_t>(
+                                                state.range(0));
+  Fixture& fixture = GetFixture(opts);
+  auto keywords = workload::KeywordsForTier(workload::KeywordTier::kMedium);
+  engine::SearchResponse last;
+  for (auto _ : state) {
+    last = DieOnError(
+        engine::RankedSelectionSearch(*fixture.db, *fixture.indexes,
+                                      fixture.store.get(), SelectionView(),
+                                      keywords, engine::SearchOptions{}),
+        "ranked");
+  }
+  ReportTimings(state, last);
+}
+BENCHMARK(BM_RankedSelection)
+    ->DenseRange(1, 4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace quickview::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+// §5.2.3 "Other results": varying the average size of a view element
+// (1X..5X body text per article). Expected shape: efficient and scalable
+// growth — PDT sizes stay small because content is summarized, not
+// materialized.
+#include "bench/bench_common.h"
+
+namespace quickview::bench {
+namespace {
+
+void BM_ElementSize(benchmark::State& state) {
+  workload::InexOptions opts;
+  opts.element_size_factor = static_cast<int>(state.range(0));
+  Fixture& fixture = GetFixture(opts);
+  std::string view = workload::BuildInexView(workload::ViewSpec{});
+  auto keywords = workload::KeywordsForTier(workload::KeywordTier::kMedium);
+  engine::SearchResponse last;
+  for (auto _ : state) {
+    last = DieOnError(fixture.efficient->SearchView(
+                          view, keywords, engine::SearchOptions{}),
+                      "efficient");
+  }
+  ReportTimings(state, last);
+  state.counters["pdt_bytes"] =
+      benchmark::Counter(static_cast<double>(last.stats.pdt.pdt_bytes));
+}
+BENCHMARK(BM_ElementSize)->DenseRange(1, 5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace quickview::bench
+
+BENCHMARK_MAIN();

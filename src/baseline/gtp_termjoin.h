@@ -1,0 +1,61 @@
+// "GTP" comparator of paper §5.1: Generalized Tree Patterns [14] with
+// TermJoin [2], the state-of-the-art integration of structure and keyword
+// search the paper compares against. It computes the same pruned trees as
+// the PDT module but in the way Timber would:
+//   - per-QPT-node element streams are fetched *by tag* (not by path), so
+//     the streams are longer;
+//   - the document hierarchy is reconstructed with stack-style structural
+//     joins over the Dewey-ordered tag streams (CE bottom-up, PE
+//     top-down);
+//   - join values and predicate operands are read from *base document
+//     storage*, not from the path index ("GTP requires accessing the base
+//     data to support value joins").
+// Keyword statistics come from the inverted index (TermJoin's role). The
+// resulting pruned documents feed the same evaluator and scorer, so the
+// comparison isolates exactly the two costs the paper attributes to GTP.
+#ifndef QUICKVIEW_BASELINE_GTP_TERMJOIN_H_
+#define QUICKVIEW_BASELINE_GTP_TERMJOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/view_search_engine.h"
+#include "index/index_builder.h"
+#include "qpt/qpt.h"
+#include "storage/document_store.h"
+#include "xml/dom.h"
+
+namespace quickview::baseline {
+
+/// Builds the pruned document for one QPT the Timber way (tag streams +
+/// structural joins + base-data value/length access). Exposed so the
+/// ablation benchmark can compare construction costs against GeneratePdt
+/// directly.
+Result<std::shared_ptr<xml::Document>> BuildGtpPrunedDocument(
+    const qpt::Qpt& qpt, const index::DocumentIndexes& indexes,
+    storage::DocumentStore* store, const std::vector<std::string>& keywords);
+
+class GtpTermJoinEngine {
+ public:
+  GtpTermJoinEngine(const xml::Database* database,
+                    const index::DatabaseIndexes* indexes,
+                    storage::DocumentStore* store)
+      : database_(database), indexes_(indexes), store_(store) {}
+
+  Result<engine::SearchResponse> Search(
+      const std::string& query, const engine::SearchOptions& options) const;
+
+  Result<engine::SearchResponse> SearchView(
+      const std::string& view_text, const std::vector<std::string>& keywords,
+      const engine::SearchOptions& options) const;
+
+ private:
+  const xml::Database* database_;
+  const index::DatabaseIndexes* indexes_;
+  storage::DocumentStore* store_;
+};
+
+}  // namespace quickview::baseline
+
+#endif  // QUICKVIEW_BASELINE_GTP_TERMJOIN_H_

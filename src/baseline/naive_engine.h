@@ -1,0 +1,36 @@
+// "Baseline" comparator of paper §5.1: materializes the entire view at
+// query time by evaluating the view over the base documents, tokenizes the
+// materialized results, and only then scores and returns the top k. Same
+// public response types as ViewSearchEngine, so benchmarks and parity
+// tests interchange them freely.
+#ifndef QUICKVIEW_BASELINE_NAIVE_ENGINE_H_
+#define QUICKVIEW_BASELINE_NAIVE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/view_search_engine.h"
+#include "storage/document_store.h"
+#include "xml/dom.h"
+
+namespace quickview::baseline {
+
+class NaiveEngine {
+ public:
+  explicit NaiveEngine(const xml::Database* database) : database_(database) {}
+
+  Result<engine::SearchResponse> Search(
+      const std::string& query, const engine::SearchOptions& options) const;
+
+  Result<engine::SearchResponse> SearchView(
+      const std::string& view_text, const std::vector<std::string>& keywords,
+      const engine::SearchOptions& options) const;
+
+ private:
+  const xml::Database* database_;
+};
+
+}  // namespace quickview::baseline
+
+#endif  // QUICKVIEW_BASELINE_NAIVE_ENGINE_H_

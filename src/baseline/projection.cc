@@ -1,0 +1,122 @@
+#include "baseline/projection.h"
+
+namespace quickview::baseline {
+
+std::vector<ProjectionPath> ProjectionPathsFromQpt(const qpt::Qpt& qpt) {
+  std::vector<ProjectionPath> out;
+  for (size_t i = 1; i < qpt.nodes.size(); ++i) {
+    ProjectionPath path;
+    path.pattern = qpt.PatternFor(static_cast<int>(i));
+    path.keep_subtree = qpt.nodes[i].c_ann;
+    out.push_back(std::move(path));
+  }
+  return out;
+}
+
+namespace {
+
+struct MatchState {
+  int path = 0;
+  int pos = 0;  // number of steps already matched
+};
+
+struct Marks {
+  std::vector<char> matched;        // element itself on some path
+  std::vector<char> keep_subtree;   // '#'-style subtree materialization
+};
+
+void Scan(const xml::Document& doc, xml::NodeIndex index,
+          const std::vector<ProjectionPath>& paths,
+          const std::vector<MatchState>& active, Marks* marks,
+          uint64_t* scanned) {
+  ++*scanned;
+  const xml::Node& node = doc.node(index);
+  std::vector<MatchState> next;
+  for (const MatchState& state : active) {
+    const index::PathPattern& pattern = paths[state.path].pattern;
+    const index::PathStep& step = pattern[state.pos];
+    // '//' steps stay armed arbitrarily deep.
+    if (step.descendant) next.push_back(state);
+    if (node.tag == step.tag) {
+      if (state.pos + 1 == static_cast<int>(pattern.size())) {
+        marks->matched[index] = true;
+        if (paths[state.path].keep_subtree) marks->keep_subtree[index] = true;
+      } else {
+        next.push_back(MatchState{state.path, state.pos + 1});
+      }
+    }
+  }
+  for (xml::NodeIndex child : node.children) {
+    Scan(doc, child, paths, next, marks, scanned);
+  }
+}
+
+/// Post-order: subtree contains a match somewhere.
+bool ComputeHasKept(const xml::Document& doc, xml::NodeIndex index,
+                    const Marks& marks, std::vector<char>* has_kept) {
+  bool any = marks.matched[index] || marks.keep_subtree[index];
+  for (xml::NodeIndex child : doc.node(index).children) {
+    if (ComputeHasKept(doc, child, marks, has_kept)) any = true;
+  }
+  (*has_kept)[index] = any;
+  return any;
+}
+
+/// Copies kept structure into `target` (matched elements with text,
+/// ancestors of matches structurally, subtrees of '#' matches fully).
+void Build(const xml::Document& doc, xml::NodeIndex index, const Marks& marks,
+           const std::vector<char>& has_kept, bool under_subtree,
+           xml::Document* target, xml::NodeIndex target_parent,
+           uint64_t* kept) {
+  const xml::Node& node = doc.node(index);
+  bool keep_all = under_subtree || marks.keep_subtree[index];
+  bool self = keep_all || marks.matched[index];
+  if (!self && !has_kept[index]) return;
+
+  xml::NodeIndex copied =
+      target_parent == xml::kInvalidNode
+          ? target->CreateRoot(node.tag)
+          : target->AddChildWithId(target_parent, node.tag, node.id);
+  ++*kept;
+  if (self) target->node(copied).text = node.text;
+  for (xml::NodeIndex child : node.children) {
+    Build(doc, child, marks, has_kept, keep_all, target, copied, kept);
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<xml::Document> ProjectDocument(
+    const xml::Document& doc, const std::vector<ProjectionPath>& paths,
+    ProjectionStats* stats) {
+  auto out = std::make_shared<xml::Document>(doc.root_component());
+  if (!doc.has_root()) return out;
+  Marks marks;
+  marks.matched.assign(doc.size(), false);
+  marks.keep_subtree.assign(doc.size(), false);
+  std::vector<MatchState> initial;
+  for (size_t i = 0; i < paths.size(); ++i) {
+    if (!paths[i].pattern.empty()) {
+      initial.push_back(MatchState{static_cast<int>(i), 0});
+    }
+  }
+  uint64_t scanned = 0;
+  Scan(doc, doc.root(), paths, initial, &marks, &scanned);
+  std::vector<char> has_kept(doc.size(), false);
+  ComputeHasKept(doc, doc.root(), marks, &has_kept);
+  uint64_t kept = 0;
+  Build(doc, doc.root(), marks, has_kept, /*under_subtree=*/false, out.get(),
+        xml::kInvalidNode, &kept);
+  if (stats != nullptr) {
+    stats->elements_scanned = scanned;
+    stats->elements_kept = kept;
+  }
+  return out;
+}
+
+std::shared_ptr<xml::Document> ProjectDocument(
+    const xml::Document& doc, const std::vector<ProjectionPath>& paths) {
+  return ProjectDocument(doc, paths, nullptr);
+}
+
+}  // namespace quickview::baseline

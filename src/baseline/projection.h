@@ -1,0 +1,53 @@
+// "Proj" comparator of paper §5.1: projecting XML documents [30]. Given
+// the projection paths of a query, PROJ makes a full streaming scan of
+// each base document and retains every element on a projection path
+// (materializing subtrees of paths marked '#' — here, the QPT's 'c'
+// nodes). The paper measures exactly this projected-document generation
+// cost, which is dominated by the full document scan; quickview's PDT
+// module replaces the scan with index probes.
+#ifndef QUICKVIEW_BASELINE_PROJECTION_H_
+#define QUICKVIEW_BASELINE_PROJECTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/path_index.h"
+#include "qpt/qpt.h"
+#include "xml/dom.h"
+
+namespace quickview::baseline {
+
+/// One projection path, optionally keeping the whole subtree of matches
+/// (PROJ's '#' annotation).
+struct ProjectionPath {
+  index::PathPattern pattern;
+  bool keep_subtree = false;
+};
+
+/// Derives the projection paths of a QPT: one per QPT node; 'c' nodes
+/// keep their subtrees. PROJ has isolated-path semantics — predicates and
+/// twig (mandatory-edge) constraints are NOT applied, which is one of the
+/// semantic differences the paper calls out in §4.
+std::vector<ProjectionPath> ProjectionPathsFromQpt(const qpt::Qpt& qpt);
+
+/// Scans `doc` once and builds the projected document: every element
+/// matching some path is kept (with text for subtree-kept matches and all
+/// their descendants); ancestors of kept elements are kept structurally.
+std::shared_ptr<xml::Document> ProjectDocument(
+    const xml::Document& doc, const std::vector<ProjectionPath>& paths);
+
+/// Statistics of a projection run.
+struct ProjectionStats {
+  uint64_t elements_scanned = 0;  // full scan: every element of the doc
+  uint64_t elements_kept = 0;
+};
+
+std::shared_ptr<xml::Document> ProjectDocument(
+    const xml::Document& doc, const std::vector<ProjectionPath>& paths,
+    ProjectionStats* stats);
+
+}  // namespace quickview::baseline
+
+#endif  // QUICKVIEW_BASELINE_PROJECTION_H_

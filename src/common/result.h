@@ -1,0 +1,67 @@
+// Result<T>: a value or a non-OK Status (Arrow-style).
+#ifndef QUICKVIEW_COMMON_RESULT_H_
+#define QUICKVIEW_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace quickview {
+
+/// Holds either a value of type T or an error Status. A Result is never
+/// constructed from an OK status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates a Result-returning expression; on error returns the Status,
+/// otherwise assigns the value to `lhs`.
+#define QV_ASSIGN_OR_RETURN(lhs, expr)                   \
+  QV_ASSIGN_OR_RETURN_IMPL_(                             \
+      QV_CONCAT_(_qv_result_, __LINE__), lhs, expr)
+#define QV_CONCAT_INNER_(a, b) a##b
+#define QV_CONCAT_(a, b) QV_CONCAT_INNER_(a, b)
+#define QV_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+}  // namespace quickview
+
+#endif  // QUICKVIEW_COMMON_RESULT_H_

@@ -1,0 +1,75 @@
+// Status: lightweight error model used across quickview (Arrow/RocksDB
+// idiom). Functions that can fail return Status or Result<T>; exceptions
+// are not used on query-processing paths.
+#ifndef QUICKVIEW_COMMON_STATUS_H_
+#define QUICKVIEW_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace quickview {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kParseError,       // malformed XML or XQuery input
+  kUnsupported,      // outside the Appendix A grammar / supported axes
+  kEvalError,        // runtime query-evaluation failure (e.g. unbound var)
+  kInternal,
+};
+
+/// Outcome of an operation: kOk, or an error code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status EvalError(std::string msg) {
+    return Status(StatusCode::kEvalError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK Status to the caller.
+#define QV_RETURN_IF_ERROR(expr)                 \
+  do {                                           \
+    ::quickview::Status _qv_status = (expr);     \
+    if (!_qv_status.ok()) return _qv_status;     \
+  } while (false)
+
+}  // namespace quickview
+
+#endif  // QUICKVIEW_COMMON_STATUS_H_

@@ -1,0 +1,32 @@
+// Small string helpers shared across modules.
+#ifndef QUICKVIEW_COMMON_STRINGS_H_
+#define QUICKVIEW_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace quickview {
+
+/// Splits `input` on `sep`, keeping empty pieces.
+std::vector<std::string_view> SplitString(std::string_view input, char sep);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+/// True iff `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// ASCII lowercase copy.
+std::string AsciiToLower(std::string_view s);
+
+/// Parses a decimal number; returns false on any non-numeric input.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Formats a double without trailing zeros ("42" not "42.000000").
+std::string FormatDouble(double v);
+
+}  // namespace quickview
+
+#endif  // QUICKVIEW_COMMON_STRINGS_H_

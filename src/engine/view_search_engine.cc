@@ -1,0 +1,116 @@
+#include "engine/view_search_engine.h"
+
+#include <chrono>
+
+#include "common/strings.h"
+#include "qpt/generate_qpt.h"
+#include "scoring/materializer.h"
+#include "scoring/scorer.h"
+#include "xml/serializer.h"
+#include "xquery/evaluator.h"
+#include "xquery/parser.h"
+
+namespace quickview::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Result<SearchResponse> ViewSearchEngine::Search(
+    const std::string& query, const SearchOptions& options) const {
+  QV_ASSIGN_OR_RETURN(xquery::KeywordQuery kq,
+                      xquery::ParseKeywordQuery(query));
+  SearchOptions effective = options;
+  effective.conjunctive = kq.conjunctive;
+  // Re-serialize is unnecessary: run the already-parsed view through the
+  // pipeline below by temporarily taking ownership.
+  SearchResponse response;
+  Clock::time_point start = Clock::now();
+
+  // --- QPT generation (rewrites doc names in kq.view) ---
+  QV_ASSIGN_OR_RETURN(std::vector<qpt::Qpt> qpts,
+                      qpt::GenerateQpts(&kq.view));
+  response.timings.qpt_ms = MsSince(start);
+
+  // --- PDT generation: indices only ---
+  start = Clock::now();
+  std::vector<std::shared_ptr<xml::Document>> pdts;
+  pdts.reserve(qpts.size());
+  for (const qpt::Qpt& q : qpts) {
+    const index::DocumentIndexes* doc_indexes = indexes_->Get(q.source_doc);
+    if (doc_indexes == nullptr) {
+      return Status::NotFound("no indexes for document '" + q.source_doc +
+                              "'");
+    }
+    pdt::PdtBuildStats build_stats;
+    QV_ASSIGN_OR_RETURN(
+        std::shared_ptr<xml::Document> pdt,
+        pdt::GeneratePdt(q, *doc_indexes, kq.keywords, &build_stats));
+    response.stats.pdt.ids_processed += build_stats.ids_processed;
+    response.stats.pdt.nodes_emitted += build_stats.nodes_emitted;
+    response.stats.pdt.peak_ct_nodes += build_stats.peak_ct_nodes;
+    response.stats.pdt.index_probes += build_stats.index_probes;
+    response.stats.pdt.pdt_bytes += build_stats.pdt_bytes;
+    pdts.push_back(std::move(pdt));
+  }
+  response.timings.pdt_ms = MsSince(start);
+
+  // --- Evaluate the rewritten query over the PDTs ---
+  start = Clock::now();
+  xquery::Evaluator evaluator(database_);
+  for (size_t i = 0; i < qpts.size(); ++i) {
+    evaluator.OverrideDocument(qpts[i].occurrence_name, pdts[i].get());
+  }
+  QV_ASSIGN_OR_RETURN(xquery::Sequence view_results,
+                      evaluator.Evaluate(kq.view));
+  response.timings.eval_ms = MsSince(start);
+
+  // --- Score, select top-k, materialize ---
+  start = Clock::now();
+  scoring::ScoringOutcome outcome = scoring::ScoreResults(
+      view_results, kq.keywords, effective.conjunctive);
+  std::vector<scoring::ScoredResult>& scored = outcome.ranked;
+  response.stats.view_results = view_results.size();
+  response.stats.matching_results = scored.size();
+  response.stats.view_bytes = outcome.view_bytes;
+  scoring::TakeTopK(&scored, effective.top_k);
+
+  uint64_t fetches_before = store_->stats().fetch_calls;
+  uint64_t bytes_before = store_->stats().bytes_fetched;
+  for (const scoring::ScoredResult& r : scored) {
+    SearchHit hit;
+    hit.score = r.score;
+    hit.tf = r.tf;
+    hit.byte_length = r.byte_length;
+    QV_ASSIGN_OR_RETURN(hit.xml,
+                        scoring::MaterializeToXml(r.result, store_));
+    response.hits.push_back(std::move(hit));
+  }
+  response.stats.store_fetches = store_->stats().fetch_calls - fetches_before;
+  response.stats.store_bytes = store_->stats().bytes_fetched - bytes_before;
+  response.timings.post_ms = MsSince(start);
+  return response;
+}
+
+Result<SearchResponse> ViewSearchEngine::SearchView(
+    const std::string& view_text, const std::vector<std::string>& keywords,
+    const SearchOptions& options) const {
+  // Assemble the canonical Fig-2 form and reuse Search().
+  std::string query = "let $view := " + view_text + "\nfor $qv in $view\n";
+  query += "where $qv ftcontains(";
+  for (size_t i = 0; i < keywords.size(); ++i) {
+    if (i > 0) query += options.conjunctive ? " & " : " | ";
+    query += "'" + AsciiToLower(keywords[i]) + "'";
+  }
+  query += ")\nreturn $qv";
+  return Search(query, options);
+}
+
+}  // namespace quickview::engine

@@ -1,0 +1,89 @@
+// The quickview public facade: ranked keyword search over virtual XML
+// views, implementing the full architecture of paper Fig 3 —
+//   parse -> QPT generation -> PDT generation (indices only)
+//         -> unmodified evaluation over PDTs -> scoring -> top-k
+//         -> materialization (the only base-data access).
+#ifndef QUICKVIEW_ENGINE_VIEW_SEARCH_ENGINE_H_
+#define QUICKVIEW_ENGINE_VIEW_SEARCH_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/index_builder.h"
+#include "pdt/generate_pdt.h"
+#include "storage/document_store.h"
+#include "xml/dom.h"
+
+namespace quickview::engine {
+
+struct SearchOptions {
+  size_t top_k = 10;
+  bool conjunctive = true;  // all keywords vs any keyword
+};
+
+/// One ranked, fully materialized result.
+struct SearchHit {
+  double score = 0;
+  std::vector<uint64_t> tf;  // per query keyword
+  uint64_t byte_length = 0;
+  std::string xml;  // serialized materialized result
+};
+
+/// Wall-clock per module, for the Fig 14 breakdown.
+struct ModuleTimings {
+  double qpt_ms = 0;   // parse + QPT generation
+  double pdt_ms = 0;   // PrepareLists + GeneratePdt (or baseline analogue)
+  double eval_ms = 0;  // query evaluation (incl. any view materialization)
+  double post_ms = 0;  // scoring + top-k materialization
+
+  double total_ms() const { return qpt_ms + pdt_ms + eval_ms + post_ms; }
+};
+
+struct SearchStats {
+  size_t view_results = 0;      // |V(D)|
+  size_t matching_results = 0;  // after keyword semantics
+  pdt::PdtBuildStats pdt;       // aggregated over all QPTs
+  uint64_t store_fetches = 0;   // base-data accesses
+  uint64_t store_bytes = 0;
+  /// Total bytes of the fully materialized view V(D) — what a
+  /// materialize-first engine must produce; the Efficient engine's
+  /// actual footprint is pdt.pdt_bytes + store_bytes instead.
+  uint64_t view_bytes = 0;
+};
+
+struct SearchResponse {
+  std::vector<SearchHit> hits;
+  ModuleTimings timings;
+  SearchStats stats;
+};
+
+class ViewSearchEngine {
+ public:
+  /// All three structures must outlive the engine.
+  ViewSearchEngine(const xml::Database* database,
+                   const index::DatabaseIndexes* indexes,
+                   storage::DocumentStore* store)
+      : database_(database), indexes_(indexes), store_(store) {}
+
+  /// Full Fig-2-style query: "let $view := ... for $v in $view where $v
+  /// ftcontains('k1' & 'k2') return $v".
+  Result<SearchResponse> Search(const std::string& query,
+                                const SearchOptions& options) const;
+
+  /// View text + keywords given separately (keywords are lowercased
+  /// internally).
+  Result<SearchResponse> SearchView(const std::string& view_text,
+                                    const std::vector<std::string>& keywords,
+                                    const SearchOptions& options) const;
+
+ private:
+  const xml::Database* database_;
+  const index::DatabaseIndexes* indexes_;
+  storage::DocumentStore* store_;
+};
+
+}  // namespace quickview::engine
+
+#endif  // QUICKVIEW_ENGINE_VIEW_SEARCH_ENGINE_H_

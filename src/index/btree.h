@@ -1,0 +1,93 @@
+// In-memory B+-tree on byte-string keys — the index substrate behind the
+// path index and the inverted-list index (paper §3.2: "A B+-tree index is
+// built on the (Path, Value) pair", "an index such as a B+-tree is usually
+// built on top of each inverted list"). Supports point lookups, ordered
+// iteration and prefix scans. Node-visit counters provide the I/O cost
+// model used by the benchmark harness.
+#ifndef QUICKVIEW_INDEX_BTREE_H_
+#define QUICKVIEW_INDEX_BTREE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace quickview::index {
+
+/// B+-tree mapping string keys to string values. Keys are unique; Insert
+/// overwrites. Deletion is lazy (no rebalancing) since quickview indices
+/// are bulk-built once per database load.
+class BTree {
+ private:
+  struct Node;
+  struct Leaf;
+  struct Interior;
+
+ public:
+  struct Stats {
+    uint64_t nodes_visited = 0;  // interior + leaf nodes touched
+    uint64_t entries_scanned = 0;
+  };
+
+  static constexpr int kFanout = 64;  // max keys per node
+
+  BTree();
+  ~BTree();
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Inserts or overwrites.
+  void Insert(std::string_view key, std::string_view value);
+
+  /// Point lookup; returns false if absent.
+  bool Get(std::string_view key, std::string* value) const;
+
+  /// Removes the key if present; returns whether it existed.
+  bool Delete(std::string_view key);
+
+  size_t size() const { return size_; }
+  int height() const { return height_; }
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+  /// Forward iterator over (key, value) pairs in key order.
+  class Iterator {
+   public:
+    bool Valid() const;
+    const std::string& key() const;
+    const std::string& value() const;
+    void Next();
+
+   private:
+    friend class BTree;
+    Leaf* leaf_ = nullptr;
+    int pos_ = 0;
+    const BTree* tree_ = nullptr;
+  };
+
+  /// Iterator positioned at the first key >= `key`.
+  Iterator Seek(std::string_view key) const;
+
+  /// Iterator at the smallest key.
+  Iterator Begin() const;
+
+  /// Collects all (key, value) pairs whose key starts with `prefix`,
+  /// in key order.
+  std::vector<std::pair<std::string, std::string>> PrefixScan(
+      std::string_view prefix) const;
+
+ private:
+  Leaf* FindLeaf(std::string_view key) const;
+  void SplitChild(Interior* parent, int child_pos);
+  static void FreeNode(Node* node);
+
+  Node* root_;
+  size_t size_ = 0;
+  int height_ = 1;
+  mutable Stats stats_;
+};
+
+}  // namespace quickview::index
+
+#endif  // QUICKVIEW_INDEX_BTREE_H_

@@ -1,0 +1,72 @@
+#include "index/index_builder.h"
+
+#include <vector>
+
+#include "xml/serializer.h"
+#include "xml/tokenizer.h"
+
+namespace quickview::index {
+
+const DocumentIndexes* DatabaseIndexes::Get(const std::string& doc_name) const {
+  auto it = indexes_.find(doc_name);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+DocumentIndexes* DatabaseIndexes::GetMutable(const std::string& doc_name) {
+  auto it = indexes_.find(doc_name);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+void DatabaseIndexes::Put(const std::string& doc_name,
+                          std::unique_ptr<DocumentIndexes> idx) {
+  indexes_[doc_name] = std::move(idx);
+}
+
+namespace {
+
+void IndexSubtree(const xml::Document& doc, xml::NodeIndex index,
+                  std::string* path, DocumentIndexes* out) {
+  const xml::Node& node = doc.node(index);
+  size_t path_len = path->size();
+  path->push_back('/');
+  path->append(node.tag);
+
+  out->path_index.AddEntry(*path, node.text, node.id,
+                           xml::SubtreeByteLength(doc, index));
+
+  // Count directly-contained terms (tag-name tokens + direct text tokens).
+  std::map<std::string, uint32_t> counts;
+  for (std::string& term : xml::DirectTerms(node)) ++counts[term];
+  for (const auto& [term, count] : counts) {
+    out->inverted_index.Add(term, node.id, count);
+  }
+
+  for (xml::NodeIndex child : node.children) {
+    IndexSubtree(doc, child, path, out);
+  }
+  path->resize(path_len);
+}
+
+}  // namespace
+
+std::unique_ptr<DocumentIndexes> BuildDocumentIndexes(
+    const xml::Document& doc) {
+  auto out = std::make_unique<DocumentIndexes>();
+  if (doc.has_root()) {
+    std::string path;
+    IndexSubtree(doc, doc.root(), &path, out.get());
+  }
+  out->path_index.Finalize();
+  return out;
+}
+
+std::unique_ptr<DatabaseIndexes> BuildDatabaseIndexes(
+    const xml::Database& database) {
+  auto out = std::make_unique<DatabaseIndexes>();
+  for (const auto& [name, doc] : database.documents()) {
+    out->Put(name, BuildDocumentIndexes(*doc));
+  }
+  return out;
+}
+
+}  // namespace quickview::index

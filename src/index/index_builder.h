@@ -1,0 +1,49 @@
+// Builds the per-document path and inverted-list indices for a Database —
+// the offline "load time" work of a traditional full-text XML engine
+// (paper §1), after which queries over virtual views never scan base data.
+#ifndef QUICKVIEW_INDEX_INDEX_BUILDER_H_
+#define QUICKVIEW_INDEX_INDEX_BUILDER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "index/inverted_index.h"
+#include "index/path_index.h"
+#include "xml/dom.h"
+
+namespace quickview::index {
+
+/// The indices for one document.
+struct DocumentIndexes {
+  PathIndex path_index;
+  InvertedIndex inverted_index;
+};
+
+/// Indices for every document in a database, keyed by document name (the
+/// name used in fn:doc()).
+class DatabaseIndexes {
+ public:
+  const DocumentIndexes* Get(const std::string& doc_name) const;
+  DocumentIndexes* GetMutable(const std::string& doc_name);
+  void Put(const std::string& doc_name, std::unique_ptr<DocumentIndexes> idx);
+
+  const std::map<std::string, std::unique_ptr<DocumentIndexes>>& all() const {
+    return indexes_;
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<DocumentIndexes>> indexes_;
+};
+
+/// Builds path + inverted indices for one document.
+std::unique_ptr<DocumentIndexes> BuildDocumentIndexes(
+    const xml::Document& doc);
+
+/// Builds indices for every document in `database`.
+std::unique_ptr<DatabaseIndexes> BuildDatabaseIndexes(
+    const xml::Database& database);
+
+}  // namespace quickview::index
+
+#endif  // QUICKVIEW_INDEX_INDEX_BUILDER_H_

@@ -1,0 +1,166 @@
+#include "pdt/candidate_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace quickview::pdt {
+
+CtQEntry* CtNode::FindEntry(int qnode) {
+  for (CtQEntry& entry : qentries) {
+    if (entry.qnode == qnode) return &entry;
+  }
+  return nullptr;
+}
+
+int CtNode::FindEntryIndex(int qnode) const {
+  for (size_t i = 0; i < qentries.size(); ++i) {
+    if (qentries[i].qnode == qnode) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool CandidateTree::IsCandidate(const CtQEntry& entry) const {
+  uint64_t all = full_mask_[entry.qnode];
+  return (entry.dm & all) == all;
+}
+
+void CandidateTree::NotifyCandidate(CtNode* node, int entry_index) {
+  CtQEntry& entry = node->qentries[entry_index];
+  if (entry.notified) return;
+  entry.notified = true;
+  int qnode = entry.qnode;
+  int parent_qnode = qpt_->nodes[qnode].parent;
+  if (parent_qnode < 0) return;
+  for (auto& [ancestor, ancestor_entry_index] : entry.parent_list) {
+    CtQEntry& ancestor_entry = ancestor->qentries[ancestor_entry_index];
+    // Locate this child edge's bit position among the parent's mandatory
+    // children; optional edges carry no DM bit.
+    if (!qpt_->nodes[qnode].parent_mandatory) continue;
+    const std::vector<int>& mandatory = mandatory_children_[parent_qnode];
+    auto it = std::find(mandatory.begin(), mandatory.end(), qnode);
+    if (it == mandatory.end()) continue;
+    uint64_t bit = uint64_t{1} << (it - mandatory.begin());
+    if ((ancestor_entry.dm & bit) != 0) continue;
+    ancestor_entry.dm |= bit;
+    if (IsCandidate(ancestor_entry)) {
+      NotifyCandidate(ancestor, ancestor_entry_index);
+    }
+  }
+}
+
+void CandidateTree::AddId(const xml::DeweyId& id,
+                          const std::vector<std::vector<int>>& depth_qnodes,
+                          int list_index,
+                          const std::optional<std::string>& value,
+                          uint64_t byte_length) {
+  // Walk the prefixes top-down, creating CT nodes only at depths that
+  // match some QPT node (other depths are pruned; Dewey ids preserve the
+  // structural relationships). Existing nodes at a prefix are always
+  // passed through, even when this id's data path maps no QPT node there.
+  CtNode* current = root_.get();
+  // Ancestor (node, entry index) pairs seen so far on this id's path,
+  // used to build the parent lists of new entries.
+  std::vector<std::pair<CtNode*, int>> ancestry;
+  std::vector<std::pair<CtNode*, int>> new_entries;  // for notification
+
+  for (size_t depth = 1; depth <= id.depth(); ++depth) {
+    const std::vector<int>& qnodes = depth_qnodes[depth - 1];
+    xml::DeweyId prefix = id.Prefix(depth);
+    CtNode* node = nullptr;
+    auto it = current->children.find(prefix);
+    if (it != current->children.end()) {
+      node = it->second.get();
+    } else if (!qnodes.empty()) {
+      auto created = std::make_unique<CtNode>();
+      created->id = prefix;
+      created->parent = current;
+      node = created.get();
+      // Containment invariant: any existing sibling that is really a
+      // descendant of the new prefix moves under the new node.
+      for (auto child_it = current->children.begin();
+           child_it != current->children.end();) {
+        if (prefix.IsAncestorOf(child_it->first)) {
+          child_it->second->parent = node;
+          node->children.emplace(child_it->first,
+                                 std::move(child_it->second));
+          child_it = current->children.erase(child_it);
+        } else {
+          ++child_it;
+        }
+      }
+      current->children.emplace(prefix, std::move(created));
+      ++live_nodes;
+      peak_nodes = std::max(peak_nodes, live_nodes);
+    }
+    if (node == nullptr) continue;  // pruned depth
+    current = node;
+    // Merge QPT-node entries for this depth.
+    for (int qnode : qnodes) {
+      if (node->FindEntry(qnode) != nullptr) continue;
+      CtQEntry entry;
+      entry.qnode = qnode;
+      int parent_qnode = qpt_->nodes[qnode].parent;
+      if (parent_qnode > 0) {
+        bool descendant_axis = qpt_->nodes[qnode].parent_descendant;
+        for (auto& [anc, anc_index] : ancestry) {
+          if (anc->qentries[anc_index].qnode != parent_qnode) continue;
+          bool ok = descendant_axis ? anc->id.IsAncestorOf(prefix)
+                                    : anc->id.IsParentOf(prefix);
+          if (ok) entry.parent_list.emplace_back(anc, anc_index);
+        }
+      }
+      node->qentries.push_back(std::move(entry));
+      new_entries.emplace_back(node,
+                               static_cast<int>(node->qentries.size() - 1));
+    }
+    // This prefix's entries are ancestry for deeper prefixes.
+    for (size_t i = 0; i < node->qentries.size(); ++i) {
+      ancestry.emplace_back(node, static_cast<int>(i));
+    }
+  }
+
+  // Attach the payload to the full-depth node.
+  if (current->id == id) {
+    if (value.has_value()) current->value = value;
+    if (byte_length > 0) current->byte_length = byte_length;
+    current->has_payload = true;
+    if (std::find(current->source_lists.begin(), current->source_lists.end(),
+                  list_index) == current->source_lists.end()) {
+      current->source_lists.push_back(list_index);
+      ++list_counts_[list_index];
+    }
+  }
+
+  // DM propagation for entries that are candidates on arrival, and for
+  // entries whose candidacy was already established (AddCTNode lines
+  // 15-17 of Fig 26).
+  for (auto& [node, entry_index] : new_entries) {
+    if (IsCandidate(node->qentries[entry_index])) {
+      NotifyCandidate(node, entry_index);
+    }
+  }
+}
+
+int CandidateTree::ListCount(int list_index) const {
+  auto it = list_counts_.find(list_index);
+  return it == list_counts_.end() ? 0 : it->second;
+}
+
+void CandidateTree::DecrementListCounts(const CtNode& node) {
+  for (int list : node.source_lists) {
+    auto it = list_counts_.find(list);
+    if (it != list_counts_.end() && it->second > 0) --it->second;
+  }
+}
+
+std::vector<CtNode*> CandidateTree::LeftMostPath() {
+  std::vector<CtNode*> out;
+  CtNode* node = root_.get();
+  while (!node->children.empty()) {
+    node = node->children.begin()->second.get();
+    out.push_back(node);
+  }
+  return out;
+}
+
+}  // namespace quickview::pdt

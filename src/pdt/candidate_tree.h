@@ -1,0 +1,142 @@
+// The Candidate Tree (paper §4.2.2, Appendix E): the working set of the
+// single-merge-pass PDT generation algorithm. Every CT node corresponds to
+// a Dewey id prefix seen in the path lists and carries one CtQEntry per
+// QPT node the prefix matches (CTQNodeSet — a set, because repeating tag
+// names let one id match several QPT nodes). Each entry tracks
+//   - DM (DescendantMap): which mandatory child edges have a candidate
+//     child/descendant element, bit per mandatory edge;
+//   - PL (ParentList): the ancestor entries matching the parent QPT node
+//     under the edge's axis;
+//   - InPdt: whether the id has been confirmed into the result PDT.
+// Nodes whose descendant constraints hold but whose ancestor constraints
+// are still open are parked in their tree parent's PdtCache and re-judged
+// as ancestors are resolved bottom-up.
+#ifndef QUICKVIEW_PDT_CANDIDATE_TREE_H_
+#define QUICKVIEW_PDT_CANDIDATE_TREE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qpt/qpt.h"
+#include "xml/dewey_id.h"
+
+namespace quickview::pdt {
+
+class CtNode;
+
+/// One (CT node, QPT node) association.
+struct CtQEntry {
+  int qnode = -1;
+  bool in_pdt = false;
+  /// True once this entry's candidacy has been propagated to its parents.
+  bool notified = false;
+  /// Bit i set = mandatory child i (in Qpt::MandatoryChildren order) has a
+  /// candidate child/descendant element.
+  uint64_t dm = 0;
+  /// (ancestor CT node, index into its qentries) pairs matching the parent
+  /// QPT node under the incoming edge's axis. Empty iff the parent is the
+  /// virtual document root.
+  std::vector<std::pair<CtNode*, int>> parent_list;
+};
+
+/// A descendant id whose descendant constraints hold but whose ancestor
+/// constraints are still undecided; parked in an ancestor's PdtCache.
+struct PdtCacheEntry {
+  xml::DeweyId id;
+  std::string tag;
+  std::optional<std::string> value;
+  uint64_t byte_length = 0;
+  bool content = false;  // some matched QPT node is 'c'-annotated
+  /// True iff some matched QPT node's parent is the virtual root (then the
+  /// ancestor constraint is vacuous).
+  bool root_parent = false;
+  std::vector<std::pair<CtNode*, int>> parent_list;
+};
+
+class CtNode {
+ public:
+  xml::DeweyId id;
+  CtNode* parent = nullptr;
+  /// Children keyed by full Dewey id (depths without QPT matches are
+  /// pruned from the CT, so a child may be more than one level deeper).
+  std::map<xml::DeweyId, std::unique_ptr<CtNode>> children;
+  std::vector<CtQEntry> qentries;
+  std::vector<PdtCacheEntry> pdt_cache;
+
+  // Payload from a direct list entry (leaf probe), if any.
+  std::optional<std::string> value;
+  uint64_t byte_length = 0;
+  bool has_payload = false;
+  bool emitted = false;
+  /// Path lists this node's id was directly retrieved from.
+  std::vector<int> source_lists;
+
+  /// Entry for `qnode`, or nullptr.
+  CtQEntry* FindEntry(int qnode);
+  int FindEntryIndex(int qnode) const;
+};
+
+/// The tree plus per-list membership counters (for the "at most two ids of
+/// each list in the CT" pull rule of Fig 9 line 10).
+class CandidateTree {
+ public:
+  explicit CandidateTree(const qpt::Qpt* qpt) : qpt_(qpt) {
+    root_ = std::make_unique<CtNode>();
+    // Hot-path caches: mandatory children and the all-bits-set DM mask per
+    // QPT node (IsCandidate runs once per entry per main-loop round).
+    mandatory_children_.reserve(qpt->nodes.size());
+    full_mask_.reserve(qpt->nodes.size());
+    for (size_t n = 0; n < qpt->nodes.size(); ++n) {
+      mandatory_children_.push_back(
+          qpt->MandatoryChildren(static_cast<int>(n)));
+      size_t count = mandatory_children_.back().size();
+      full_mask_.push_back(count >= 64 ? ~uint64_t{0}
+                                       : (uint64_t{1} << count) - 1);
+    }
+  }
+
+  CtNode* root() { return root_.get(); }
+  bool HasNodes() const { return !root_->children.empty(); }
+
+  /// Inserts `id` (and its QPT-matching prefixes) into the tree.
+  /// `depth_qnodes[d-1]` lists the QPT nodes a prefix of depth d matches;
+  /// `list_index` is the path list the id came from; value/byte_length
+  /// attach to the full-depth node. Performs DM propagation (AddCTNode of
+  /// Fig 26, incl. lines 15-17).
+  void AddId(const xml::DeweyId& id,
+             const std::vector<std::vector<int>>& depth_qnodes,
+             int list_index, const std::optional<std::string>& value,
+             uint64_t byte_length);
+
+  /// Number of ids from path list `list_index` currently in the tree.
+  int ListCount(int list_index) const;
+  void DecrementListCounts(const CtNode& node);
+
+  /// True iff every mandatory child bit of the entry is set.
+  bool IsCandidate(const CtQEntry& entry) const;
+
+  /// Nodes on the left-most path, top-down (root excluded).
+  std::vector<CtNode*> LeftMostPath();
+
+  size_t peak_nodes = 0;  // high-water mark, reported by benchmarks
+  size_t live_nodes = 0;
+
+ private:
+  /// Marks the entry candidate-visible to its parents (sets their DM bits)
+  /// and cascades.
+  void NotifyCandidate(CtNode* node, int entry_index);
+
+  const qpt::Qpt* qpt_;
+  std::unique_ptr<CtNode> root_;
+  std::map<int, int> list_counts_;
+  std::vector<std::vector<int>> mandatory_children_;  // by QPT node
+  std::vector<uint64_t> full_mask_;                   // by QPT node
+};
+
+}  // namespace quickview::pdt
+
+#endif  // QUICKVIEW_PDT_CANDIDATE_TREE_H_

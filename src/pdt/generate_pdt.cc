@@ -1,0 +1,337 @@
+#include "pdt/generate_pdt.h"
+
+#include <algorithm>
+#include <map>
+
+#include "pdt/candidate_tree.h"
+#include "xml/serializer.h"
+
+namespace quickview::pdt {
+
+std::shared_ptr<xml::Document> AssemblePdtDocument(
+    const std::map<xml::DeweyId, PdtElement>& elements,
+    const std::vector<InvList>& inv_lists) {
+  uint32_t root_component = 1;
+  if (!elements.empty()) {
+    root_component = elements.begin()->first.component(0);
+  }
+  auto doc = std::make_shared<xml::Document>(root_component);
+  // Stack of (id, node) along the current root-to-leaf path.
+  std::vector<std::pair<xml::DeweyId, xml::NodeIndex>> stack;
+  for (auto& [id, entry] : elements) {
+    while (!stack.empty() && !stack.back().first.IsAncestorOf(id)) {
+      stack.pop_back();
+    }
+    // Ancestors absent from the element set become structural
+    // placeholders (iterated in sorted order, any present ancestor is
+    // already on the stack).
+    size_t base_depth = stack.empty() ? 0 : stack.back().first.depth();
+    for (size_t depth = base_depth + 1; depth < id.depth(); ++depth) {
+      xml::DeweyId prefix = id.Prefix(depth);
+      xml::NodeIndex placeholder =
+          stack.empty()
+              ? doc->CreateRoot("qv:gap")
+              : doc->AddChildWithId(stack.back().second, "qv:gap", prefix);
+      stack.emplace_back(std::move(prefix), placeholder);
+    }
+    xml::NodeIndex node =
+        stack.empty()
+            ? doc->CreateRoot(entry.tag)
+            : doc->AddChildWithId(stack.back().second, entry.tag, id);
+    if (entry.value.has_value()) doc->node(node).text = *entry.value;
+    if (entry.content) {
+      xml::NodeStats stats;
+      stats.byte_length = entry.byte_length;
+      stats.content_pruned = true;
+      stats.source_doc = id.component(0);
+      stats.source_id = id;
+      stats.term_tf.reserve(inv_lists.size());
+      for (const InvList& inv : inv_lists) {
+        stats.term_tf.push_back(static_cast<uint32_t>(inv.SubtreeTf(id)));
+      }
+      doc->node(node).stats = std::move(stats);
+    }
+    stack.emplace_back(id, node);
+  }
+  return doc;
+}
+
+namespace {
+
+class PdtGenerator {
+ public:
+  PdtGenerator(const qpt::Qpt& qpt, PreparedLists lists, PdtBuildStats* stats)
+      : qpt_(qpt), lists_(std::move(lists)), ct_(&qpt), stats_(stats) {}
+
+  Result<std::shared_ptr<xml::Document>> Run() {
+    cursors_.assign(lists_.path_lists.size(), 0);
+    list_for_qnode_.assign(qpt_.nodes.size(), -1);
+    for (size_t i = 0; i < lists_.path_lists.size(); ++i) {
+      list_for_qnode_[lists_.path_lists[i].qpt_node] = static_cast<int>(i);
+    }
+
+    // Initialize the CT with the minimum id of every list (Fig 9 lines
+    // 4-6).
+    for (size_t i = 0; i < lists_.path_lists.size(); ++i) {
+      Pull(static_cast<int>(i));
+    }
+
+    // Main loop (Fig 9 lines 7-15 / Fig 25 lines 8-19).
+    while (ct_.HasNodes()) {
+      // Step 1: for every QPT node on the left-most path that has a list,
+      // retrieve the next minimum id, keeping at most two ids per list in
+      // the CT (Fig 9 line 10) — EXCEPT that a list with any pending id
+      // inside the current bottom node's subtree keeps pulling
+      // regardless: removing the bottom is only sound once no future id
+      // can still be one of its descendants, and the in-CT ids of such a
+      // list are necessarily all on the left-most path, so the two-id
+      // cap alone would starve exactly these pulls. Repeat until
+      // quiescent (each pull may deepen or reshape the left-most path).
+      bool pulled = true;
+      while (pulled) {
+        pulled = false;
+        std::vector<CtNode*> lmp = ct_.LeftMostPath();
+        const xml::DeweyId bottom_id = lmp.back()->id;
+        for (CtNode* node : lmp) {
+          for (const CtQEntry& entry : node->qentries) {
+            int list = list_for_qnode_[entry.qnode];
+            if (list < 0) continue;
+            if (PeekNext(list) == nullptr) continue;
+            if (ct_.ListCount(list) < 2 ||
+                ListHasPendingDescendant(list, bottom_id)) {
+              Pull(list);
+              pulled = true;
+            }
+          }
+          if (pulled) break;  // the left-most path may have changed
+        }
+      }
+      // Step 2: create PDT nodes top-down along the left-most path.
+      std::vector<CtNode*> lmp = ct_.LeftMostPath();
+      for (CtNode* node : lmp) ProcessTopDown(node);
+      // Step 3: remove the bottom node (always childless by construction
+      // of the left-most path), flushing its pdt cache upward.
+      RemoveBottom(lmp.back());
+    }
+    // Entries that reached the CT root's cache with a vacuous ancestor
+    // constraint are final PDT nodes.
+    FlushRootCache();
+
+    std::shared_ptr<xml::Document> doc =
+        AssemblePdtDocument(output_, lists_.inv_lists);
+    if (stats_ != nullptr) {
+      stats_->peak_ct_nodes = ct_.peak_nodes;
+      stats_->nodes_emitted = output_.size();
+      stats_->index_probes = lists_.index_probes;
+      if (doc->has_root()) {
+        stats_->pdt_bytes = xml::SubtreeByteLength(*doc, doc->root());
+      }
+    }
+    return doc;
+  }
+
+ private:
+  /// Next unconsumed id of the list, or nullptr when exhausted.
+  const xml::DeweyId* PeekNext(int list) const {
+    const PathList& pl = lists_.path_lists[list];
+    if (cursors_[list] >= pl.entries.size()) return nullptr;
+    return &pl.entries[cursors_[list]].id;
+  }
+
+  /// True iff some not-yet-pulled id of the list is `bottom` or one of
+  /// its descendants (contiguous range in the Dewey-ordered list).
+  bool ListHasPendingDescendant(int list, const xml::DeweyId& bottom) const {
+    const PathList& pl = lists_.path_lists[list];
+    auto it = std::lower_bound(
+        pl.entries.begin() + static_cast<ptrdiff_t>(cursors_[list]),
+        pl.entries.end(), bottom,
+        [](const ListEntry& e, const xml::DeweyId& key) {
+          return e.id < key;
+        });
+    return it != pl.entries.end() && bottom.IsPrefixOf(it->id);
+  }
+
+  void Pull(int list) {
+    PathList& pl = lists_.path_lists[list];
+    if (cursors_[list] >= pl.entries.size()) return;
+    const ListEntry& entry = pl.entries[cursors_[list]++];
+    ct_.AddId(entry.id, pl.depth_qnodes[entry.path_ordinal], list,
+              entry.value, entry.byte_length);
+    if (stats_ != nullptr) ++stats_->ids_processed;
+  }
+
+  /// Fig 27 lines 2-14: confirm entries whose ancestor + descendant
+  /// constraints hold; park descendant-satisfied entries in the tree
+  /// parent's pdt cache otherwise.
+  void ProcessTopDown(CtNode* node) {
+    for (CtQEntry& entry : node->qentries) {
+      if (entry.in_pdt || !ct_.IsCandidate(entry)) continue;
+      bool root_parent = qpt_.nodes[entry.qnode].parent == 0;
+      bool ancestors_ok = root_parent;
+      if (!ancestors_ok) {
+        for (auto& [anc, idx] : entry.parent_list) {
+          if (anc->qentries[idx].in_pdt) {
+            ancestors_ok = true;
+            break;
+          }
+        }
+      }
+      if (ancestors_ok) {
+        entry.in_pdt = true;
+        Emit(node, entry.qnode);
+      } else {
+        CacheCandidate(node, entry);
+      }
+    }
+  }
+
+  void Emit(CtNode* node, int qnode) {
+    PdtElement& out = output_[node->id];
+    if (out.tag.empty()) out.tag = qpt_.nodes[qnode].tag;
+    if (node->value.has_value() && qpt_.nodes[qnode].v_ann) {
+      out.value = node->value;
+    }
+    if (node->byte_length > 0) out.byte_length = node->byte_length;
+    out.content = out.content || qpt_.nodes[qnode].c_ann;
+    node->emitted = true;
+  }
+
+  void EmitCache(const PdtCacheEntry& x) {
+    PdtElement& out = output_[x.id];
+    if (out.tag.empty()) out.tag = x.tag;
+    if (x.value.has_value()) out.value = x.value;
+    if (x.byte_length > 0) out.byte_length = x.byte_length;
+    out.content = out.content || x.content;
+  }
+
+  void CacheCandidate(CtNode* node, const CtQEntry& entry) {
+    CtNode* parent = node->parent;
+    const qpt::QptNode& qnode = qpt_.nodes[entry.qnode];
+    for (PdtCacheEntry& existing : parent->pdt_cache) {
+      if (existing.id == node->id) {
+        // Merge another QPT-node view of the same id.
+        for (auto& p : entry.parent_list) {
+          if (std::find(existing.parent_list.begin(),
+                        existing.parent_list.end(),
+                        p) == existing.parent_list.end()) {
+            existing.parent_list.push_back(p);
+          }
+        }
+        existing.content = existing.content || qnode.c_ann;
+        if (qnode.v_ann && node->value.has_value()) {
+          existing.value = node->value;
+        }
+        return;
+      }
+    }
+    PdtCacheEntry x;
+    x.id = node->id;
+    x.tag = qnode.tag;
+    if (qnode.v_ann) x.value = node->value;
+    x.byte_length = node->byte_length;
+    x.content = qnode.c_ann;
+    x.root_parent = false;  // root-parent entries are confirmed directly
+    x.parent_list = entry.parent_list;
+    parent->pdt_cache.push_back(std::move(x));
+  }
+
+  /// Fig 27 lines 19-34: flush the bottom node's pdt cache (emit, drop, or
+  /// propagate with rewritten parent lists), then unlink the node.
+  void RemoveBottom(CtNode* bottom) {
+    CtNode* parent = bottom->parent;
+    for (PdtCacheEntry& x : bottom->pdt_cache) {
+      bool ancestors_ok = x.root_parent;
+      if (!ancestors_ok) {
+        for (auto& [anc, idx] : x.parent_list) {
+          if (anc->qentries[idx].in_pdt) {
+            ancestors_ok = true;
+            break;
+          }
+        }
+      }
+      if (ancestors_ok) {
+        EmitCache(x);
+        continue;
+      }
+      // Rewrite references to the node being removed: a candidate parent
+      // entry is replaced by its own parents (the constraint transfers one
+      // level up); a non-candidate parent entry is dead — its descendant
+      // map can no longer change — and is simply dropped (Fig 27 line 26).
+      std::vector<std::pair<CtNode*, int>> rewritten;
+      for (auto& ref : x.parent_list) {
+        if (ref.first != bottom) {
+          rewritten.push_back(ref);
+          continue;
+        }
+        CtQEntry& q = bottom->qentries[ref.second];
+        if (!ct_.IsCandidate(q)) continue;  // dead parent
+        if (qpt_.nodes[q.qnode].parent == 0) x.root_parent = true;
+        for (auto& up : q.parent_list) {
+          if (std::find(rewritten.begin(), rewritten.end(), up) ==
+              rewritten.end()) {
+            rewritten.push_back(up);
+          }
+        }
+      }
+      x.parent_list = std::move(rewritten);
+      if (x.parent_list.empty() && !x.root_parent) continue;  // dead
+      // Propagate to the parent's cache (merge by id).
+      bool merged = false;
+      for (PdtCacheEntry& existing : parent->pdt_cache) {
+        if (existing.id == x.id) {
+          for (auto& p : x.parent_list) {
+            if (std::find(existing.parent_list.begin(),
+                          existing.parent_list.end(),
+                          p) == existing.parent_list.end()) {
+              existing.parent_list.push_back(p);
+            }
+          }
+          existing.content = existing.content || x.content;
+          existing.root_parent = existing.root_parent || x.root_parent;
+          if (x.value.has_value()) existing.value = x.value;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) parent->pdt_cache.push_back(std::move(x));
+    }
+    ct_.DecrementListCounts(*bottom);
+    --ct_.live_nodes;
+    parent->children.erase(bottom->id);
+  }
+
+  void FlushRootCache() {
+    for (PdtCacheEntry& x : ct_.root()->pdt_cache) {
+      bool ancestors_ok = x.root_parent;
+      // Any remaining parent refs point at removed entries' survivors —
+      // by the flush discipline, only in_pdt parents can remain reachable.
+      if (ancestors_ok) EmitCache(x);
+    }
+    ct_.root()->pdt_cache.clear();
+  }
+
+  const qpt::Qpt& qpt_;
+  PreparedLists lists_;
+  CandidateTree ct_;
+  PdtBuildStats* stats_;
+  std::vector<size_t> cursors_;
+  std::vector<int> list_for_qnode_;
+  std::map<xml::DeweyId, PdtElement> output_;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<xml::Document>> GeneratePdtFromLists(
+    const qpt::Qpt& qpt, PreparedLists lists, PdtBuildStats* stats) {
+  return PdtGenerator(qpt, std::move(lists), stats).Run();
+}
+
+Result<std::shared_ptr<xml::Document>> GeneratePdt(
+    const qpt::Qpt& qpt, const index::DocumentIndexes& indexes,
+    const std::vector<std::string>& keywords, PdtBuildStats* stats) {
+  QV_ASSIGN_OR_RETURN(PreparedLists lists,
+                      PrepareLists(qpt, indexes, keywords));
+  return GeneratePdtFromLists(qpt, std::move(lists), stats);
+}
+
+}  // namespace quickview::pdt

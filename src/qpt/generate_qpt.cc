@@ -1,0 +1,396 @@
+#include "qpt/generate_qpt.h"
+
+#include <map>
+#include <string>
+
+namespace quickview::qpt {
+
+using xquery::ComparisonExpr;
+using xquery::DocExpr;
+using xquery::ElementCtorExpr;
+using xquery::Expr;
+using xquery::ExprKind;
+using xquery::FlworClause;
+using xquery::FlworExpr;
+using xquery::FunctionCallExpr;
+using xquery::FunctionDecl;
+using xquery::IfExpr;
+using xquery::LiteralExpr;
+using xquery::PathExpr;
+using xquery::SequenceExpr;
+using xquery::VarExpr;
+
+namespace {
+
+/// Where an expression's value "lives" in the QPT forest: a node of some
+/// QPT, or opaque (constructed content / atomic values), which cannot be
+/// navigated into.
+struct Binding {
+  int qpt = -1;   // index into qpts_, -1 = opaque
+  int node = -1;  // index into Qpt::nodes
+  /// Constructor-nesting depth at which the binding was introduced. A
+  /// path's first step out of a binding that crosses a constructor
+  /// boundary creates an *optional* edge (Appendix B, Fig 24 lines 46-48:
+  /// var-rooted twigs inside RetExpr constructors/sequences get optional
+  /// root edges) — the parent may appear in the view without the child.
+  int ctor_depth = 0;
+
+  bool opaque() const { return qpt < 0; }
+};
+
+class QptBuilder {
+ public:
+  Result<std::vector<Qpt>> Build(xquery::Query* query) {
+    query_ = query;
+    std::map<std::string, Binding> env;
+    QV_RETURN_IF_ERROR(ProcessOutput(query->body.get(), env, 0));
+    return std::move(qpts_);
+  }
+
+ private:
+  using Env = std::map<std::string, Binding>;
+
+  /// Processes an expression whose result contributes to the view output.
+  Status ProcessOutput(Expr* e, Env& env, int depth) {
+    switch (e->kind) {
+      case ExprKind::kLiteral:
+        return Status::OK();
+      case ExprKind::kDoc:
+      case ExprKind::kVar:
+      case ExprKind::kContext:
+      case ExprKind::kPath: {
+        QV_ASSIGN_OR_RETURN(Binding leaf, ResolvePath(e, env, depth));
+        if (!leaf.opaque()) qpts_[leaf.qpt].nodes[leaf.node].c_ann = true;
+        return Status::OK();
+      }
+      case ExprKind::kComparison:
+        return ProcessCondition(e, env, depth);
+      case ExprKind::kFlwor:
+        return ProcessFlwor(static_cast<FlworExpr*>(e), env, depth);
+      case ExprKind::kElementCtor: {
+        auto* ctor = static_cast<ElementCtorExpr*>(e);
+        for (xquery::ExprPtr& child : ctor->children) {
+          Env child_env = env;
+          QV_RETURN_IF_ERROR(ProcessOutput(child.get(), child_env, depth + 1));
+        }
+        return Status::OK();
+      }
+      case ExprKind::kSequence: {
+        auto* seq = static_cast<SequenceExpr*>(e);
+        for (xquery::ExprPtr& item : seq->items) {
+          Env item_env = env;
+          QV_RETURN_IF_ERROR(ProcessOutput(item.get(), item_env, depth + 1));
+        }
+        return Status::OK();
+      }
+      case ExprKind::kIf: {
+        auto* cond = static_cast<IfExpr*>(e);
+        QV_RETURN_IF_ERROR(ProcessCondition(cond->cond.get(), env, depth));
+        Env then_env = env;
+        QV_RETURN_IF_ERROR(
+            ProcessOutput(cond->then_branch.get(), then_env, depth));
+        Env else_env = env;
+        return ProcessOutput(cond->else_branch.get(), else_env, depth);
+      }
+      case ExprKind::kFunctionCall:
+        return ProcessFunctionCall(static_cast<FunctionCallExpr*>(e), env,
+                                   depth, /*condition=*/false);
+    }
+    return Status::Internal("unhandled expression in QPT generation");
+  }
+
+  /// Processes an expression used only as a truth test (where clauses,
+  /// path predicates, if conditions). Content annotations are never set
+  /// here (Appendix B: where-clause QPT nodes get C-AnnMap = false).
+  Status ProcessCondition(Expr* e, Env& env, int depth) {
+    switch (e->kind) {
+      case ExprKind::kLiteral:
+        return Status::OK();
+      case ExprKind::kDoc:
+      case ExprKind::kVar:
+      case ExprKind::kContext:
+      case ExprKind::kPath: {
+        // Existence test: structural requirement only.
+        return ResolvePath(e, env, depth).status();
+      }
+      case ExprKind::kComparison: {
+        auto* cmp = static_cast<ComparisonExpr*>(e);
+        bool left_path = IsPathLike(*cmp->left);
+        bool right_path = IsPathLike(*cmp->right);
+        if (left_path && right_path) {
+          // Value join: both leaves' values are needed at evaluation time.
+          QV_ASSIGN_OR_RETURN(Binding l, ResolvePath(cmp->left.get(), env,
+                                                     depth));
+          QV_ASSIGN_OR_RETURN(Binding r, ResolvePath(cmp->right.get(), env,
+                                                     depth));
+          if (!l.opaque()) qpts_[l.qpt].nodes[l.node].v_ann = true;
+          if (!r.opaque()) qpts_[r.qpt].nodes[r.node].v_ann = true;
+          return Status::OK();
+        }
+        if (left_path || right_path) {
+          // Leaf-value predicate: attach to the path's leaf, in its own
+          // QPT node (never merged with other same-tag uses, so a
+          // predicate twig and an output twig stay distinct).
+          Expr* path_side = left_path ? cmp->left.get() : cmp->right.get();
+          Expr* lit_side = left_path ? cmp->right.get() : cmp->left.get();
+          if (lit_side->kind != ExprKind::kLiteral) {
+            return Status::Unsupported(
+                "predicates must compare a path with a literal or a path");
+          }
+          QV_ASSIGN_OR_RETURN(
+              Binding leaf,
+              ResolvePathForPredicate(path_side, env, depth));
+          const auto* lit = static_cast<const LiteralExpr*>(lit_side);
+          if (!leaf.opaque()) {
+            QptPredicate pred;
+            // Normalize direction: predicate is (leaf value) OP literal.
+            pred.op = left_path ? static_cast<ComparisonExpr*>(e)->op
+                                : Flip(static_cast<ComparisonExpr*>(e)->op);
+            pred.literal = lit->text;
+            pred.is_number = lit->is_number;
+            pred.number = lit->number;
+            QptNode& node = qpts_[leaf.qpt].nodes[leaf.node];
+            node.preds.push_back(std::move(pred));
+            // The evaluator re-checks the predicate over the PDT, so the
+            // leaf value must be materialized (paper Fig 6(b) carries
+            // year values).
+            node.v_ann = true;
+          }
+          return Status::OK();
+        }
+        return Status::OK();  // literal-vs-literal: no structure
+      }
+      case ExprKind::kFlwor:
+      case ExprKind::kElementCtor:
+      case ExprKind::kSequence:
+        return Status::Unsupported(
+            "FLWOR/constructor expressions are not allowed in conditions");
+      case ExprKind::kIf: {
+        auto* cond = static_cast<IfExpr*>(e);
+        QV_RETURN_IF_ERROR(ProcessCondition(cond->cond.get(), env, depth));
+        QV_RETURN_IF_ERROR(
+            ProcessCondition(cond->then_branch.get(), env, depth));
+        return ProcessCondition(cond->else_branch.get(), env, depth);
+      }
+      case ExprKind::kFunctionCall:
+        return ProcessFunctionCall(static_cast<FunctionCallExpr*>(e), env,
+                                   depth, /*condition=*/true);
+    }
+    return Status::Internal("unhandled condition in QPT generation");
+  }
+
+  Status ProcessFlwor(FlworExpr* flwor, Env& env, int depth) {
+    Env scope = env;
+    for (FlworClause& clause : flwor->clauses) {
+      if (IsPathLike(*clause.expr)) {
+        // A `for` over an empty path yields no iterations, so its edges
+        // gate output (mandatory). A `let` always yields exactly one
+        // binding — an empty path must not prune the outer element, so
+        // its first step out of an existing binding is optional
+        // (resolved at depth+1, the constructor-crossing rule).
+        QV_ASSIGN_OR_RETURN(
+            Binding leaf,
+            ResolvePath(clause.expr.get(), scope,
+                        clause.is_let ? depth + 1 : depth));
+        leaf.ctor_depth = depth;
+        scope[clause.var] = leaf;
+      } else {
+        // Bound to constructed/derived content: process it as output (it
+        // may be returned) and mark the variable opaque.
+        QV_RETURN_IF_ERROR(ProcessOutput(clause.expr.get(), scope, depth));
+        scope[clause.var] = Binding{};
+      }
+    }
+    if (flwor->where != nullptr) {
+      QV_RETURN_IF_ERROR(ProcessCondition(flwor->where.get(), scope, depth));
+    }
+    // `return $v` outputs the bound element itself: content annotation
+    // goes on the binding's node (Appendix B Fig 24 lines 22-23).
+    if (flwor->ret->kind == ExprKind::kVar) {
+      const auto* var = static_cast<const VarExpr*>(flwor->ret.get());
+      auto it = scope.find(var->name);
+      if (it == scope.end()) {
+        return Status::EvalError("unbound variable $" + var->name);
+      }
+      if (!it->second.opaque()) {
+        qpts_[it->second.qpt].nodes[it->second.node].c_ann = true;
+      }
+      return Status::OK();
+    }
+    return ProcessOutput(flwor->ret.get(), scope, depth);
+  }
+
+  Status ProcessFunctionCall(FunctionCallExpr* call, Env& env, int depth,
+                             bool condition) {
+    const FunctionDecl* decl = query_->FindFunction(call->name);
+    if (decl == nullptr) {
+      return Status::EvalError("unknown function " + call->name);
+    }
+    if (decl->params.size() != call->args.size()) {
+      return Status::EvalError("function " + call->name +
+                               ": wrong argument count");
+    }
+    if (++call_depth_ > 16) {
+      --call_depth_;
+      return Status::Unsupported("recursive functions are not supported");
+    }
+    Env body_env;  // functions see only their parameters
+    for (size_t i = 0; i < call->args.size(); ++i) {
+      QV_ASSIGN_OR_RETURN(Binding arg,
+                          ResolvePath(call->args[i].get(), env, depth));
+      arg.ctor_depth = depth;
+      body_env[decl->params[i]] = arg;
+    }
+    Status status = condition
+                        ? ProcessCondition(decl->body.get(), body_env, depth)
+                        : ProcessOutput(decl->body.get(), body_env, depth);
+    --call_depth_;
+    return status;
+  }
+
+  static bool IsPathLike(const Expr& e) {
+    return e.kind == ExprKind::kDoc || e.kind == ExprKind::kVar ||
+           e.kind == ExprKind::kContext || e.kind == ExprKind::kPath;
+  }
+
+  static xquery::CompOp Flip(xquery::CompOp op) {
+    switch (op) {
+      case xquery::CompOp::kEq:
+        return xquery::CompOp::kEq;
+      case xquery::CompOp::kLt:
+        return xquery::CompOp::kGt;
+      case xquery::CompOp::kGt:
+        return xquery::CompOp::kLt;
+    }
+    return op;
+  }
+
+  /// Resolves a path-like expression to the QPT node of its final step,
+  /// creating QPT structure as needed.
+  Result<Binding> ResolvePath(Expr* e, Env& env, int depth) {
+    return ResolvePathImpl(e, env, depth, /*fresh_leaf=*/false);
+  }
+
+  /// As ResolvePath, but the final step always gets a fresh QPT node so
+  /// that a predicate can be attached without affecting other uses of the
+  /// same (tag, axis) step.
+  Result<Binding> ResolvePathForPredicate(Expr* e, Env& env, int depth) {
+    return ResolvePathImpl(e, env, depth, /*fresh_leaf=*/true);
+  }
+
+  Result<Binding> ResolvePathImpl(Expr* e, Env& env, int depth,
+                                  bool fresh_leaf) {
+    switch (e->kind) {
+      case ExprKind::kDoc: {
+        auto* doc = static_cast<DocExpr*>(e);
+        Binding binding;
+        binding.qpt = static_cast<int>(qpts_.size());
+        binding.node = 0;
+        binding.ctor_depth = depth;
+        Qpt qpt;
+        qpt.source_doc = doc->name;
+        qpt.occurrence_name =
+            doc->name + "#" + std::to_string(++occurrence_counter_);
+        qpt.nodes.push_back(QptNode{});  // virtual document root
+        qpts_.push_back(std::move(qpt));
+        doc->name = qpts_.back().occurrence_name;  // query rewrite
+        return binding;
+      }
+      case ExprKind::kVar: {
+        const auto* var = static_cast<const VarExpr*>(e);
+        auto it = env.find(var->name);
+        if (it == env.end()) {
+          return Status::EvalError("unbound variable $" + var->name);
+        }
+        return it->second;
+      }
+      case ExprKind::kContext: {
+        auto it = env.find(".");
+        if (it == env.end()) {
+          return Status::EvalError("no context item in QPT generation");
+        }
+        return it->second;
+      }
+      case ExprKind::kPath: {
+        auto* path = static_cast<PathExpr*>(e);
+        QV_ASSIGN_OR_RETURN(
+            Binding current,
+            ResolvePathImpl(path->source.get(), env, depth, false));
+        if (current.opaque()) {
+          if (path->steps.empty() && path->predicates.empty()) return current;
+          return Status::Unsupported(
+              "cannot navigate into constructed content");
+        }
+        // Predicates on the source itself: $x[PredExpr].
+        for (xquery::ExprPtr& pred : path->predicates) {
+          Env pred_env = env;
+          pred_env["."] = current;
+          QV_RETURN_IF_ERROR(ProcessCondition(pred.get(), pred_env, depth));
+        }
+        for (size_t i = 0; i < path->steps.size(); ++i) {
+          xquery::PathStepAst& step = path->steps[i];
+          // A step out of a binding introduced outside the current
+          // constructor nesting is optional: the bound element appears in
+          // the view regardless of this child's existence.
+          bool mandatory = !(i == 0 && depth > current.ctor_depth);
+          bool last = i + 1 == path->steps.size();
+          // A predicate-bearing step gets its own QPT node so the
+          // predicate's mandatory twig never constrains other uses of the
+          // same (tag, axis) step.
+          bool want_fresh =
+              !step.predicates.empty() || (fresh_leaf && last);
+          current.node = AddStep(current.qpt, current.node, step.tag,
+                                 step.descendant, mandatory, want_fresh);
+          for (xquery::ExprPtr& pred : step.predicates) {
+            Env pred_env = env;
+            // The predicate is evaluated per element of this step: its
+            // twig is anchored here, at the current nesting depth.
+            Binding context = current;
+            context.ctor_depth = depth;
+            pred_env["."] = context;
+            QV_RETURN_IF_ERROR(
+                ProcessCondition(pred.get(), pred_env, depth));
+          }
+        }
+        return current;
+      }
+      default:
+        return Status::Unsupported("expression is not a path");
+    }
+  }
+
+  /// Adds (or reuses) the child step (tag, axis) under `parent`. Reuse
+  /// only merges predicate-free nodes; `fresh` forces a new node.
+  int AddStep(int qpt_index, int parent, const std::string& tag,
+              bool descendant, bool mandatory, bool fresh) {
+    Qpt& qpt = qpts_[qpt_index];
+    if (!fresh) {
+      for (int child : qpt.nodes[parent].children) {
+        QptNode& node = qpt.nodes[child];
+        if (node.tag == tag && node.parent_descendant == descendant &&
+            node.preds.empty() && !node.no_merge) {
+          // A mandatory use wins: if any use requires the child for the
+          // parent to produce output, pruning parents without it is safe.
+          node.parent_mandatory = node.parent_mandatory || mandatory;
+          return child;
+        }
+      }
+    }
+    int node = qpt.AddNode(parent, tag, descendant, mandatory);
+    qpt.nodes[node].no_merge = fresh;
+    return node;
+  }
+
+  std::vector<Qpt> qpts_;
+  const xquery::Query* query_ = nullptr;
+  int occurrence_counter_ = 0;
+  int call_depth_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<Qpt>> GenerateQpts(xquery::Query* query) {
+  return QptBuilder().Build(query);
+}
+
+}  // namespace quickview::qpt

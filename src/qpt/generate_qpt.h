@@ -1,0 +1,27 @@
+// QPT Generation Module (paper §3.3, Appendix B): analyzes a view query
+// and produces one QPT per fn:doc() occurrence, identifying exactly the
+// base-data structure, values ('v') and content ('c') the keyword query
+// needs. Also rewrites each fn:doc() name to a unique occurrence name so
+// the same (unmodified) evaluator can later be pointed at per-occurrence
+// PDTs.
+#ifndef QUICKVIEW_QPT_GENERATE_QPT_H_
+#define QUICKVIEW_QPT_GENERATE_QPT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "qpt/qpt.h"
+#include "xquery/ast.h"
+
+namespace quickview::qpt {
+
+/// Generates the QPTs for `query`'s body. Mutates the query: every
+/// DocExpr name becomes its occurrence name (Qpt::occurrence_name), which
+/// is how the "rewritten query goes over PDTs instead of the base data"
+/// (§3.1). Returns Unsupported for views outside the Appendix A subset
+/// (e.g. navigation into constructed elements).
+Result<std::vector<Qpt>> GenerateQpts(xquery::Query* query);
+
+}  // namespace quickview::qpt
+
+#endif  // QUICKVIEW_QPT_GENERATE_QPT_H_

@@ -1,0 +1,104 @@
+#include "qpt/qpt.h"
+
+#include "common/strings.h"
+
+namespace quickview::qpt {
+
+bool QptPredicate::Matches(const std::string& value) const {
+  double value_number = 0;
+  if (is_number && ParseDouble(value, &value_number)) {
+    switch (op) {
+      case xquery::CompOp::kEq:
+        return value_number == number;
+      case xquery::CompOp::kLt:
+        return value_number < number;
+      case xquery::CompOp::kGt:
+        return value_number > number;
+    }
+  }
+  switch (op) {
+    case xquery::CompOp::kEq:
+      return value == literal;
+    case xquery::CompOp::kLt:
+      return value < literal;
+    case xquery::CompOp::kGt:
+      return value > literal;
+  }
+  return false;
+}
+
+int Qpt::AddNode(int parent, std::string tag, bool descendant,
+                 bool mandatory) {
+  QptNode node;
+  node.tag = std::move(tag);
+  node.parent = parent;
+  node.parent_descendant = descendant;
+  node.parent_mandatory = mandatory;
+  int index = static_cast<int>(nodes.size());
+  nodes.push_back(std::move(node));
+  if (parent >= 0) nodes[parent].children.push_back(index);
+  return index;
+}
+
+index::PathPattern Qpt::PatternFor(int node) const {
+  std::vector<int> chain;
+  for (int current = node; current > 0; current = nodes[current].parent) {
+    chain.push_back(current);
+  }
+  index::PathPattern pattern;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    pattern.push_back(index::PathStep{nodes[*it].parent_descendant,
+                                      nodes[*it].tag});
+  }
+  return pattern;
+}
+
+std::vector<int> Qpt::MandatoryChildren(int node) const {
+  std::vector<int> out;
+  for (int child : nodes[node].children) {
+    if (nodes[child].parent_mandatory) out.push_back(child);
+  }
+  return out;
+}
+
+bool Qpt::HasMandatoryChild(int node) const {
+  for (int child : nodes[node].children) {
+    if (nodes[child].parent_mandatory) return true;
+  }
+  return false;
+}
+
+namespace {
+
+void Render(const Qpt& qpt, int node, int indent, std::string* out) {
+  const QptNode& n = qpt.nodes[node];
+  out->append(indent, ' ');
+  if (node == 0) {
+    *out += "doc(" + qpt.source_doc + ")";
+  } else {
+    *out += n.parent_descendant ? "//" : "/";
+    *out += n.tag;
+    if (!n.parent_mandatory) *out += " (o)";
+    for (const QptPredicate& pred : n.preds) {
+      *out += " [. ";
+      *out += pred.op == xquery::CompOp::kEq   ? "="
+              : pred.op == xquery::CompOp::kLt ? "<"
+                                               : ">";
+      *out += " " + pred.literal + "]";
+    }
+    if (n.v_ann) *out += " v";
+    if (n.c_ann) *out += " c";
+  }
+  *out += "\n";
+  for (int child : n.children) Render(qpt, child, indent + 2, out);
+}
+
+}  // namespace
+
+std::string Qpt::ToString() const {
+  std::string out;
+  if (!nodes.empty()) Render(*this, 0, 0, &out);
+  return out;
+}
+
+}  // namespace quickview::qpt

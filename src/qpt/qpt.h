@@ -1,0 +1,80 @@
+// Query Pattern Trees (paper §3.3): a generalization of GTPs that
+// identifies the precise parts of the base data required to compute the
+// keyword-search results over a view. Nodes carry tag names, leaf-value
+// predicates and the two annotations:
+//   'v' — the node's value is required during view evaluation (join keys,
+//         predicate operands);
+//   'c' — the node's content is propagated to the view output (required
+//         only during result materialization, summarized by tf/byte-length
+//         statistics inside PDTs).
+// Edges are parent/child ('/') or ancestor/descendant ('//'), and either
+// mandatory ('m': the parent is irrelevant without such a child) or
+// optional ('o': the parent may appear in the view without it).
+#ifndef QUICKVIEW_QPT_QPT_H_
+#define QUICKVIEW_QPT_QPT_H_
+
+#include <string>
+#include <vector>
+
+#include "index/path_index.h"
+#include "xquery/ast.h"
+
+namespace quickview::qpt {
+
+/// A leaf-value predicate such as [. > 1995].
+struct QptPredicate {
+  xquery::CompOp op = xquery::CompOp::kEq;
+  std::string literal;
+  bool is_number = false;
+  double number = 0;
+
+  /// True iff an element with atomic value `value` satisfies the predicate
+  /// (numeric comparison when both sides are numeric, as the evaluator).
+  bool Matches(const std::string& value) const;
+
+  bool operator==(const QptPredicate&) const = default;
+};
+
+struct QptNode {
+  std::string tag;
+  std::vector<QptPredicate> preds;
+  bool v_ann = false;
+  bool c_ann = false;
+  /// Created for one specific use (predicate anchor); other uses of the
+  /// same (tag, axis) step must not merge into it.
+  bool no_merge = false;
+
+  int parent = -1;                 // -1 for the virtual document root
+  bool parent_descendant = false;  // incoming edge axis is '//'
+  bool parent_mandatory = true;    // incoming edge annotation is 'm'
+  std::vector<int> children;       // indices into Qpt::nodes
+};
+
+/// One query pattern tree, associated with one fn:doc() occurrence in the
+/// view. nodes[0] is the virtual document root (empty tag), standing for
+/// the document node itself.
+struct Qpt {
+  std::string occurrence_name;  // unique name the rewritten query uses
+  std::string source_doc;       // the original document name
+
+  std::vector<QptNode> nodes;
+
+  /// Adds a child node; returns its index.
+  int AddNode(int parent, std::string tag, bool descendant, bool mandatory);
+
+  /// Root-anchored path pattern for a node (virtual root excluded).
+  index::PathPattern PatternFor(int node) const;
+
+  /// Indices of the mandatory children of `node`.
+  std::vector<int> MandatoryChildren(int node) const;
+
+  /// True iff `node` has at least one mandatory child edge.
+  bool HasMandatoryChild(int node) const;
+
+  /// Multi-line debug rendering (tests).
+  std::string ToString() const;
+};
+
+}  // namespace quickview::qpt
+
+#endif  // QUICKVIEW_QPT_QPT_H_

@@ -1,0 +1,32 @@
+// Scoring & Materialization module, materialization half (paper §4.2.2.2):
+// "Only after the final top-k results are identified are the contents of
+// these results retrieved from the document storage system." Pruned nodes
+// in a result tree are replaced by their full subtrees fetched from the
+// DocumentStore; everything else is copied as-is.
+#ifndef QUICKVIEW_SCORING_MATERIALIZER_H_
+#define QUICKVIEW_SCORING_MATERIALIZER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/document_store.h"
+#include "xquery/evaluator.h"
+
+namespace quickview::scoring {
+
+/// Expands one (possibly pruned) result tree into `target` under
+/// `target_parent` (kInvalidNode = as the root), fetching pruned subtrees
+/// from `store`. For already-full results this is a plain copy and
+/// touches no storage.
+Status MaterializeResult(const xquery::NodeHandle& result,
+                         storage::DocumentStore* store, xml::Document* target,
+                         xml::NodeIndex target_parent);
+
+/// Convenience: materializes into a fresh document and serializes it.
+Result<std::string> MaterializeToXml(const xquery::NodeHandle& result,
+                                     storage::DocumentStore* store);
+
+}  // namespace quickview::scoring
+
+#endif  // QUICKVIEW_SCORING_MATERIALIZER_H_

@@ -1,0 +1,134 @@
+#include "scoring/scorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xml/tokenizer.h"
+
+namespace quickview::scoring {
+
+namespace {
+
+uint64_t EscapedLength(const std::string& text) {
+  uint64_t length = 0;
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        length += 5;
+        break;
+      case '<':
+      case '>':
+        length += 4;
+        break;
+      case '"':
+      case '\'':
+        length += 6;
+        break;
+      default:
+        length += 1;
+    }
+  }
+  return length;
+}
+
+void Walk(const xml::Document& doc, xml::NodeIndex index,
+          const std::vector<std::string>& keywords, std::vector<uint64_t>* tf,
+          uint64_t* byte_length) {
+  const xml::Node& node = doc.node(index);
+  if (node.stats.has_value() && node.stats->content_pruned) {
+    // Summarized subtree: statistics were computed from indices during PDT
+    // generation; the node's children (if any) duplicate summarized
+    // content and must not be counted again.
+    for (size_t k = 0; k < keywords.size(); ++k) {
+      (*tf)[k] += k < node.stats->term_tf.size() ? node.stats->term_tf[k] : 0;
+    }
+    *byte_length += node.stats->byte_length;
+    return;
+  }
+  for (const std::string& term : xml::DirectTerms(node)) {
+    for (size_t k = 0; k < keywords.size(); ++k) {
+      if (term == keywords[k]) ++(*tf)[k];
+    }
+  }
+  *byte_length += 2 * node.tag.size() + 5;  // <tag></tag>
+  if (!node.text.empty()) *byte_length += EscapedLength(node.text);
+  for (xml::NodeIndex child : node.children) {
+    Walk(doc, child, keywords, tf, byte_length);
+  }
+}
+
+}  // namespace
+
+void ComputeResultStatistics(const xquery::NodeHandle& result,
+                             const std::vector<std::string>& keywords,
+                             std::vector<uint64_t>* tf,
+                             uint64_t* byte_length) {
+  tf->assign(keywords.size(), 0);
+  *byte_length = 0;
+  Walk(*result.doc, result.effective_index(), keywords, tf, byte_length);
+}
+
+ScoringOutcome ScoreResults(const xquery::Sequence& view_results,
+                            const std::vector<std::string>& keywords,
+                            bool conjunctive) {
+  ScoringOutcome outcome;
+  std::vector<ScoredResult> all;
+  all.reserve(view_results.size());
+  for (size_t i = 0; i < view_results.size(); ++i) {
+    const xquery::NodeHandle* handle =
+        std::get_if<xquery::NodeHandle>(&view_results[i]);
+    if (handle == nullptr) continue;  // atomic items are never results
+    ScoredResult r;
+    r.result = *handle;
+    r.view_position = i;
+    ComputeResultStatistics(*handle, keywords, &r.tf, &r.byte_length);
+    outcome.view_bytes += r.byte_length;
+    all.push_back(std::move(r));
+  }
+
+  // idf over the entire view result (|V(D)| / df), as if materialized.
+  const double total = static_cast<double>(all.size());
+  std::vector<double> idf(keywords.size(), 0.0);
+  for (size_t k = 0; k < keywords.size(); ++k) {
+    uint64_t df = 0;
+    for (const ScoredResult& r : all) {
+      if (r.tf[k] > 0) ++df;
+    }
+    idf[k] = df == 0 ? 0.0 : total / static_cast<double>(df);
+  }
+
+  std::vector<ScoredResult> kept;
+  for (ScoredResult& r : all) {
+    bool matches = conjunctive;
+    for (size_t k = 0; k < keywords.size(); ++k) {
+      if (conjunctive) {
+        if (r.tf[k] == 0) {
+          matches = false;
+          break;
+        }
+      } else if (r.tf[k] > 0) {
+        matches = true;
+      }
+    }
+    if (!matches) continue;
+    double raw = 0;
+    for (size_t k = 0; k < keywords.size(); ++k) {
+      raw += static_cast<double>(r.tf[k]) * idf[k];
+    }
+    r.score = raw / std::sqrt(static_cast<double>(r.byte_length) + 1.0);
+    kept.push_back(std::move(r));
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const ScoredResult& a, const ScoredResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.view_position < b.view_position;
+            });
+  outcome.ranked = std::move(kept);
+  return outcome;
+}
+
+void TakeTopK(std::vector<ScoredResult>* results, size_t k) {
+  if (results->size() > k) results->resize(k);
+}
+
+}  // namespace quickview::scoring

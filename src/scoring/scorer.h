@@ -1,0 +1,65 @@
+// Scoring & Materialization module, scoring half (paper §2.2, §4.2.2.2):
+// enforces conjunctive/disjunctive keyword semantics and computes
+// element-level TF-IDF scores over the view results. The same code scores
+// pruned results (statistics read from NodeStats payloads placed by PDT
+// generation) and fully materialized results (statistics recomputed from
+// content), which is what makes the Efficient and Baseline engines produce
+// *identical* scores and rank order (Theorem 4.1).
+#ifndef QUICKVIEW_SCORING_SCORER_H_
+#define QUICKVIEW_SCORING_SCORER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xquery/evaluator.h"
+
+namespace quickview::scoring {
+
+/// Per-view-result keyword statistics and score.
+struct ScoredResult {
+  xquery::NodeHandle result;
+  size_t view_position = 0;  // position in the view sequence (tie-break)
+  std::vector<uint64_t> tf;  // per query keyword
+  uint64_t byte_length = 0;
+  double score = 0;
+};
+
+/// tf(e, k) and len(e) for one result tree. Pruned nodes
+/// (NodeStats::content_pruned) contribute their stored subtree statistics
+/// and their children are skipped (the children duplicate summarized
+/// content); other nodes contribute their direct terms and markup bytes.
+void ComputeResultStatistics(const xquery::NodeHandle& result,
+                             const std::vector<std::string>& keywords,
+                             std::vector<uint64_t>* tf,
+                             uint64_t* byte_length);
+
+struct ScoringOutcome {
+  std::vector<ScoredResult> ranked;  // sorted, keyword-semantics applied
+  /// Total byte length over ALL view results — the volume a
+  /// materialize-first engine has to produce and tokenize.
+  uint64_t view_bytes = 0;
+};
+
+/// Scores the whole view-result sequence:
+///  - keeps results containing every keyword (conjunctive) or at least one
+///    (disjunctive);
+///  - idf(k) = |V(D)| / |{e in V(D) : contains(e,k)}| over the *entire*
+///    view (computed before filtering), exactly as if the view were
+///    materialized;
+///  - score(e) = sum_k tf(e,k) * idf(k), normalized by sqrt(len(e))
+///    (a standard byte-length normalization from the similarity-space
+///    family the paper cites [40]).
+/// Results are returned sorted by descending score; ties break by view
+/// position (the paper breaks ties arbitrarily; we fix an order so the
+/// two engines agree exactly).
+ScoringOutcome ScoreResults(const xquery::Sequence& view_results,
+                            const std::vector<std::string>& keywords,
+                            bool conjunctive);
+
+/// Truncates a scored list to the top k (list is already sorted).
+void TakeTopK(std::vector<ScoredResult>* results, size_t k);
+
+}  // namespace quickview::scoring
+
+#endif  // QUICKVIEW_SCORING_SCORER_H_

@@ -1,0 +1,91 @@
+#include "storage/document_store.h"
+
+#include "xml/serializer.h"
+
+namespace quickview::storage {
+
+using xml::Document;
+using xml::NodeIndex;
+
+DocumentStore::DocumentStore(const xml::Database& database) {
+  for (const auto& [name, doc] : database.documents()) {
+    docs_[doc->root_component()] = doc;
+  }
+}
+
+const Document* DocumentStore::Resolve(uint32_t root_component) const {
+  auto it = docs_.find(root_component);
+  return it == docs_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+
+void CopyRecursive(const Document& source, NodeIndex source_index,
+                   Document* target, NodeIndex target_parent) {
+  const xml::Node& node = source.node(source_index);
+  NodeIndex copied = target_parent == xml::kInvalidNode
+                         ? target->CreateRoot(node.tag)
+                         : target->AddChild(target_parent, node.tag);
+  target->node(copied).text = node.text;
+  for (NodeIndex child : node.children) {
+    CopyRecursive(source, child, target, copied);
+  }
+}
+
+}  // namespace
+
+Status DocumentStore::CopySubtree(uint32_t root_component,
+                                  const xml::DeweyId& id,
+                                  xml::Document* target,
+                                  xml::NodeIndex target_parent) {
+  const Document* doc = Resolve(root_component);
+  if (doc == nullptr) {
+    return Status::NotFound("no document with root component " +
+                            std::to_string(root_component));
+  }
+  NodeIndex source = doc->FindByDewey(id);
+  if (source == xml::kInvalidNode) {
+    return Status::NotFound("no element " + id.ToString());
+  }
+  CopyRecursive(*doc, source, target, target_parent);
+  ++stats_.fetch_calls;
+  stats_.bytes_fetched += xml::SubtreeByteLength(*doc, source);
+  return Status::OK();
+}
+
+Status DocumentStore::GetValue(uint32_t root_component,
+                               const xml::DeweyId& id, std::string* out) {
+  const Document* doc = Resolve(root_component);
+  if (doc == nullptr) {
+    return Status::NotFound("no document with root component " +
+                            std::to_string(root_component));
+  }
+  NodeIndex source = doc->FindByDewey(id);
+  if (source == xml::kInvalidNode) {
+    return Status::NotFound("no element " + id.ToString());
+  }
+  *out = doc->node(source).text;
+  ++stats_.fetch_calls;
+  stats_.bytes_fetched += doc->node(source).text.size();
+  return Status::OK();
+}
+
+Status DocumentStore::GetSubtreeLength(uint32_t root_component,
+                                       const xml::DeweyId& id,
+                                       uint64_t* out) {
+  const Document* doc = Resolve(root_component);
+  if (doc == nullptr) {
+    return Status::NotFound("no document with root component " +
+                            std::to_string(root_component));
+  }
+  NodeIndex source = doc->FindByDewey(id);
+  if (source == xml::kInvalidNode) {
+    return Status::NotFound("no element " + id.ToString());
+  }
+  *out = xml::SubtreeByteLength(*doc, source);
+  ++stats_.fetch_calls;
+  stats_.bytes_fetched += *out;
+  return Status::OK();
+}
+
+}  // namespace quickview::storage

@@ -1,0 +1,57 @@
+// Document storage (paper Fig 3, bottom right). The Scoring &
+// Materialization module fetches full element subtrees from here for the
+// top-k results only; access statistics let benchmarks verify that the
+// Efficient path touches base data solely during final materialization.
+#ifndef QUICKVIEW_STORAGE_DOCUMENT_STORE_H_
+#define QUICKVIEW_STORAGE_DOCUMENT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "xml/dom.h"
+
+namespace quickview::storage {
+
+/// Stores the base documents of a Database and serves subtree fetches by
+/// (document root component, Dewey id).
+class DocumentStore {
+ public:
+  struct Stats {
+    uint64_t fetch_calls = 0;
+    uint64_t bytes_fetched = 0;
+  };
+
+  /// Registers every document of `database`. The store keeps shared
+  /// ownership; the database may outlive or predecease the store.
+  explicit DocumentStore(const xml::Database& database);
+
+  /// Copies the stored subtree identified by (`root_component`, `id`) into
+  /// `target` as a child of `target_parent` (or as the root when `target`
+  /// is empty and `target_parent` is kInvalidNode). Counts fetch stats.
+  Status CopySubtree(uint32_t root_component, const xml::DeweyId& id,
+                     xml::Document* target, xml::NodeIndex target_parent);
+
+  /// Returns the atomic text value of the element, or NotFound.
+  Status GetValue(uint32_t root_component, const xml::DeweyId& id,
+                  std::string* out);
+
+  /// Serialized byte length of the element's subtree (a base-data access;
+  /// used by baselines that cannot get lengths from indices).
+  Status GetSubtreeLength(uint32_t root_component, const xml::DeweyId& id,
+                          uint64_t* out);
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  const xml::Document* Resolve(uint32_t root_component) const;
+
+  std::map<uint32_t, std::shared_ptr<const xml::Document>> docs_;
+  Stats stats_;
+};
+
+}  // namespace quickview::storage
+
+#endif  // QUICKVIEW_STORAGE_DOCUMENT_STORE_H_

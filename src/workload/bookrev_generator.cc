@@ -1,0 +1,83 @@
+#include "workload/bookrev_generator.h"
+
+#include <random>
+
+namespace quickview::workload {
+
+namespace {
+
+using xml::Document;
+using xml::NodeIndex;
+
+const char* const kTopics[] = {"xml",      "search",  "web",     "database",
+                               "services", "systems", "queries", "index"};
+
+std::string Isbn(int i) {
+  std::string out = std::to_string(100 + i % 900);
+  out += "-" + std::to_string(10 + i % 90);
+  out += "-" + std::to_string(1000 + i);
+  return out;
+}
+
+}  // namespace
+
+std::shared_ptr<xml::Database> GenerateBookRevDatabase(
+    const BookRevOptions& opts) {
+  std::mt19937_64 rng(opts.seed);
+  auto pick = [&rng](auto& list, size_t n) { return list[rng() % n]; };
+
+  auto db = std::make_shared<xml::Database>();
+  auto books = std::make_shared<Document>(1);
+  NodeIndex books_root = books->CreateRoot("books");
+  for (int i = 0; i < opts.num_books; ++i) {
+    NodeIndex book = books->AddChild(books_root, "book");
+    books->node(books->AddChild(book, "isbn")).text = Isbn(i);
+    std::string title = std::string(pick(kTopics, 8)) + " " +
+                        pick(kTopics, 8) + " in practice";
+    books->node(books->AddChild(book, "title")).text = title;
+    books->node(books->AddChild(book, "publisher")).text =
+        (rng() % 2 == 0) ? "Prentice Hall" : "Morgan Kaufmann";
+    books->node(books->AddChild(book, "year")).text =
+        std::to_string(1990 + static_cast<int>(rng() % 16));
+  }
+  db->AddDocument("books.xml", books);
+
+  auto reviews = std::make_shared<Document>(2);
+  NodeIndex reviews_root = reviews->CreateRoot("reviews");
+  for (int i = 0; i < opts.num_books; ++i) {
+    int count = static_cast<int>(rng() % (opts.max_reviews_per_book + 1));
+    for (int r = 0; r < count; ++r) {
+      NodeIndex review = reviews->AddChild(reviews_root, "review");
+      reviews->node(reviews->AddChild(review, "isbn")).text = Isbn(i);
+      reviews->node(reviews->AddChild(review, "rate")).text =
+          (rng() % 3 == 0) ? "Excellent" : "Good";
+      std::string content = "about " + std::string(pick(kTopics, 8)) +
+                            " and " + pick(kTopics, 8) + ", easy to read";
+      reviews->node(reviews->AddChild(review, "content")).text = content;
+      reviews->node(reviews->AddChild(review, "reviewer")).text =
+          "reviewer" + std::to_string(rng() % 10);
+    }
+  }
+  db->AddDocument("reviews.xml", reviews);
+  return db;
+}
+
+std::string BookRevView() {
+  return R"(for $book in fn:doc(books.xml)/books//book
+where $book/year > 1995
+return <bookrevs>
+  <book> {$book/title} </book>,
+  {for $rev in fn:doc(reviews.xml)/reviews//review
+   where $rev/isbn = $book/isbn
+   return $rev/content}
+</bookrevs>)";
+}
+
+std::string BookRevKeywordQuery() {
+  return "let $view := " + BookRevView() + R"(
+for $bookrev in $view
+where $bookrev ftcontains('xml' & 'search')
+return $bookrev)";
+}
+
+}  // namespace quickview::workload

@@ -1,0 +1,37 @@
+// Generator for the paper's running example (Fig 1): a books.xml document
+// and a reviews.xml document joined on isbn, used by the examples and the
+// correctness test suite.
+#ifndef QUICKVIEW_WORKLOAD_BOOKREV_GENERATOR_H_
+#define QUICKVIEW_WORKLOAD_BOOKREV_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "xml/dom.h"
+
+namespace quickview::workload {
+
+struct BookRevOptions {
+  int num_books = 40;
+  int max_reviews_per_book = 4;
+  uint64_t seed = 7;
+};
+
+/// Documents produced: books.xml (book: isbn, title, publisher, year) and
+/// reviews.xml (review: isbn, rate, content, reviewer). Titles and review
+/// contents plant the terms "xml", "search", "web", "database" at varying
+/// rates so keyword queries have interesting answers.
+std::shared_ptr<xml::Database> GenerateBookRevDatabase(
+    const BookRevOptions& opts);
+
+/// The view of paper Fig 2: books with year > 1995, their titles, and the
+/// contents of their reviews nested under them.
+std::string BookRevView();
+
+/// The full Fig 2 keyword query over that view.
+std::string BookRevKeywordQuery();
+
+}  // namespace quickview::workload
+
+#endif  // QUICKVIEW_WORKLOAD_BOOKREV_GENERATOR_H_

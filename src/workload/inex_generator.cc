@@ -1,0 +1,206 @@
+#include "workload/inex_generator.h"
+
+#include <algorithm>
+#include <random>
+
+namespace quickview::workload {
+
+namespace {
+
+using xml::Document;
+using xml::NodeIndex;
+
+/// Deterministic text source planting the Table 1 selectivity-tier terms
+/// at fixed rates among filler vocabulary.
+class TextSource {
+ public:
+  explicit TextSource(uint64_t seed) : rng_(seed) {}
+
+  std::string Word() {
+    double roll = Uniform();
+    if (roll < 0.030) return roll < 0.015 ? "ieee" : "computing";  // low sel
+    if (roll < 0.036) return roll < 0.033 ? "thomas" : "control";  // medium
+    if (roll < 0.0366) {
+      return roll < 0.0363 ? "moore" : "burnett";  // high selectivity
+    }
+    return "w" + std::to_string(rng_() % 4000);
+  }
+
+  std::string Sentence(int words) {
+    std::string out;
+    for (int i = 0; i < words; ++i) {
+      if (i > 0) out.push_back(' ');
+      out += Word();
+    }
+    return out;
+  }
+
+  uint64_t Int(uint64_t bound) { return rng_() % bound; }
+  double Uniform() {
+    return static_cast<double>(rng_() % 1000000) / 1000000.0;
+  }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+/// Appends a leaf child and tracks an approximate byte size.
+NodeIndex AddLeaf(Document* doc, NodeIndex parent, const std::string& tag,
+                  std::string text, uint64_t* bytes) {
+  NodeIndex node = doc->AddChild(parent, tag);
+  *bytes += 2 * tag.size() + 5 + text.size();
+  doc->node(node).text = std::move(text);
+  return node;
+}
+
+}  // namespace
+
+std::shared_ptr<xml::Database> GenerateInexDatabase(const InexOptions& opts) {
+  auto db = std::make_shared<xml::Database>();
+  TextSource text(opts.seed);
+
+  // --- inex.xml: journals with articles ---
+  auto inex = std::make_shared<Document>(1);
+  NodeIndex books = inex->CreateRoot("books");
+  uint64_t bytes = 0;
+  int article_counter = 0;
+  std::vector<std::string> article_fnos;
+  std::vector<std::string> article_authors;  // per article, for sizing
+  while (bytes < opts.target_bytes) {
+    NodeIndex journal = inex->AddChild(books, "journal");
+    AddLeaf(inex.get(), journal, "title",
+            "journal of " + text.Sentence(2), &bytes);
+    int articles_here = 4 + static_cast<int>(text.Int(5));
+    for (int a = 0; a < articles_here && bytes < opts.target_bytes; ++a) {
+      NodeIndex article = inex->AddChild(journal, "article");
+      std::string fno = "fno" + std::to_string(article_counter++);
+      article_fnos.push_back(fno);
+      AddLeaf(inex.get(), article, "fno", fno, &bytes);
+      AddLeaf(inex.get(), article, "title", text.Sentence(5), &bytes);
+      AddLeaf(inex.get(), article, "year",
+              std::to_string(1990 + text.Int(16)), &bytes);
+      NodeIndex fm = inex->AddChild(article, "fm");
+      // Join selectivity (replication model, see InexOptions): articles
+      // draw authors from a pool of num_authors * selectivity names, so
+      // each matching author joins ~1/selectivity times more articles.
+      uint64_t pool = std::max<uint64_t>(
+          1, static_cast<uint64_t>(opts.num_authors *
+                                   opts.join_selectivity));
+      std::string author = "author" + std::to_string(text.Int(pool));
+      article_authors.push_back(author);
+      AddLeaf(inex.get(), fm, "au", author, &bytes);
+      AddLeaf(inex.get(), fm, "kwd", text.Sentence(4), &bytes);
+      NodeIndex bdy = inex->AddChild(article, "bdy");
+      // Real INEX articles are overwhelmingly body text (the 500 MB
+      // collection holds ~12k articles, tens of KB each); sections scale
+      // with the view-element-size knob.
+      int sections = 3 * opts.element_size_factor;
+      for (int s = 0; s < sections; ++s) {
+        NodeIndex sec = inex->AddChild(bdy, "sec");
+        for (int p = 0; p < 5; ++p) {
+          AddLeaf(inex.get(), sec, "p",
+                  text.Sentence(40 + static_cast<int>(text.Int(30))),
+                  &bytes);
+        }
+      }
+    }
+  }
+  db->AddDocument("inex.xml", inex);
+
+  // --- authors.xml ---
+  auto authors = std::make_shared<Document>(2);
+  NodeIndex authors_root = authors->CreateRoot("authors");
+  uint64_t side_bytes = 0;
+  for (int i = 0; i < opts.num_authors; ++i) {
+    NodeIndex author = authors->AddChild(authors_root, "author");
+    AddLeaf(authors.get(), author, "name", "author" + std::to_string(i),
+            &side_bytes);
+    AddLeaf(authors.get(), author, "group",
+            "group" + std::to_string(i % opts.num_groups), &side_bytes);
+    AddLeaf(authors.get(), author, "bio", text.Sentence(8), &side_bytes);
+  }
+  db->AddDocument("authors.xml", authors);
+
+  // --- groups.xml / supergroups.xml (nesting levels 3 and 4) ---
+  auto groups = std::make_shared<Document>(3);
+  NodeIndex groups_root = groups->CreateRoot("groups");
+  for (int i = 0; i < opts.num_groups; ++i) {
+    NodeIndex group = groups->AddChild(groups_root, "group");
+    AddLeaf(groups.get(), group, "gname", "group" + std::to_string(i),
+            &side_bytes);
+    AddLeaf(groups.get(), group, "sgname",
+            "sgroup" + std::to_string(i % opts.num_supergroups), &side_bytes);
+  }
+  db->AddDocument("groups.xml", groups);
+
+  auto supergroups = std::make_shared<Document>(4);
+  NodeIndex sg_root = supergroups->CreateRoot("supergroups");
+  for (int i = 0; i < opts.num_supergroups; ++i) {
+    NodeIndex sgroup = supergroups->AddChild(sg_root, "sgroup");
+    AddLeaf(supergroups.get(), sgroup, "sgname",
+            "sgroup" + std::to_string(i), &side_bytes);
+    AddLeaf(supergroups.get(), sgroup, "motto", text.Sentence(4),
+            &side_bytes);
+  }
+  db->AddDocument("supergroups.xml", supergroups);
+
+  // --- join-chain side documents (Fig 17's 2nd..4th joins) ---
+  auto affils = std::make_shared<Document>(5);
+  NodeIndex affils_root = affils->CreateRoot("affils");
+  for (int i = 0; i < opts.num_authors; ++i) {
+    NodeIndex affil = affils->AddChild(affils_root, "affil");
+    AddLeaf(affils.get(), affil, "name", "author" + std::to_string(i),
+            &side_bytes);
+    AddLeaf(affils.get(), affil, "inst",
+            "institute " + text.Sentence(3), &side_bytes);
+  }
+  db->AddDocument("affil.xml", affils);
+
+  auto venues = std::make_shared<Document>(6);
+  NodeIndex venues_root = venues->CreateRoot("venues");
+  for (size_t i = 0; i < article_fnos.size(); ++i) {
+    // Every k-th article has a venue record.
+    if (i % 3 != 0) continue;
+    NodeIndex venue = venues->AddChild(venues_root, "venue");
+    AddLeaf(venues.get(), venue, "fno", article_fnos[i], &side_bytes);
+    AddLeaf(venues.get(), venue, "vname",
+            "venue " + std::to_string(text.Int(opts.num_venues)),
+            &side_bytes);
+  }
+  db->AddDocument("venues.xml", venues);
+
+  auto awards = std::make_shared<Document>(7);
+  NodeIndex awards_root = awards->CreateRoot("awards");
+  for (int i = 0; i < opts.num_authors; i += 2) {
+    NodeIndex award = awards->AddChild(awards_root, "award");
+    AddLeaf(awards.get(), award, "name", "author" + std::to_string(i),
+            &side_bytes);
+    AddLeaf(awards.get(), award, "prize", "prize " + text.Sentence(2),
+            &side_bytes);
+  }
+  db->AddDocument("awards.xml", awards);
+
+  return db;
+}
+
+std::vector<std::string> KeywordsForTier(KeywordTier tier) {
+  switch (tier) {
+    case KeywordTier::kLow:
+      return {"ieee", "computing"};
+    case KeywordTier::kMedium:
+      return {"thomas", "control"};
+    case KeywordTier::kHigh:
+      return {"moore", "burnett"};
+  }
+  return {};
+}
+
+std::vector<std::string> DefaultKeywords(int count) {
+  static const char* kTerms[] = {"thomas", "control", "ieee", "moore",
+                                 "computing"};
+  std::vector<std::string> out;
+  for (int i = 0; i < count && i < 5; ++i) out.emplace_back(kTerms[i]);
+  return out;
+}
+
+}  // namespace quickview::workload

@@ -1,0 +1,61 @@
+// Synthetic INEX-like dataset generator. The paper evaluates on the
+// 500 MB INEX collection (IEEE publication records); this generator
+// reproduces the DTD excerpt of §5.1 —
+//   books(journal*), journal(title, article*),
+//   article(fno, title, year, fm, bdy), fm(au*, kwd*), bdy(sec*), sec(p*)
+// — with every Table 1 parameter as a knob: data size, keyword
+// selectivity tiers (named after the paper's Low/Medium/High term pairs),
+// join selectivity (fraction of articles whose author appears in
+// authors.xml), nesting-level side documents, and view-element size.
+// Deterministic for a fixed seed.
+#ifndef QUICKVIEW_WORKLOAD_INEX_GENERATOR_H_
+#define QUICKVIEW_WORKLOAD_INEX_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xml/dom.h"
+
+namespace quickview::workload {
+
+/// Keyword selectivity tiers; the paper's Table 1 names example terms for
+/// each (Low: IEEE/Computing — frequent terms, long inverted lists;
+/// High: Moore/Burnett — rare terms, short lists).
+enum class KeywordTier { kLow, kMedium, kHigh };
+
+struct InexOptions {
+  /// Approximate serialized size of inex.xml, in bytes.
+  uint64_t target_bytes = 2 << 20;
+  uint64_t seed = 42;
+  /// Multiplies the body text per article (the "Avg. Size of View
+  /// Element" knob, 1X..5X).
+  int element_size_factor = 1;
+  /// Paper Table 1 join selectivity (1X, 0.5X, 0.2X, 0.1X): the paper
+  /// decreases selectivity "by replicating subsets of the data", so a
+  /// *given author joins more articles* at lower values. Here the article
+  /// author pool shrinks to num_authors * join_selectivity distinct
+  /// names, multiplying matches per matching author by 1/selectivity
+  /// while total data and join output stay constant.
+  double join_selectivity = 1.0;
+  int num_authors = 256;
+  int num_groups = 8;       // nesting level 3
+  int num_supergroups = 3;  // nesting level 4
+  int num_venues = 32;      // join chain
+};
+
+/// Documents produced: inex.xml, authors.xml, groups.xml,
+/// supergroups.xml, affil.xml, venues.xml, awards.xml.
+std::shared_ptr<xml::Database> GenerateInexDatabase(const InexOptions& opts);
+
+/// The paper's Table 1 keyword pairs by selectivity tier (lowercased).
+std::vector<std::string> KeywordsForTier(KeywordTier tier);
+
+/// `count` (1..5) keywords of roughly medium selectivity, for the Fig 15
+/// sweep.
+std::vector<std::string> DefaultKeywords(int count);
+
+}  // namespace quickview::workload
+
+#endif  // QUICKVIEW_WORKLOAD_INEX_GENERATOR_H_

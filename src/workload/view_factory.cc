@@ -1,0 +1,79 @@
+#include "workload/view_factory.h"
+
+namespace quickview::workload {
+
+namespace {
+
+/// The selection-only view (0 joins / nesting level 1).
+std::string SelectionView(int min_year) {
+  return "for $art in fn:doc(inex.xml)/books//article\n"
+         "where $art/year > " +
+         std::to_string(min_year) +
+         "\nreturn <res>{$art/title}, {$art/bdy}</res>";
+}
+
+/// Publications-under-author body; `$a` must be bound by the caller.
+/// Extra joins nest inside per ViewSpec.
+std::string AuthorPubsBody(const ViewSpec& spec) {
+  std::string year_pred = "[./year > " + std::to_string(spec.min_year) + "]";
+  std::string pub_children = "{$art/title}, {$art/bdy}";
+  if (spec.num_joins >= 3) {
+    pub_children +=
+        ", {for $v in fn:doc(venues.xml)/venues//venue\n"
+        "    where $v/fno = $art/fno\n"
+        "    return $v/vname}";
+  }
+  std::string out =
+      "<authorpubs><aname>{$a/name}</aname>,\n"
+      "  {for $art in fn:doc(inex.xml)/books//article" +
+      year_pred +
+      "\n   where $art/fm/au = $a/name\n"
+      "   return <pub>" +
+      pub_children + "</pub>}";
+  if (spec.num_joins >= 2) {
+    out +=
+        ",\n  {for $af in fn:doc(affil.xml)/affils//affil\n"
+        "    where $af/name = $a/name\n"
+        "    return $af/inst}";
+  }
+  if (spec.num_joins >= 4) {
+    out +=
+        ",\n  {for $aw in fn:doc(awards.xml)/awards//award\n"
+        "    where $aw/name = $a/name\n"
+        "    return $aw/prize}";
+  }
+  out += "\n</authorpubs>";
+  return out;
+}
+
+}  // namespace
+
+std::string BuildInexView(const ViewSpec& spec) {
+  if (spec.num_joins == 0 || spec.nesting_level <= 1) {
+    return SelectionView(spec.min_year);
+  }
+  std::string author_pubs = AuthorPubsBody(spec);
+  if (spec.nesting_level <= 2) {
+    return "for $a in fn:doc(authors.xml)/authors//author\nreturn " +
+           author_pubs;
+  }
+  std::string group_pubs =
+      "<grouppubs><gname>{$g/gname}</gname>,\n"
+      " {for $a in fn:doc(authors.xml)/authors//author\n"
+      "  where $a/group = $g/gname\n"
+      "  return " +
+      author_pubs + "}</grouppubs>";
+  if (spec.nesting_level == 3) {
+    return "for $g in fn:doc(groups.xml)/groups//group\nreturn " +
+           group_pubs;
+  }
+  // Nesting level 4: supergroups wrap groups.
+  return "for $sg in fn:doc(supergroups.xml)/supergroups//sgroup\n"
+         "return <sgpubs><sgname>{$sg/sgname}</sgname>,\n"
+         " {for $g in fn:doc(groups.xml)/groups//group\n"
+         "  where $g/sgname = $sg/sgname\n"
+         "  return " +
+         group_pubs + "}</sgpubs>";
+}
+
+}  // namespace quickview::workload

@@ -1,0 +1,29 @@
+// Builds the parameterized INEX views of the evaluation section: number
+// of value joins (Fig 17), join selectivity (via the generator), and
+// nesting level (Fig 19) map onto generated view text.
+#ifndef QUICKVIEW_WORKLOAD_VIEW_FACTORY_H_
+#define QUICKVIEW_WORKLOAD_VIEW_FACTORY_H_
+
+#include <string>
+
+namespace quickview::workload {
+
+struct ViewSpec {
+  /// Number of value joins: 0 = selection-only view; 1 = articles nested
+  /// under authors (the paper's default view); 2 adds affiliations, 3
+  /// adds venues, 4 adds awards.
+  int num_joins = 1;
+  /// FLWOR nesting depth: 1 = selection only; 2 = publications under
+  /// authors (default); 3 wraps authors in groups; 4 wraps groups in
+  /// supergroups. Ignored (forced to the matching depth) when < joins+1.
+  int nesting_level = 2;
+  /// Selection predicate on article year (present at every level).
+  int min_year = 1995;
+};
+
+/// View text for the spec, against GenerateInexDatabase documents.
+std::string BuildInexView(const ViewSpec& spec);
+
+}  // namespace quickview::workload
+
+#endif  // QUICKVIEW_WORKLOAD_VIEW_FACTORY_H_

@@ -1,0 +1,101 @@
+#include "xml/dewey_id.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace quickview::xml {
+
+DeweyId DeweyId::Parse(const std::string& text) {
+  if (text.empty()) return DeweyId();
+  std::vector<uint32_t> components;
+  for (std::string_view piece : SplitString(text, '.')) {
+    uint32_t value = 0;
+    for (char c : piece) {
+      assert(c >= '0' && c <= '9');
+      value = value * 10 + static_cast<uint32_t>(c - '0');
+    }
+    components.push_back(value);
+  }
+  return DeweyId(std::move(components));
+}
+
+DeweyId DeweyId::Parent() const {
+  if (components_.empty()) return DeweyId();
+  return Prefix(components_.size() - 1);
+}
+
+DeweyId DeweyId::Prefix(size_t len) const {
+  assert(len <= components_.size());
+  return DeweyId(std::vector<uint32_t>(components_.begin(),
+                                       components_.begin() + len));
+}
+
+DeweyId DeweyId::Child(uint32_t ordinal) const {
+  std::vector<uint32_t> components = components_;
+  components.push_back(ordinal);
+  return DeweyId(std::move(components));
+}
+
+bool DeweyId::IsPrefixOf(const DeweyId& other) const {
+  if (components_.size() > other.components_.size()) return false;
+  return std::equal(components_.begin(), components_.end(),
+                    other.components_.begin());
+}
+
+bool DeweyId::IsAncestorOf(const DeweyId& other) const {
+  return components_.size() < other.components_.size() && IsPrefixOf(other);
+}
+
+bool DeweyId::IsParentOf(const DeweyId& other) const {
+  return components_.size() + 1 == other.components_.size() &&
+         IsPrefixOf(other);
+}
+
+size_t DeweyId::CommonPrefixLength(const DeweyId& other) const {
+  size_t limit = std::min(components_.size(), other.components_.size());
+  size_t i = 0;
+  while (i < limit && components_[i] == other.components_[i]) ++i;
+  return i;
+}
+
+std::string DeweyId::Encode() const {
+  std::string out;
+  out.reserve(components_.size() * 4);
+  for (uint32_t c : components_) {
+    out.push_back(static_cast<char>((c >> 24) & 0xff));
+    out.push_back(static_cast<char>((c >> 16) & 0xff));
+    out.push_back(static_cast<char>((c >> 8) & 0xff));
+    out.push_back(static_cast<char>(c & 0xff));
+  }
+  return out;
+}
+
+DeweyId DeweyId::Decode(const std::string& bytes) {
+  assert(bytes.size() % 4 == 0);
+  std::vector<uint32_t> components;
+  components.reserve(bytes.size() / 4);
+  for (size_t i = 0; i < bytes.size(); i += 4) {
+    uint32_t c = (static_cast<uint32_t>(static_cast<unsigned char>(bytes[i]))
+                  << 24) |
+                 (static_cast<uint32_t>(static_cast<unsigned char>(bytes[i + 1]))
+                  << 16) |
+                 (static_cast<uint32_t>(static_cast<unsigned char>(bytes[i + 2]))
+                  << 8) |
+                 static_cast<uint32_t>(static_cast<unsigned char>(bytes[i + 3]));
+    components.push_back(c);
+  }
+  return DeweyId(std::move(components));
+}
+
+std::string DeweyId::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(components_[i]);
+  }
+  return out;
+}
+
+}  // namespace quickview::xml

@@ -1,0 +1,73 @@
+// Dewey IDs (paper §3.2, Fig 4a): hierarchical element identifiers where an
+// element's ID contains its parent's ID as a prefix. Component order equals
+// document order, so ordered merges over ID lists visit elements in document
+// order and cluster each element's descendants immediately after it.
+#ifndef QUICKVIEW_XML_DEWEY_ID_H_
+#define QUICKVIEW_XML_DEWEY_ID_H_
+
+#include <cstdint>
+#include <compare>
+#include <string>
+#include <vector>
+
+namespace quickview::xml {
+
+/// A hierarchical element id such as 1.2.3. The empty id () is the virtual
+/// root that precedes every document node.
+class DeweyId {
+ public:
+  DeweyId() = default;
+  explicit DeweyId(std::vector<uint32_t> components)
+      : components_(std::move(components)) {}
+
+  /// Parses "1.2.3" form; returns the empty id for an empty string.
+  static DeweyId Parse(const std::string& text);
+
+  const std::vector<uint32_t>& components() const { return components_; }
+  size_t depth() const { return components_.size(); }
+  bool empty() const { return components_.empty(); }
+  uint32_t component(size_t i) const { return components_[i]; }
+
+  /// Id of the parent element; the empty id has no parent (returns empty).
+  DeweyId Parent() const;
+
+  /// First `len` components (len <= depth()).
+  DeweyId Prefix(size_t len) const;
+
+  /// Child id formed by appending `ordinal`.
+  DeweyId Child(uint32_t ordinal) const;
+
+  /// True iff this id is a (strict or equal) prefix of `other`, i.e. this
+  /// element is `other` or one of its ancestors.
+  bool IsPrefixOf(const DeweyId& other) const;
+
+  /// True iff this element is a strict ancestor of `other`.
+  bool IsAncestorOf(const DeweyId& other) const;
+
+  /// True iff this element is the parent of `other`.
+  bool IsParentOf(const DeweyId& other) const;
+
+  /// Length of the longest common prefix with `other`.
+  size_t CommonPrefixLength(const DeweyId& other) const;
+
+  /// Fixed-width big-endian byte encoding: byte order == Dewey order, so
+  /// these encodings are usable directly as B+-tree keys.
+  std::string Encode() const;
+  static DeweyId Decode(const std::string& bytes);
+
+  /// "1.2.3"; "" for the empty id.
+  std::string ToString() const;
+
+  // Dewey (document) order: component-wise, ancestor before descendant.
+  auto operator<=>(const DeweyId& other) const {
+    return components_ <=> other.components_;
+  }
+  bool operator==(const DeweyId& other) const = default;
+
+ private:
+  std::vector<uint32_t> components_;
+};
+
+}  // namespace quickview::xml
+
+#endif  // QUICKVIEW_XML_DEWEY_ID_H_

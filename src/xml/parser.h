@@ -1,0 +1,23 @@
+// Minimal XML parser producing quickview DOM trees. Supports elements,
+// attributes (converted to leading subelements, as the paper treats them),
+// character data, CDATA, the five predefined entities, comments and
+// processing instructions (skipped). No DTD/namespace processing.
+#ifndef QUICKVIEW_XML_PARSER_H_
+#define QUICKVIEW_XML_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace quickview::xml {
+
+/// Parses `input` into a Document whose Dewey ids start with
+/// `root_component`. Returns ParseError with a byte offset on bad input.
+Result<std::shared_ptr<Document>> ParseXml(std::string_view input,
+                                           uint32_t root_component = 1);
+
+}  // namespace quickview::xml
+
+#endif  // QUICKVIEW_XML_PARSER_H_

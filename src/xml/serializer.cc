@@ -1,0 +1,92 @@
+#include "xml/serializer.h"
+
+namespace quickview::xml {
+
+std::string EscapeText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void SerializeTo(const Document& doc, NodeIndex index, std::string* out) {
+  const Node& node = doc.node(index);
+  out->push_back('<');
+  out->append(node.tag);
+  out->push_back('>');
+  if (!node.text.empty()) out->append(EscapeText(node.text));
+  for (NodeIndex child : node.children) SerializeTo(doc, child, out);
+  out->append("</");
+  out->append(node.tag);
+  out->push_back('>');
+}
+
+uint64_t EscapedLength(const std::string& text) {
+  uint64_t length = 0;
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        length += 5;
+        break;
+      case '<':
+      case '>':
+        length += 4;
+        break;
+      case '"':
+      case '\'':
+        length += 6;
+        break;
+      default:
+        length += 1;
+    }
+  }
+  return length;
+}
+
+}  // namespace
+
+std::string Serialize(const Document& doc, NodeIndex node) {
+  std::string out;
+  SerializeTo(doc, node, &out);
+  return out;
+}
+
+std::string Serialize(const Document& doc) {
+  if (!doc.has_root()) return "";
+  return Serialize(doc, doc.root());
+}
+
+uint64_t SubtreeByteLength(const Document& doc, NodeIndex node_index) {
+  const Node& node = doc.node(node_index);
+  // <tag> + </tag> = 2*tag + 5.
+  uint64_t length = 2 * node.tag.size() + 5;
+  if (!node.text.empty()) length += EscapedLength(node.text);
+  for (NodeIndex child : node.children) {
+    length += SubtreeByteLength(doc, child);
+  }
+  return length;
+}
+
+}  // namespace quickview::xml

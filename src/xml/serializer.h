@@ -1,0 +1,29 @@
+// XML serialization. Byte lengths reported by SubtreeByteLength() define
+// the len(e) used for score normalization (paper §4.2.2.2 / Theorem 4.1),
+// so the serializer is the single source of truth for element sizes.
+#ifndef QUICKVIEW_XML_SERIALIZER_H_
+#define QUICKVIEW_XML_SERIALIZER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "xml/dom.h"
+
+namespace quickview::xml {
+
+/// Serializes the subtree rooted at `node` to XML text. Text is emitted
+/// before children (matching how the parser folds direct text).
+std::string Serialize(const Document& doc, NodeIndex node);
+
+/// Serializes the whole document.
+std::string Serialize(const Document& doc);
+
+/// Byte length of Serialize(doc, node) without building the string.
+uint64_t SubtreeByteLength(const Document& doc, NodeIndex node);
+
+/// Escapes &, <, >, " and ' for element content.
+std::string EscapeText(const std::string& text);
+
+}  // namespace quickview::xml
+
+#endif  // QUICKVIEW_XML_SERIALIZER_H_

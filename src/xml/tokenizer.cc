@@ -1,0 +1,42 @@
+#include "xml/tokenizer.h"
+
+#include <cctype>
+
+namespace quickview::xml {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::string> DirectTerms(const Node& node) {
+  std::vector<std::string> terms = Tokenize(node.tag);
+  std::vector<std::string> text_terms = Tokenize(node.text);
+  terms.insert(terms.end(), std::make_move_iterator(text_terms.begin()),
+               std::make_move_iterator(text_terms.end()));
+  return terms;
+}
+
+uint32_t SubtreeTermFrequency(const Document& doc, NodeIndex node,
+                              std::string_view term) {
+  uint32_t count = 0;
+  for (NodeIndex index : doc.SubtreeNodes(node)) {
+    for (const std::string& t : DirectTerms(doc.node(index))) {
+      if (t == term) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace quickview::xml

@@ -1,0 +1,31 @@
+// Keyword tokenizer defining the term universe for tf/idf and contains()
+// (paper §2.1-2.2). A keyword can appear "in the tag name or text content"
+// of an element, so DirectTerms() includes the tag-name tokens; both the
+// index builder and the materialized-view baseline use the same definition,
+// which is what makes Efficient-vs-Baseline scores exactly equal.
+#ifndef QUICKVIEW_XML_TOKENIZER_H_
+#define QUICKVIEW_XML_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/dom.h"
+
+namespace quickview::xml {
+
+/// Lowercased maximal alphanumeric runs.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Terms directly contained by a node: tokens of its tag name followed by
+/// tokens of its direct text (not descendants).
+std::vector<std::string> DirectTerms(const Node& node);
+
+/// Number of occurrences of `term` (already lowercased) in the subtree
+/// rooted at `node` — the tf(e, k) of §2.2 computed from materialized data.
+uint32_t SubtreeTermFrequency(const Document& doc, NodeIndex node,
+                              std::string_view term);
+
+}  // namespace quickview::xml
+
+#endif  // QUICKVIEW_XML_TOKENIZER_H_

@@ -1,0 +1,133 @@
+#include "xquery/ast.h"
+
+#include "common/strings.h"
+
+namespace quickview::xquery {
+
+const FunctionDecl* Query::FindFunction(const std::string& name) const {
+  for (const FunctionDecl& f : functions) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void Print(const Expr& expr, std::string* out) {
+  switch (expr.kind) {
+    case ExprKind::kDoc:
+      *out += "fn:doc(" + static_cast<const DocExpr&>(expr).name + ")";
+      break;
+    case ExprKind::kVar:
+      *out += "$" + static_cast<const VarExpr&>(expr).name;
+      break;
+    case ExprKind::kContext:
+      *out += ".";
+      break;
+    case ExprKind::kPath: {
+      const auto& path = static_cast<const PathExpr&>(expr);
+      Print(*path.source, out);
+      for (const ExprPtr& pred : path.predicates) {
+        *out += "[";
+        Print(*pred, out);
+        *out += "]";
+      }
+      for (const PathStepAst& step : path.steps) {
+        *out += step.descendant ? "//" : "/";
+        *out += step.tag;
+        for (const ExprPtr& pred : step.predicates) {
+          *out += "[";
+          Print(*pred, out);
+          *out += "]";
+        }
+      }
+      break;
+    }
+    case ExprKind::kLiteral: {
+      const auto& lit = static_cast<const LiteralExpr&>(expr);
+      if (lit.is_number) {
+        *out += FormatDouble(lit.number);
+      } else {
+        *out += "'" + lit.text + "'";
+      }
+      break;
+    }
+    case ExprKind::kComparison: {
+      const auto& cmp = static_cast<const ComparisonExpr&>(expr);
+      Print(*cmp.left, out);
+      *out += cmp.op == CompOp::kEq ? " = " : cmp.op == CompOp::kLt ? " < "
+                                                                    : " > ";
+      Print(*cmp.right, out);
+      break;
+    }
+    case ExprKind::kFlwor: {
+      const auto& flwor = static_cast<const FlworExpr&>(expr);
+      for (const FlworClause& clause : flwor.clauses) {
+        *out += clause.is_let ? "let $" : "for $";
+        *out += clause.var;
+        *out += clause.is_let ? " := " : " in ";
+        Print(*clause.expr, out);
+        *out += " ";
+      }
+      if (flwor.where != nullptr) {
+        *out += "where ";
+        Print(*flwor.where, out);
+        *out += " ";
+      }
+      *out += "return ";
+      Print(*flwor.ret, out);
+      break;
+    }
+    case ExprKind::kElementCtor: {
+      const auto& ctor = static_cast<const ElementCtorExpr&>(expr);
+      *out += "<" + ctor.tag + ">";
+      for (const ExprPtr& child : ctor.children) {
+        *out += "{";
+        Print(*child, out);
+        *out += "}";
+      }
+      *out += "</" + ctor.tag + ">";
+      break;
+    }
+    case ExprKind::kSequence: {
+      const auto& seq = static_cast<const SequenceExpr&>(expr);
+      *out += "(";
+      for (size_t i = 0; i < seq.items.size(); ++i) {
+        if (i > 0) *out += ", ";
+        Print(*seq.items[i], out);
+      }
+      *out += ")";
+      break;
+    }
+    case ExprKind::kIf: {
+      const auto& cond = static_cast<const IfExpr&>(expr);
+      *out += "if ";
+      Print(*cond.cond, out);
+      *out += " then ";
+      Print(*cond.then_branch, out);
+      *out += " else ";
+      Print(*cond.else_branch, out);
+      break;
+    }
+    case ExprKind::kFunctionCall: {
+      const auto& call = static_cast<const FunctionCallExpr&>(expr);
+      *out += call.name + "(";
+      for (size_t i = 0; i < call.args.size(); ++i) {
+        if (i > 0) *out += ", ";
+        Print(*call.args[i], out);
+      }
+      *out += ")";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ExprToString(const Expr& expr) {
+  std::string out;
+  Print(expr, &out);
+  return out;
+}
+
+}  // namespace quickview::xquery

@@ -1,0 +1,158 @@
+// Abstract syntax for the XQuery subset of paper Appendix A: path
+// expressions with child/descendant axes and leaf-value predicates, nested
+// FLWOR expressions, element constructors, sequences, conditionals and
+// non-recursive user functions. Views are expressions of this grammar.
+#ifndef QUICKVIEW_XQUERY_AST_H_
+#define QUICKVIEW_XQUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace quickview::xquery {
+
+enum class ExprKind {
+  kDoc,           // fn:doc(name)
+  kVar,           // $x
+  kContext,       // .
+  kPath,          // source steps... [pred]...
+  kLiteral,       // 'abc' or 42
+  kComparison,    // PathExpr Comp (Literal | PathExpr)
+  kFlwor,         // (for|let)+ where? return
+  kElementCtor,   // <tag> {...} </tag>
+  kSequence,      // e1, e2
+  kIf,            // if e then e else e
+  kFunctionCall,  // f(e, ...)
+};
+
+enum class CompOp { kEq, kLt, kGt };
+
+/// Base of all expressions. Plain data; ownership via unique_ptr.
+struct Expr {
+  explicit Expr(ExprKind k) : kind(k) {}
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  ExprKind kind;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct DocExpr : Expr {
+  explicit DocExpr(std::string n) : Expr(ExprKind::kDoc), name(std::move(n)) {}
+  std::string name;  // document name as used in Database
+};
+
+struct VarExpr : Expr {
+  explicit VarExpr(std::string n) : Expr(ExprKind::kVar), name(std::move(n)) {}
+  std::string name;  // without the '$'
+};
+
+struct ContextExpr : Expr {
+  ContextExpr() : Expr(ExprKind::kContext) {}
+};
+
+/// One location step with its predicates: /tag[p1][p2] or //tag[p].
+struct PathStepAst {
+  bool descendant = false;  // '//' vs '/'
+  std::string tag;
+  std::vector<ExprPtr> predicates;
+};
+
+struct PathExpr : Expr {
+  PathExpr() : Expr(ExprKind::kPath) {}
+  ExprPtr source;                   // Doc, Var or Context
+  std::vector<PathStepAst> steps;   // possibly empty
+  std::vector<ExprPtr> predicates;  // on the source itself: $x[PredExpr]
+};
+
+struct LiteralExpr : Expr {
+  explicit LiteralExpr(std::string s)
+      : Expr(ExprKind::kLiteral), text(std::move(s)) {}
+  LiteralExpr(double n, std::string s)
+      : Expr(ExprKind::kLiteral), text(std::move(s)), is_number(true),
+        number(n) {}
+  std::string text;
+  bool is_number = false;
+  double number = 0;
+};
+
+struct ComparisonExpr : Expr {
+  ComparisonExpr() : Expr(ExprKind::kComparison) {}
+  ExprPtr left;
+  ExprPtr right;
+  CompOp op = CompOp::kEq;
+};
+
+struct FlworClause {
+  bool is_let = false;
+  std::string var;  // without '$'
+  ExprPtr expr;
+};
+
+struct FlworExpr : Expr {
+  FlworExpr() : Expr(ExprKind::kFlwor) {}
+  std::vector<FlworClause> clauses;
+  ExprPtr where;  // may be null
+  ExprPtr ret;
+};
+
+/// <tag> content </tag>. Content items are expressions; literal text
+/// inside the constructor becomes LiteralExpr children.
+struct ElementCtorExpr : Expr {
+  explicit ElementCtorExpr(std::string t)
+      : Expr(ExprKind::kElementCtor), tag(std::move(t)) {}
+  std::string tag;
+  std::vector<ExprPtr> children;
+};
+
+struct SequenceExpr : Expr {
+  SequenceExpr() : Expr(ExprKind::kSequence) {}
+  std::vector<ExprPtr> items;
+};
+
+struct IfExpr : Expr {
+  IfExpr() : Expr(ExprKind::kIf) {}
+  ExprPtr cond;
+  ExprPtr then_branch;
+  ExprPtr else_branch;
+};
+
+struct FunctionCallExpr : Expr {
+  explicit FunctionCallExpr(std::string n)
+      : Expr(ExprKind::kFunctionCall), name(std::move(n)) {}
+  std::string name;
+  std::vector<ExprPtr> args;
+};
+
+struct FunctionDecl {
+  std::string name;
+  std::vector<std::string> params;  // without '$'
+  ExprPtr body;
+};
+
+/// A parsed query module: user function declarations plus the main
+/// (view-defining) expression.
+struct Query {
+  std::vector<FunctionDecl> functions;
+  ExprPtr body;
+
+  const FunctionDecl* FindFunction(const std::string& name) const;
+};
+
+/// A ranked keyword query over a view, as written in paper Fig 2:
+///   let $view := <view expr>
+///   for $v in $view where $v ftcontains('k1' & 'k2') return $v
+struct KeywordQuery {
+  Query view;
+  std::vector<std::string> keywords;
+  bool conjunctive = true;  // '&' between keywords; '|' is disjunctive
+};
+
+/// Pretty-printer used in error messages and tests.
+std::string ExprToString(const Expr& expr);
+
+}  // namespace quickview::xquery
+
+#endif  // QUICKVIEW_XQUERY_AST_H_

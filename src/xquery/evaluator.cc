@@ -1,0 +1,673 @@
+#include "xquery/evaluator.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/strings.h"
+
+namespace quickview::xquery {
+
+Environment Environment::Bind(const std::string& name, Sequence value) const {
+  Environment out = *this;
+  auto binding = std::make_shared<Binding>();
+  binding->name = name;
+  binding->value = std::move(value);
+  binding->next = head_;
+  out.head_ = std::move(binding);
+  return out;
+}
+
+Environment Environment::WithContext(Item context) const {
+  Environment out = *this;
+  out.context_ = std::move(context);
+  return out;
+}
+
+const Sequence* Environment::Lookup(const std::string& name) const {
+  for (const Binding* b = head_.get(); b != nullptr; b = b->next.get()) {
+    if (b->name == name) return &b->value;
+  }
+  return nullptr;
+}
+
+bool EffectiveBoolean(const Sequence& seq) {
+  if (seq.empty()) return false;
+  if (seq.size() == 1) {
+    if (const bool* b = std::get_if<bool>(&seq[0])) return *b;
+  }
+  return true;
+}
+
+std::string AtomicValue(const Item& item) {
+  if (const NodeHandle* h = std::get_if<NodeHandle>(&item)) {
+    return h->node().text;
+  }
+  if (const std::string* s = std::get_if<std::string>(&item)) return *s;
+  if (const double* d = std::get_if<double>(&item)) return FormatDouble(*d);
+  return std::get<bool>(item) ? "true" : "false";
+}
+
+Evaluator::Evaluator(const xml::Database* database)
+    : database_(database),
+      result_doc_(std::make_shared<xml::Document>(kResultRootComponent)) {
+  result_doc_->CreateRoot("qv:results");
+}
+
+void Evaluator::OverrideDocument(const std::string& name,
+                                 const xml::Document* doc) {
+  overrides_[name] = doc;
+}
+
+Result<Sequence> Evaluator::Evaluate(const Query& query) {
+  return Evaluate(query, Environment());
+}
+
+Result<Sequence> Evaluator::Evaluate(const Query& query,
+                                     const Environment& env) {
+  query_ = &query;
+  return Eval(*query.body, env);
+}
+
+Result<Sequence> Evaluator::Eval(const Expr& expr, const Environment& env) {
+  switch (expr.kind) {
+    case ExprKind::kDoc: {
+      const auto& doc_expr = static_cast<const DocExpr&>(expr);
+      const xml::Document* doc = nullptr;
+      auto it = overrides_.find(doc_expr.name);
+      if (it != overrides_.end()) {
+        doc = it->second;
+      } else if (database_ != nullptr) {
+        doc = database_->GetDocument(doc_expr.name);
+      }
+      if (doc == nullptr) {
+        return Status::EvalError("unknown document '" + doc_expr.name + "'");
+      }
+      if (!doc->has_root()) return Sequence{};
+      // The document node: its only child is the root element.
+      return Sequence{Item(NodeHandle{doc, xml::kInvalidNode})};
+    }
+    case ExprKind::kVar: {
+      const auto& var = static_cast<const VarExpr&>(expr);
+      const Sequence* bound = env.Lookup(var.name);
+      if (bound == nullptr) {
+        return Status::EvalError("unbound variable $" + var.name);
+      }
+      return *bound;
+    }
+    case ExprKind::kContext: {
+      if (!env.context().has_value()) {
+        return Status::EvalError("no context item for '.'");
+      }
+      return Sequence{*env.context()};
+    }
+    case ExprKind::kPath: {
+      const auto& path = static_cast<const PathExpr&>(expr);
+      if (IsEnvironmentFree(expr)) {
+        auto it = invariant_cache_.find(&expr);
+        if (it != invariant_cache_.end()) return it->second;
+        QV_ASSIGN_OR_RETURN(Sequence value, EvalPath(path, env));
+        invariant_cache_[&expr] = value;
+        return value;
+      }
+      return EvalPath(path, env);
+    }
+    case ExprKind::kLiteral: {
+      const auto& lit = static_cast<const LiteralExpr&>(expr);
+      if (lit.is_number) return Sequence{Item(lit.number)};
+      return Sequence{Item(lit.text)};
+    }
+    case ExprKind::kComparison:
+      return EvalComparison(static_cast<const ComparisonExpr&>(expr), env);
+    case ExprKind::kFlwor: {
+      Sequence out;
+      QV_RETURN_IF_ERROR(
+          EvalFlwor(static_cast<const FlworExpr&>(expr), 0, env, &out)
+              .status());
+      return out;
+    }
+    case ExprKind::kElementCtor:
+      return EvalCtor(static_cast<const ElementCtorExpr&>(expr), env);
+    case ExprKind::kSequence: {
+      const auto& seq_expr = static_cast<const SequenceExpr&>(expr);
+      Sequence out;
+      for (const ExprPtr& item : seq_expr.items) {
+        QV_ASSIGN_OR_RETURN(Sequence part, Eval(*item, env));
+        out.insert(out.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+      }
+      return out;
+    }
+    case ExprKind::kIf: {
+      const auto& if_expr = static_cast<const IfExpr&>(expr);
+      QV_ASSIGN_OR_RETURN(Sequence cond, Eval(*if_expr.cond, env));
+      return Eval(EffectiveBoolean(cond) ? *if_expr.then_branch
+                                         : *if_expr.else_branch,
+                  env);
+    }
+    case ExprKind::kFunctionCall:
+      return EvalFunctionCall(static_cast<const FunctionCallExpr&>(expr), env);
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+namespace {
+
+// Document order across possibly-different documents: group by document
+// identity (root component is unique per Database), then Dewey order.
+bool NodeLess(const NodeHandle& a, const NodeHandle& b) {
+  if (a.doc != b.doc) {
+    if (a.doc->root_component() != b.doc->root_component()) {
+      return a.doc->root_component() < b.doc->root_component();
+    }
+    return a.doc < b.doc;
+  }
+  return a.node().id < b.node().id;
+}
+
+void SortUniqueNodes(std::vector<NodeHandle>* nodes) {
+  std::sort(nodes->begin(), nodes->end(), NodeLess);
+  nodes->erase(std::unique(nodes->begin(), nodes->end()), nodes->end());
+}
+
+void CollectDescendants(const xml::Document& doc, xml::NodeIndex start,
+                        const std::string& tag,
+                        std::vector<NodeHandle>* out) {
+  for (xml::NodeIndex child : doc.node(start).children) {
+    if (doc.node(child).tag == tag) out->push_back(NodeHandle{&doc, child});
+    CollectDescendants(doc, child, tag, out);
+  }
+}
+
+}  // namespace
+
+Sequence Evaluator::ApplyStep(const Sequence& input, const PathStepAst& step) {
+  std::vector<NodeHandle> nodes;
+  for (const Item& item : input) {
+    const NodeHandle* handle = std::get_if<NodeHandle>(&item);
+    if (handle == nullptr) continue;  // atomic values have no children
+    if (handle->is_document_node()) {
+      // Children of the document node: just the root element. Descendants:
+      // the root element and everything below it.
+      xml::NodeIndex root = handle->doc->root();
+      if (handle->doc->node(root).tag == step.tag) {
+        nodes.push_back(NodeHandle{handle->doc, root});
+      }
+      if (step.descendant) {
+        CollectDescendants(*handle->doc, root, step.tag, &nodes);
+      }
+      continue;
+    }
+    if (step.descendant) {
+      CollectDescendants(*handle->doc, handle->index, step.tag, &nodes);
+    } else {
+      for (xml::NodeIndex child : handle->node().children) {
+        if (handle->doc->node(child).tag == step.tag) {
+          nodes.push_back(NodeHandle{handle->doc, child});
+        }
+      }
+    }
+  }
+  // A single input node yields matches in document order with no
+  // duplicates (DFS pre-order); only multi-node inputs can interleave.
+  if (input.size() > 1) SortUniqueNodes(&nodes);
+  Sequence out;
+  out.reserve(nodes.size());
+  for (const NodeHandle& handle : nodes) out.push_back(Item(handle));
+  return out;
+}
+
+Result<Sequence> Evaluator::FilterByPredicates(
+    Sequence input, const std::vector<ExprPtr>& predicates,
+    const Environment& env) {
+  if (predicates.empty()) return input;
+  Sequence filtered;
+  for (Item& item : input) {
+    bool keep = true;
+    for (const ExprPtr& pred : predicates) {
+      QV_ASSIGN_OR_RETURN(Sequence pred_value,
+                          Eval(*pred, env.WithContext(item)));
+      if (!EffectiveBoolean(pred_value)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) filtered.push_back(std::move(item));
+  }
+  return filtered;
+}
+
+Result<Sequence> Evaluator::EvalPath(const PathExpr& path,
+                                     const Environment& env) {
+  QV_ASSIGN_OR_RETURN(Sequence current, Eval(*path.source, env));
+  QV_ASSIGN_OR_RETURN(current, FilterByPredicates(std::move(current),
+                                                  path.predicates, env));
+  for (const PathStepAst& step : path.steps) {
+    current = ApplyStep(current, step);
+    if (current.empty()) break;
+    QV_ASSIGN_OR_RETURN(current, FilterByPredicates(std::move(current),
+                                                    step.predicates, env));
+  }
+  return current;
+}
+
+namespace {
+
+/// Canonical atomization for hash-join keys, consistent with
+/// CompareAtomic's equality: numeric values share one spelling.
+std::string NormalizeJoinKey(const Item& item) {
+  std::string value = AtomicValue(item);
+  double number = 0;
+  if (ParseDouble(value, &number)) return FormatDouble(number);
+  return value;
+}
+
+/// True iff the expression mentions $name.
+bool MentionsVar(const Expr& expr, const std::string& name) {
+  switch (expr.kind) {
+    case ExprKind::kVar:
+      return static_cast<const VarExpr&>(expr).name == name;
+    case ExprKind::kDoc:
+    case ExprKind::kContext:
+    case ExprKind::kLiteral:
+      return false;
+    case ExprKind::kPath: {
+      const auto& path = static_cast<const PathExpr&>(expr);
+      if (MentionsVar(*path.source, name)) return true;
+      for (const ExprPtr& pred : path.predicates) {
+        if (MentionsVar(*pred, name)) return true;
+      }
+      for (const PathStepAst& step : path.steps) {
+        for (const ExprPtr& pred : step.predicates) {
+          if (MentionsVar(*pred, name)) return true;
+        }
+      }
+      return false;
+    }
+    case ExprKind::kComparison: {
+      const auto& cmp = static_cast<const ComparisonExpr&>(expr);
+      return MentionsVar(*cmp.left, name) || MentionsVar(*cmp.right, name);
+    }
+    case ExprKind::kFlwor: {
+      const auto& flwor = static_cast<const FlworExpr&>(expr);
+      for (const FlworClause& clause : flwor.clauses) {
+        if (MentionsVar(*clause.expr, name)) return true;
+        if (clause.var == name) return false;  // shadowed below this point
+      }
+      if (flwor.where != nullptr && MentionsVar(*flwor.where, name)) {
+        return true;
+      }
+      return MentionsVar(*flwor.ret, name);
+    }
+    case ExprKind::kElementCtor: {
+      const auto& ctor = static_cast<const ElementCtorExpr&>(expr);
+      for (const ExprPtr& child : ctor.children) {
+        if (MentionsVar(*child, name)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kSequence: {
+      const auto& seq = static_cast<const SequenceExpr&>(expr);
+      for (const ExprPtr& item : seq.items) {
+        if (MentionsVar(*item, name)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kIf: {
+      const auto& cond = static_cast<const IfExpr&>(expr);
+      return MentionsVar(*cond.cond, name) ||
+             MentionsVar(*cond.then_branch, name) ||
+             MentionsVar(*cond.else_branch, name);
+    }
+    case ExprKind::kFunctionCall: {
+      const auto& call = static_cast<const FunctionCallExpr&>(expr);
+      for (const ExprPtr& arg : call.args) {
+        if (MentionsVar(*arg, name)) return true;
+      }
+      return false;
+    }
+  }
+  return true;  // unknown: be conservative
+}
+
+/// A bare predicate-free path rooted at $var: the hashable join side.
+const PathExpr* AsVarKeyPath(const Expr& expr, const std::string& var) {
+  if (expr.kind != ExprKind::kPath) return nullptr;
+  const auto& path = static_cast<const PathExpr&>(expr);
+  if (path.source->kind != ExprKind::kVar ||
+      static_cast<const VarExpr&>(*path.source).name != var) {
+    return nullptr;
+  }
+  if (!path.predicates.empty()) return nullptr;
+  for (const PathStepAst& step : path.steps) {
+    if (!step.predicates.empty()) return nullptr;
+  }
+  return &path;
+}
+
+}  // namespace
+
+const Expr* Evaluator::HashJoinProbeExpr(const FlworExpr& flwor,
+                                         size_t clause_index) {
+  if (clause_index + 1 != flwor.clauses.size()) return nullptr;
+  if (flwor.where == nullptr ||
+      flwor.where->kind != ExprKind::kComparison) {
+    return nullptr;
+  }
+  const FlworClause& clause = flwor.clauses[clause_index];
+  if (clause.is_let || !IsEnvironmentFree(*clause.expr)) return nullptr;
+  const auto& cmp = static_cast<const ComparisonExpr&>(*flwor.where);
+  if (cmp.op != CompOp::kEq) return nullptr;
+  // One side keys the bound variable; the other must not mention it.
+  if (AsVarKeyPath(*cmp.left, clause.var) != nullptr &&
+      !MentionsVar(*cmp.right, clause.var)) {
+    return cmp.right.get();
+  }
+  if (AsVarKeyPath(*cmp.right, clause.var) != nullptr &&
+      !MentionsVar(*cmp.left, clause.var)) {
+    return cmp.left.get();
+  }
+  return nullptr;
+}
+
+Result<Evaluator::JoinIndex*> Evaluator::GetJoinIndex(
+    const FlworClause& clause, const Expr& key_path,
+    const Environment& env) {
+  auto it = join_indexes_.find(&clause);
+  if (it != join_indexes_.end()) return &it->second;
+  JoinIndex index;
+  QV_ASSIGN_OR_RETURN(index.items, Eval(*clause.expr, env));
+  const auto& path = static_cast<const PathExpr&>(key_path);
+  for (size_t i = 0; i < index.items.size(); ++i) {
+    // Key values of item i: the path steps applied to the item.
+    Sequence keys{index.items[i]};
+    for (const PathStepAst& step : path.steps) {
+      keys = ApplyStep(keys, step);
+      if (keys.empty()) break;
+    }
+    for (const Item& key : keys) {
+      index.by_key.emplace(NormalizeJoinKey(key), i);
+    }
+  }
+  return &join_indexes_.emplace(&clause, std::move(index)).first->second;
+}
+
+Result<Sequence> Evaluator::EvalHashJoin(const FlworExpr& flwor,
+                                         size_t clause_index,
+                                         const Expr& probe_expr,
+                                         const Environment& env,
+                                         Sequence* out) {
+  const FlworClause& clause = flwor.clauses[clause_index];
+  const auto& cmp = static_cast<const ComparisonExpr&>(*flwor.where);
+  const Expr& key_side =
+      &probe_expr == cmp.right.get() ? *cmp.left : *cmp.right;
+  QV_ASSIGN_OR_RETURN(JoinIndex * index,
+                      GetJoinIndex(clause, key_side, env));
+  QV_ASSIGN_OR_RETURN(Sequence probe_values, Eval(probe_expr, env));
+  // Matching inner items, in sequence order, each at most once (the
+  // where clause is a boolean filter under existential semantics).
+  std::vector<size_t> matches;
+  for (const Item& probe : probe_values) {
+    auto [lo, hi] = index->by_key.equal_range(NormalizeJoinKey(probe));
+    for (auto match = lo; match != hi; ++match) {
+      matches.push_back(match->second);
+    }
+  }
+  std::sort(matches.begin(), matches.end());
+  matches.erase(std::unique(matches.begin(), matches.end()), matches.end());
+  for (size_t i : matches) {
+    Environment bound_env =
+        env.Bind(clause.var, Sequence{index->items[i]});
+    QV_ASSIGN_OR_RETURN(Sequence value, Eval(*flwor.ret, bound_env));
+    out->insert(out->end(), std::make_move_iterator(value.begin()),
+                std::make_move_iterator(value.end()));
+  }
+  return Sequence{};
+}
+
+Result<Sequence> Evaluator::EvalFlwor(const FlworExpr& flwor,
+                                      size_t clause_index,
+                                      const Environment& env, Sequence* out) {
+  if (clause_index == flwor.clauses.size()) {
+    if (flwor.where != nullptr) {
+      QV_ASSIGN_OR_RETURN(Sequence cond, Eval(*flwor.where, env));
+      if (!EffectiveBoolean(cond)) return Sequence{};
+    }
+    QV_ASSIGN_OR_RETURN(Sequence value, Eval(*flwor.ret, env));
+    out->insert(out->end(), std::make_move_iterator(value.begin()),
+                std::make_move_iterator(value.end()));
+    return Sequence{};
+  }
+  const FlworClause& clause = flwor.clauses[clause_index];
+  if (const Expr* probe = HashJoinProbeExpr(flwor, clause_index)) {
+    return EvalHashJoin(flwor, clause_index, *probe, env, out);
+  }
+  QV_ASSIGN_OR_RETURN(Sequence bound, Eval(*clause.expr, env));
+  if (clause.is_let) {
+    return EvalFlwor(flwor, clause_index + 1,
+                     env.Bind(clause.var, std::move(bound)), out);
+  }
+  for (Item& item : bound) {
+    QV_RETURN_IF_ERROR(
+        EvalFlwor(flwor, clause_index + 1,
+                  env.Bind(clause.var, Sequence{std::move(item)}), out)
+            .status());
+  }
+  return Sequence{};
+}
+
+void Evaluator::CopyIntoArena(const xml::Document& src,
+                              xml::NodeIndex src_index,
+                              xml::NodeIndex dst_parent) {
+  // `src` may be the arena itself (nested constructors): AddChild can
+  // reallocate node storage, so never hold node references across it.
+  xml::NodeIndex copied =
+      result_doc_->AddChild(dst_parent, src.node(src_index).tag);
+  result_doc_->node(copied).text = src.node(src_index).text;
+  result_doc_->node(copied).stats = src.node(src_index).stats;
+  const std::vector<xml::NodeIndex> children = src.node(src_index).children;
+  for (xml::NodeIndex child : children) {
+    CopyIntoArena(src, child, copied);
+  }
+}
+
+Result<Sequence> Evaluator::EvalCtor(const ElementCtorExpr& ctor,
+                                     const Environment& env) {
+  xml::NodeIndex self =
+      result_doc_->AddChild(result_doc_->root(), ctor.tag);
+  for (const ExprPtr& child_expr : ctor.children) {
+    QV_ASSIGN_OR_RETURN(Sequence value, Eval(*child_expr, env));
+    for (const Item& item : value) {
+      if (const NodeHandle* handle = std::get_if<NodeHandle>(&item)) {
+        CopyIntoArena(*handle->doc, handle->effective_index(), self);
+      } else {
+        // Atomic values join the element's text, space-separated.
+        xml::Node& node = result_doc_->node(self);
+        if (!node.text.empty()) node.text.push_back(' ');
+        node.text.append(AtomicValue(item));
+      }
+    }
+  }
+  return Sequence{Item(NodeHandle{result_doc_.get(), self})};
+}
+
+namespace {
+
+// XPath-style general comparison over atomized values: numeric when both
+// sides parse as numbers, string otherwise.
+bool CompareAtomic(const std::string& left, const std::string& right,
+                   CompOp op) {
+  double ln = 0;
+  double rn = 0;
+  if (ParseDouble(left, &ln) && ParseDouble(right, &rn)) {
+    switch (op) {
+      case CompOp::kEq:
+        return ln == rn;
+      case CompOp::kLt:
+        return ln < rn;
+      case CompOp::kGt:
+        return ln > rn;
+    }
+  }
+  switch (op) {
+    case CompOp::kEq:
+      return left == right;
+    case CompOp::kLt:
+      return left < right;
+    case CompOp::kGt:
+      return left > right;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Sequence> Evaluator::EvalComparison(const ComparisonExpr& cmp,
+                                           const Environment& env) {
+  QV_ASSIGN_OR_RETURN(Sequence left, Eval(*cmp.left, env));
+  QV_ASSIGN_OR_RETURN(Sequence right, Eval(*cmp.right, env));
+  // Existential semantics: true if any pair compares true.
+  for (const Item& l : left) {
+    std::string lv = AtomicValue(l);
+    for (const Item& r : right) {
+      if (CompareAtomic(lv, AtomicValue(r), cmp.op)) {
+        return Sequence{Item(true)};
+      }
+    }
+  }
+  return Sequence{Item(false)};
+}
+
+bool Evaluator::IsEnvironmentFree(const Expr& expr) {
+  auto it = env_free_.find(&expr);
+  if (it != env_free_.end()) return it->second;
+  bool free = true;
+  switch (expr.kind) {
+    case ExprKind::kDoc:
+    case ExprKind::kLiteral:
+      break;
+    case ExprKind::kVar:
+    case ExprKind::kContext:
+    case ExprKind::kFunctionCall:  // conservative: body may use params
+      free = false;
+      break;
+    case ExprKind::kPath: {
+      const auto& path = static_cast<const PathExpr&>(expr);
+      free = IsEnvironmentFree(*path.source);
+      // Step predicates see the step's element as '.', which is not an
+      // outer-environment read: a lone leading ContextExpr inside a
+      // predicate is still invariant. Conservatively require predicates
+      // to reference nothing but their own context chain.
+      for (const ExprPtr& pred : path.predicates) {
+        free = free && IsPredicateSelfContained(*pred);
+      }
+      for (const PathStepAst& step : path.steps) {
+        for (const ExprPtr& pred : step.predicates) {
+          free = free && IsPredicateSelfContained(*pred);
+        }
+      }
+      break;
+    }
+    case ExprKind::kComparison: {
+      const auto& cmp = static_cast<const ComparisonExpr&>(expr);
+      free = IsEnvironmentFree(*cmp.left) && IsEnvironmentFree(*cmp.right);
+      break;
+    }
+    case ExprKind::kFlwor:
+    case ExprKind::kElementCtor:
+      // Constructors allocate fresh nodes: never cache (identity matters).
+      free = false;
+      break;
+    case ExprKind::kSequence: {
+      const auto& seq = static_cast<const SequenceExpr&>(expr);
+      for (const ExprPtr& item : seq.items) {
+        free = free && IsEnvironmentFree(*item);
+      }
+      break;
+    }
+    case ExprKind::kIf: {
+      const auto& cond = static_cast<const IfExpr&>(expr);
+      free = IsEnvironmentFree(*cond.cond) &&
+             IsEnvironmentFree(*cond.then_branch) &&
+             IsEnvironmentFree(*cond.else_branch);
+      break;
+    }
+  }
+  env_free_[&expr] = free;
+  return free;
+}
+
+bool Evaluator::IsPredicateSelfContained(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kDoc:
+    case ExprKind::kLiteral:
+    case ExprKind::kContext:  // the predicate's own context item
+      return true;
+    case ExprKind::kVar:
+    case ExprKind::kFlwor:
+    case ExprKind::kElementCtor:
+    case ExprKind::kFunctionCall:
+      return false;
+    case ExprKind::kPath: {
+      const auto& path = static_cast<const PathExpr&>(expr);
+      if (!IsPredicateSelfContained(*path.source)) return false;
+      for (const ExprPtr& pred : path.predicates) {
+        if (!IsPredicateSelfContained(*pred)) return false;
+      }
+      for (const PathStepAst& step : path.steps) {
+        for (const ExprPtr& pred : step.predicates) {
+          if (!IsPredicateSelfContained(*pred)) return false;
+        }
+      }
+      return true;
+    }
+    case ExprKind::kComparison: {
+      const auto& cmp = static_cast<const ComparisonExpr&>(expr);
+      return IsPredicateSelfContained(*cmp.left) &&
+             IsPredicateSelfContained(*cmp.right);
+    }
+    case ExprKind::kSequence: {
+      const auto& seq = static_cast<const SequenceExpr&>(expr);
+      for (const ExprPtr& item : seq.items) {
+        if (!IsPredicateSelfContained(*item)) return false;
+      }
+      return true;
+    }
+    case ExprKind::kIf: {
+      const auto& cond = static_cast<const IfExpr&>(expr);
+      return IsPredicateSelfContained(*cond.cond) &&
+             IsPredicateSelfContained(*cond.then_branch) &&
+             IsPredicateSelfContained(*cond.else_branch);
+    }
+  }
+  return false;
+}
+
+Result<Sequence> Evaluator::EvalFunctionCall(const FunctionCallExpr& call,
+                                             const Environment& env) {
+  if (query_ == nullptr) {
+    return Status::EvalError("function call outside a query: " + call.name);
+  }
+  const FunctionDecl* decl = query_->FindFunction(call.name);
+  if (decl == nullptr) {
+    return Status::EvalError("unknown function " + call.name);
+  }
+  if (decl->params.size() != call.args.size()) {
+    return Status::EvalError("function " + call.name + " expects " +
+                             std::to_string(decl->params.size()) +
+                             " arguments");
+  }
+  if (++call_depth_ > 64) {
+    --call_depth_;
+    return Status::EvalError("function call depth exceeded (recursion?)");
+  }
+  Environment body_env = env;
+  for (size_t i = 0; i < call.args.size(); ++i) {
+    QV_ASSIGN_OR_RETURN(Sequence arg, Eval(*call.args[i], env));
+    body_env = body_env.Bind(decl->params[i], std::move(arg));
+  }
+  Result<Sequence> out = Eval(*decl->body, body_env);
+  --call_depth_;
+  return out;
+}
+
+}  // namespace quickview::xquery

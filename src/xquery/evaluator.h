@@ -1,0 +1,166 @@
+// XQuery-subset evaluator (the "traditional evaluator" of paper Fig 3).
+// Evaluates a view expression against a Database — or, via document
+// overrides, against PDTs — producing a sequence of (possibly constructed)
+// elements. The evaluator is deliberately unaware of PDTs: pruned nodes
+// carry their NodeStats payload through element construction, which is the
+// paper's "no changes to the XML query evaluator" property.
+#ifndef QUICKVIEW_XQUERY_EVALUATOR_H_
+#define QUICKVIEW_XQUERY_EVALUATOR_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/dom.h"
+#include "xquery/ast.h"
+
+namespace quickview::xquery {
+
+/// A node within some document (base, PDT, or the evaluator's result
+/// arena). `index == kInvalidNode` denotes the *document node* itself
+/// (what fn:doc() returns), whose only child is the root element.
+struct NodeHandle {
+  const xml::Document* doc = nullptr;
+  xml::NodeIndex index = xml::kInvalidNode;
+
+  bool is_document_node() const { return index == xml::kInvalidNode; }
+  /// Resolves the document node to the root element.
+  xml::NodeIndex effective_index() const {
+    return is_document_node() ? doc->root() : index;
+  }
+  const xml::Node& node() const { return doc->node(effective_index()); }
+  bool operator==(const NodeHandle&) const = default;
+};
+
+/// An XQuery item: node, string, number or boolean.
+using Item = std::variant<NodeHandle, std::string, double, bool>;
+using Sequence = std::vector<Item>;
+
+/// Immutable variable environment with structural sharing, so FLWOR
+/// iteration does not copy bindings.
+class Environment {
+ public:
+  Environment() = default;
+
+  Environment Bind(const std::string& name, Sequence value) const;
+  Environment WithContext(Item context) const;
+
+  /// nullptr when unbound.
+  const Sequence* Lookup(const std::string& name) const;
+  const std::optional<Item>& context() const { return context_; }
+
+ private:
+  struct Binding {
+    std::string name;
+    Sequence value;
+    std::shared_ptr<const Binding> next;
+  };
+  std::shared_ptr<const Binding> head_;
+  std::optional<Item> context_;
+};
+
+/// Effective boolean value: false for the empty sequence and a lone false
+/// boolean; true otherwise.
+bool EffectiveBoolean(const Sequence& seq);
+
+/// Atomic value of an item: an element's directly-contained text (the
+/// paper restricts predicates to leaf values), or the literal itself.
+std::string AtomicValue(const Item& item);
+
+class Evaluator {
+ public:
+  /// Result-arena Dewey root component; far above any base document's.
+  static constexpr uint32_t kResultRootComponent = 1u << 30;
+
+  explicit Evaluator(const xml::Database* database);
+
+  /// Substitutes `doc` for fn:doc(name) — how the rewritten query "goes
+  /// over PDTs instead of the base data" (§3.1).
+  void OverrideDocument(const std::string& name, const xml::Document* doc);
+
+  /// Evaluates the query body (with its function declarations in scope).
+  Result<Sequence> Evaluate(const Query& query);
+  Result<Sequence> Evaluate(const Query& query, const Environment& env);
+
+  /// Arena holding elements constructed during evaluation. Valid until the
+  /// evaluator is destroyed; shared ownership is available for callers
+  /// that outlive it.
+  const xml::Document& result_doc() const { return *result_doc_; }
+  std::shared_ptr<xml::Document> result_doc_shared() const {
+    return result_doc_;
+  }
+
+ private:
+  Result<Sequence> Eval(const Expr& expr, const Environment& env);
+  Result<Sequence> EvalPath(const PathExpr& path, const Environment& env);
+  Result<Sequence> EvalFlwor(const FlworExpr& flwor, size_t clause_index,
+                             const Environment& env, Sequence* out);
+  Result<Sequence> EvalCtor(const ElementCtorExpr& ctor,
+                            const Environment& env);
+  Result<Sequence> EvalComparison(const ComparisonExpr& cmp,
+                                  const Environment& env);
+  Result<Sequence> EvalFunctionCall(const FunctionCallExpr& call,
+                                    const Environment& env);
+
+  /// Applies one location step to every node of `input`, deduplicated and
+  /// in document order.
+  Sequence ApplyStep(const Sequence& input, const PathStepAst& step);
+
+  /// Keeps the items for which every predicate's effective boolean value
+  /// is true (predicates see the item as the context '.').
+  Result<Sequence> FilterByPredicates(Sequence input,
+                                      const std::vector<ExprPtr>& predicates,
+                                      const Environment& env);
+
+  /// Deep-copies a subtree (preserving NodeStats) into the result arena.
+  void CopyIntoArena(const xml::Document& src, xml::NodeIndex src_index,
+                     xml::NodeIndex dst_parent);
+
+  /// True iff the expression reads nothing from the environment (no
+  /// variables, no context item, no function calls) — its value is
+  /// loop-invariant. Memoized per expression node.
+  bool IsEnvironmentFree(const Expr& expr);
+
+  /// True iff a predicate expression only reads its own context chain
+  /// (no variables/functions), so it doesn't break invariance of the
+  /// enclosing path.
+  static bool IsPredicateSelfContained(const Expr& expr);
+
+  const xml::Database* database_;
+  std::map<std::string, const xml::Document*> overrides_;
+  std::shared_ptr<xml::Document> result_doc_;
+  const Query* query_ = nullptr;  // for function resolution
+  int call_depth_ = 0;            // guards against recursive functions
+  // Loop-invariant path hoisting (a standard XQuery-engine optimization):
+  // environment-free path expressions evaluate once per query, not once
+  // per FLWOR iteration.
+  std::map<const Expr*, Sequence> invariant_cache_;
+  std::map<const Expr*, bool> env_free_;
+
+  // Hash-join fast path: for `for $x in <invariant> where $x/p = <outer>`
+  // the inner sequence is indexed once by the join key instead of being
+  // scanned per outer binding (the value-join evaluation the paper's
+  // engine provides).
+  struct JoinIndex {
+    Sequence items;
+    std::unordered_multimap<std::string, size_t> by_key;
+  };
+  Result<Sequence> EvalHashJoin(const FlworExpr& flwor, size_t clause_index,
+                                const Expr& probe_expr,
+                                const Environment& env, Sequence* out);
+  /// nullptr when the clause/where shape doesn't admit a hash join.
+  const Expr* HashJoinProbeExpr(const FlworExpr& flwor, size_t clause_index);
+  Result<JoinIndex*> GetJoinIndex(const FlworClause& clause,
+                                  const Expr& key_path,
+                                  const Environment& env);
+  std::map<const FlworClause*, JoinIndex> join_indexes_;
+};
+
+}  // namespace quickview::xquery
+
+#endif  // QUICKVIEW_XQUERY_EVALUATOR_H_

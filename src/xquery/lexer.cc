@@ -1,0 +1,239 @@
+#include "xquery/lexer.h"
+
+#include <cctype>
+
+namespace quickview::xquery {
+
+std::string TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd:
+      return "end of input";
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kVariable:
+      return "variable";
+    case TokenKind::kString:
+      return "string literal";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kSlashSlash:
+      return "'//'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kAssign:
+      return "':='";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kAmp:
+      return "'&'";
+    case TokenKind::kPipe:
+      return "'|'";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Identifiers cover tag names, keywords, fn:doc, and bare document names
+// such as books.xml. A '.' is included only when followed by an
+// identifier character (so a lone '.' remains the context item).
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == ':';
+}
+
+}  // namespace
+
+// Length in bytes of the token's source spelling.
+static size_t TokenLength(const Token& token) {
+  switch (token.kind) {
+    case TokenKind::kEnd:
+      return token.text.size();
+    case TokenKind::kIdent:
+      return token.text.size();
+    case TokenKind::kVariable:
+      return token.text.size() + 1;
+    case TokenKind::kString:
+      return token.text.size() + 2;
+    case TokenKind::kNumber:
+      return token.text.size();
+    case TokenKind::kSlashSlash:
+    case TokenKind::kAssign:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+const Token& Lexer::Peek(size_t ahead) {
+  while (lookahead_.size() <= ahead) lookahead_.push_back(Lex());
+  return lookahead_[ahead];
+}
+
+Token Lexer::Next() {
+  if (lookahead_.empty()) lookahead_.push_back(Lex());
+  Token token = lookahead_.front();
+  lookahead_.pop_front();
+  consumed_end_ = token.offset + TokenLength(token);
+  return token;
+}
+
+std::string Lexer::ReadRawContent() {
+  lookahead_.clear();
+  pos_ = consumed_end_;
+  size_t start = pos_;
+  while (pos_ < input_.size() && input_[pos_] != '{' && input_[pos_] != '<') {
+    ++pos_;
+  }
+  consumed_end_ = pos_;
+  return std::string(input_.substr(start, pos_ - start));
+}
+
+Token Lexer::Lex() {
+  while (pos_ < input_.size() &&
+         std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+    ++pos_;
+  }
+  Token token;
+  token.offset = pos_;
+  if (pos_ >= input_.size()) {
+    token.kind = TokenKind::kEnd;
+    return token;
+  }
+  char c = input_[pos_];
+  if (IsIdentStart(c)) {
+    size_t start = pos_;
+    while (pos_ < input_.size()) {
+      char ic = input_[pos_];
+      if (IsIdentChar(ic)) {
+        ++pos_;
+      } else if (ic == '.' && pos_ + 1 < input_.size() &&
+                 IsIdentChar(input_[pos_ + 1])) {
+        pos_ += 2;
+      } else {
+        break;
+      }
+    }
+    token.kind = TokenKind::kIdent;
+    token.text = std::string(input_.substr(start, pos_ - start));
+    return token;
+  }
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '.')) {
+      ++pos_;
+    }
+    token.kind = TokenKind::kNumber;
+    token.text = std::string(input_.substr(start, pos_ - start));
+    token.number = std::stod(token.text);
+    return token;
+  }
+  if (c == '$') {
+    ++pos_;
+    size_t start = pos_;
+    while (pos_ < input_.size() && IsIdentChar(input_[pos_])) ++pos_;
+    token.kind = TokenKind::kVariable;
+    token.text = std::string(input_.substr(start, pos_ - start));
+    return token;
+  }
+  if (c == '\'' || c == '"') {
+    char quote = c;
+    ++pos_;
+    size_t start = pos_;
+    while (pos_ < input_.size() && input_[pos_] != quote) ++pos_;
+    token.kind = TokenKind::kString;
+    token.text = std::string(input_.substr(start, pos_ - start));
+    if (pos_ < input_.size()) ++pos_;  // closing quote
+    return token;
+  }
+  ++pos_;
+  switch (c) {
+    case '(':
+      token.kind = TokenKind::kLParen;
+      return token;
+    case ')':
+      token.kind = TokenKind::kRParen;
+      return token;
+    case '[':
+      token.kind = TokenKind::kLBracket;
+      return token;
+    case ']':
+      token.kind = TokenKind::kRBracket;
+      return token;
+    case '{':
+      token.kind = TokenKind::kLBrace;
+      return token;
+    case '}':
+      token.kind = TokenKind::kRBrace;
+      return token;
+    case ',':
+      token.kind = TokenKind::kComma;
+      return token;
+    case '.':
+      token.kind = TokenKind::kDot;
+      return token;
+    case '=':
+      token.kind = TokenKind::kEq;
+      return token;
+    case '<':
+      token.kind = TokenKind::kLt;
+      return token;
+    case '>':
+      token.kind = TokenKind::kGt;
+      return token;
+    case '&':
+      token.kind = TokenKind::kAmp;
+      return token;
+    case '|':
+      token.kind = TokenKind::kPipe;
+      return token;
+    case '/':
+      if (pos_ < input_.size() && input_[pos_] == '/') {
+        ++pos_;
+        token.kind = TokenKind::kSlashSlash;
+      } else {
+        token.kind = TokenKind::kSlash;
+      }
+      return token;
+    case ':':
+      if (pos_ < input_.size() && input_[pos_] == '=') {
+        ++pos_;
+        token.kind = TokenKind::kAssign;
+        return token;
+      }
+      break;
+    default:
+      break;
+  }
+  token.kind = TokenKind::kEnd;
+  token.text = std::string(1, c);
+  return token;
+}
+
+}  // namespace quickview::xquery

@@ -1,0 +1,75 @@
+// Hand-written lexer for the Appendix A XQuery subset. Supports a raw-text
+// mode used while parsing element-constructor content.
+#ifndef QUICKVIEW_XQUERY_LEXER_H_
+#define QUICKVIEW_XQUERY_LEXER_H_
+
+#include <deque>
+#include <string>
+#include <string_view>
+
+namespace quickview::xquery {
+
+enum class TokenKind {
+  kEnd,
+  kIdent,     // for, let, book, fn:doc, books.xml, ...
+  kVariable,  // $name (text excludes '$')
+  kString,    // 'abc' / "abc" (text is unquoted)
+  kNumber,    // 42, 19.5
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kSlash,
+  kSlashSlash,
+  kComma,
+  kDot,
+  kAssign,  // :=
+  kEq,
+  kLt,
+  kGt,
+  kAmp,
+  kPipe,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  double number = 0;
+  size_t offset = 0;  // byte offset in the input, for error messages
+};
+
+/// Returns a printable name for error messages.
+std::string TokenKindName(TokenKind kind);
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  /// Token `ahead` positions past the next unconsumed token.
+  const Token& Peek(size_t ahead = 0);
+
+  /// Consumes and returns the next token.
+  Token Next();
+
+  /// Raw-mode scan used inside element constructors: returns the text from
+  /// just after the last consumed token up to (not including) the next '{'
+  /// or '<'. Discards any lookahead.
+  std::string ReadRawContent();
+
+  /// Offset just after the last consumed token.
+  size_t consumed_offset() const { return consumed_end_; }
+
+ private:
+  Token Lex();
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  size_t consumed_end_ = 0;
+  std::deque<Token> lookahead_;
+};
+
+}  // namespace quickview::xquery
+
+#endif  // QUICKVIEW_XQUERY_LEXER_H_

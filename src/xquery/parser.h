@@ -1,0 +1,25 @@
+// Recursive-descent parser for the Appendix A grammar. Two entry points:
+// ParseQuery for a view definition (function declarations + expression),
+// and ParseKeywordQuery for the full "let $view := ... for $v in $view
+// where $v ftcontains('k1' & 'k2') return $v" form of paper Fig 2.
+#ifndef QUICKVIEW_XQUERY_PARSER_H_
+#define QUICKVIEW_XQUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xquery/ast.h"
+
+namespace quickview::xquery {
+
+/// Parses optional `declare function` declarations followed by the main
+/// expression.
+Result<Query> ParseQuery(std::string_view input);
+
+/// Parses a ranked keyword query over a view (Fig 2 shape). Keywords are
+/// lowercased; '&' yields conjunctive semantics, '|' disjunctive.
+Result<KeywordQuery> ParseKeywordQuery(std::string_view input);
+
+}  // namespace quickview::xquery
+
+#endif  // QUICKVIEW_XQUERY_PARSER_H_

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "baseline/gtp_termjoin.h"
+#include "baseline/naive_engine.h"
+#include "index/index_builder.h"
+#include "storage/document_store.h"
+#include "workload/bookrev_generator.h"
+
+namespace quickview::baseline {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = workload::GenerateBookRevDatabase(workload::BookRevOptions{});
+    indexes_ = index::BuildDatabaseIndexes(*db_);
+    store_ = std::make_unique<storage::DocumentStore>(*db_);
+  }
+
+  std::shared_ptr<xml::Database> db_;
+  std::unique_ptr<index::DatabaseIndexes> indexes_;
+  std::unique_ptr<storage::DocumentStore> store_;
+};
+
+TEST_F(BaselineTest, NaiveSearchWorksEndToEnd) {
+  NaiveEngine naive(db_.get());
+  auto response = naive.Search(workload::BookRevKeywordQuery(),
+                               engine::SearchOptions{});
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_FALSE(response->hits.empty());
+  // The Baseline's cost signature: all time in evaluation (view
+  // materialization), no PDT phase at all.
+  EXPECT_EQ(response->timings.pdt_ms, 0.0);
+  EXPECT_EQ(response->stats.pdt.ids_processed, 0u);
+}
+
+TEST_F(BaselineTest, NaiveErrorPropagation) {
+  NaiveEngine naive(db_.get());
+  EXPECT_FALSE(naive.Search("garbage", engine::SearchOptions{}).ok());
+  EXPECT_FALSE(
+      naive.SearchView("fn:doc(none.xml)//x", {"a"}, engine::SearchOptions{})
+          .ok());
+}
+
+TEST_F(BaselineTest, GtpAccessesBaseDataForJoinValues) {
+  GtpTermJoinEngine gtp(db_.get(), indexes_.get(), store_.get());
+  auto response = gtp.SearchView(workload::BookRevView(), {"xml", "search"},
+                                 engine::SearchOptions{});
+  ASSERT_TRUE(response.ok()) << response.status();
+  // GTP's cost signature: many base-data accesses (isbn/year values for
+  // every candidate element), unlike Efficient which uses the path index.
+  EXPECT_GT(response->stats.store_fetches,
+            static_cast<uint64_t>(response->hits.size()));
+}
+
+TEST_F(BaselineTest, GtpHandlesEmptyMatches) {
+  GtpTermJoinEngine gtp(db_.get(), indexes_.get(), store_.get());
+  auto response = gtp.SearchView(workload::BookRevView(), {"qqqabsent"},
+                                 engine::SearchOptions{});
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->hits.empty());
+}
+
+}  // namespace
+}  // namespace quickview::baseline

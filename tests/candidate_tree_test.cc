@@ -1,0 +1,141 @@
+// Direct unit tests of the Candidate Tree data structure (paper Fig 12 /
+// Appendix E): prefix insertion, CTQNodeSet merging, DescendantMap
+// propagation, parent lists under both axes, and the containment
+// re-parenting invariant.
+#include "pdt/candidate_tree.h"
+
+#include <gtest/gtest.h>
+
+namespace quickview::pdt {
+namespace {
+
+using xml::DeweyId;
+
+/// QPT: doc -> books(/) -> book(//) -> { isbn(/, m), year(/, o) }.
+qpt::Qpt MakeBookQpt() {
+  qpt::Qpt qpt;
+  qpt.nodes.push_back(qpt::QptNode{});
+  int books = qpt.AddNode(0, "books", false, true);
+  int book = qpt.AddNode(books, "book", true, true);
+  qpt.AddNode(book, "isbn", false, true);   // mandatory
+  qpt.AddNode(book, "year", false, false);  // optional
+  return qpt;
+}
+
+// Depth-to-QPT-node maps for ids drawn from the isbn and year lists on
+// data path /books/book/{isbn,year}.
+std::vector<std::vector<int>> IsbnMap() { return {{1}, {2}, {3}}; }
+std::vector<std::vector<int>> YearMap() { return {{1}, {2}, {4}}; }
+
+TEST(CandidateTreeTest, AddIdCreatesPrefixChain) {
+  qpt::Qpt qpt = MakeBookQpt();
+  CandidateTree ct(&qpt);
+  ct.AddId(DeweyId::Parse("1.2.1"), IsbnMap(), 0, std::nullopt, 10);
+  ASSERT_TRUE(ct.HasNodes());
+  std::vector<CtNode*> lmp = ct.LeftMostPath();
+  ASSERT_EQ(lmp.size(), 3u);
+  EXPECT_EQ(lmp[0]->id.ToString(), "1");
+  EXPECT_EQ(lmp[1]->id.ToString(), "1.2");
+  EXPECT_EQ(lmp[2]->id.ToString(), "1.2.1");
+  EXPECT_EQ(lmp[0]->qentries.size(), 1u);
+  EXPECT_EQ(lmp[0]->qentries[0].qnode, 1);
+  EXPECT_EQ(lmp[2]->qentries[0].qnode, 3);
+}
+
+TEST(CandidateTreeTest, LeafIsCandidateInteriorWaitsForMandatoryChild) {
+  qpt::Qpt qpt = MakeBookQpt();
+  CandidateTree ct(&qpt);
+  // A year only: book must NOT become a candidate (isbn is mandatory,
+  // year optional).
+  ct.AddId(DeweyId::Parse("1.2.6"), YearMap(), 0, std::nullopt, 4);
+  std::vector<CtNode*> lmp = ct.LeftMostPath();
+  CtQEntry* book = lmp[1]->FindEntry(2);
+  ASSERT_NE(book, nullptr);
+  EXPECT_TRUE(ct.IsCandidate(lmp[2]->qentries[0]));  // year leaf
+  EXPECT_FALSE(ct.IsCandidate(*book));
+  // The isbn arrives: DM bit set, book becomes a candidate, and the
+  // cascade reaches books (whose mandatory child is book).
+  ct.AddId(DeweyId::Parse("1.2.9"), IsbnMap(), 1, std::nullopt, 10);
+  EXPECT_TRUE(ct.IsCandidate(*book));
+  CtQEntry* books = ct.LeftMostPath()[0]->FindEntry(1);
+  ASSERT_NE(books, nullptr);
+  EXPECT_TRUE(ct.IsCandidate(*books));
+}
+
+TEST(CandidateTreeTest, ParentListRespectsAxis) {
+  qpt::Qpt qpt = MakeBookQpt();
+  CandidateTree ct(&qpt);
+  ct.AddId(DeweyId::Parse("1.2.1"), IsbnMap(), 0, std::nullopt, 10);
+  std::vector<CtNode*> lmp = ct.LeftMostPath();
+  // isbn's parent list points at the book entry of node 1.2 (child axis).
+  const CtQEntry& isbn = lmp[2]->qentries[0];
+  ASSERT_EQ(isbn.parent_list.size(), 1u);
+  EXPECT_EQ(isbn.parent_list[0].first, lmp[1]);
+  // book's parent list points at books (descendant axis across 1 level).
+  const CtQEntry& book = lmp[1]->qentries[0];
+  ASSERT_EQ(book.parent_list.size(), 1u);
+  EXPECT_EQ(book.parent_list[0].first, lmp[0]);
+}
+
+TEST(CandidateTreeTest, SharedPrefixesMergeEntries) {
+  qpt::Qpt qpt = MakeBookQpt();
+  CandidateTree ct(&qpt);
+  ct.AddId(DeweyId::Parse("1.2.1"), IsbnMap(), 0, std::nullopt, 10);
+  ct.AddId(DeweyId::Parse("1.2.6"), YearMap(), 1, std::nullopt, 4);
+  std::vector<CtNode*> lmp = ct.LeftMostPath();
+  // Node 1.2 exists once with a single book entry, two leaf children.
+  EXPECT_EQ(lmp[1]->qentries.size(), 1u);
+  EXPECT_EQ(lmp[1]->children.size(), 2u);
+  EXPECT_EQ(ct.live_nodes, 4u);
+}
+
+TEST(CandidateTreeTest, ListCountsTrackDirectIdsOnly) {
+  qpt::Qpt qpt = MakeBookQpt();
+  CandidateTree ct(&qpt);
+  ct.AddId(DeweyId::Parse("1.2.1"), IsbnMap(), 0, std::nullopt, 10);
+  ct.AddId(DeweyId::Parse("1.4.1"), IsbnMap(), 0, std::nullopt, 10);
+  EXPECT_EQ(ct.ListCount(0), 2);  // prefixes don't count
+  EXPECT_EQ(ct.ListCount(1), 0);
+  std::vector<CtNode*> lmp = ct.LeftMostPath();
+  ct.DecrementListCounts(*lmp.back());
+  EXPECT_EQ(ct.ListCount(0), 1);
+}
+
+TEST(CandidateTreeTest, ReparentingPreservesContainment) {
+  // Insert a deep id whose intermediate depths map to no QPT node, then
+  // an id that *creates* the intermediate node: the earlier deep node
+  // must move under it.
+  qpt::Qpt qpt;
+  qpt.nodes.push_back(qpt::QptNode{});
+  int r = qpt.AddNode(0, "r", true, true);
+  int x = qpt.AddNode(r, "x", true, true);  // leaf via //
+  (void)x;
+  CandidateTree ct(&qpt);
+  // x at 1.5.2; depth 2 (the 1.5 element) maps to nothing for this path.
+  ct.AddId(DeweyId::Parse("1.5.2"), {{r}, {}, {x}}, 0, std::nullopt, 1);
+  // Another id maps depth 2 to r (repeating-tag scenario): node 1.5 is
+  // created and must adopt 1.5.2.
+  ct.AddId(DeweyId::Parse("1.5.9"), {{r}, {r}, {x}}, 0, std::nullopt, 1);
+  std::vector<CtNode*> lmp = ct.LeftMostPath();
+  ASSERT_EQ(lmp.size(), 3u);
+  EXPECT_EQ(lmp[0]->id.ToString(), "1");
+  EXPECT_EQ(lmp[1]->id.ToString(), "1.5");
+  EXPECT_EQ(lmp[2]->id.ToString(), "1.5.2");
+  EXPECT_EQ(lmp[2]->parent, lmp[1]);
+}
+
+TEST(CandidateTreeTest, PayloadAttachesToFullDepthNode) {
+  qpt::Qpt qpt = MakeBookQpt();
+  CandidateTree ct(&qpt);
+  ct.AddId(DeweyId::Parse("1.2.1"), IsbnMap(), 0,
+           std::optional<std::string>("111-11"), 42);
+  CtNode* leaf = ct.LeftMostPath().back();
+  EXPECT_TRUE(leaf->has_payload);
+  ASSERT_TRUE(leaf->value.has_value());
+  EXPECT_EQ(*leaf->value, "111-11");
+  EXPECT_EQ(leaf->byte_length, 42u);
+  EXPECT_FALSE(ct.LeftMostPath()[0]->has_payload);
+}
+
+}  // namespace
+}  // namespace quickview::pdt

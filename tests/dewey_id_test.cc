@@ -1,0 +1,98 @@
+#include "xml/dewey_id.h"
+
+#include <algorithm>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace quickview::xml {
+namespace {
+
+TEST(DeweyIdTest, ParseAndToString) {
+  EXPECT_EQ(DeweyId::Parse("1.2.3").ToString(), "1.2.3");
+  EXPECT_EQ(DeweyId::Parse("").ToString(), "");
+  EXPECT_EQ(DeweyId::Parse("42").ToString(), "42");
+  EXPECT_EQ(DeweyId::Parse("1.0.7").components(),
+            (std::vector<uint32_t>{1, 0, 7}));
+}
+
+TEST(DeweyIdTest, DepthAndEmpty) {
+  EXPECT_TRUE(DeweyId().empty());
+  EXPECT_EQ(DeweyId().depth(), 0u);
+  EXPECT_EQ(DeweyId::Parse("1.2.3").depth(), 3u);
+}
+
+TEST(DeweyIdTest, ParentAndPrefix) {
+  DeweyId id = DeweyId::Parse("1.2.3");
+  EXPECT_EQ(id.Parent().ToString(), "1.2");
+  EXPECT_EQ(id.Prefix(1).ToString(), "1");
+  EXPECT_EQ(id.Prefix(3), id);
+  EXPECT_TRUE(DeweyId::Parse("1").Parent().empty());
+  EXPECT_TRUE(DeweyId().Parent().empty());
+}
+
+TEST(DeweyIdTest, Child) {
+  EXPECT_EQ(DeweyId::Parse("1.2").Child(7).ToString(), "1.2.7");
+  EXPECT_EQ(DeweyId().Child(1).ToString(), "1");
+}
+
+TEST(DeweyIdTest, PrefixRelations) {
+  DeweyId anc = DeweyId::Parse("1.2");
+  DeweyId desc = DeweyId::Parse("1.2.3.4");
+  EXPECT_TRUE(anc.IsPrefixOf(desc));
+  EXPECT_TRUE(anc.IsPrefixOf(anc));
+  EXPECT_TRUE(anc.IsAncestorOf(desc));
+  EXPECT_FALSE(anc.IsAncestorOf(anc));
+  EXPECT_FALSE(desc.IsAncestorOf(anc));
+  EXPECT_TRUE(DeweyId::Parse("1.2.3").IsParentOf(desc));
+  EXPECT_FALSE(anc.IsParentOf(desc));
+  // Sibling prefixes are unrelated.
+  EXPECT_FALSE(DeweyId::Parse("1.3").IsPrefixOf(desc));
+}
+
+TEST(DeweyIdTest, DocumentOrder) {
+  // Ancestors precede descendants; siblings order by component.
+  EXPECT_LT(DeweyId::Parse("1"), DeweyId::Parse("1.1"));
+  EXPECT_LT(DeweyId::Parse("1.1"), DeweyId::Parse("1.2"));
+  EXPECT_LT(DeweyId::Parse("1.2"), DeweyId::Parse("1.2.1"));
+  EXPECT_LT(DeweyId::Parse("1.2.9"), DeweyId::Parse("1.10"));  // numeric
+}
+
+TEST(DeweyIdTest, CommonPrefixLength) {
+  EXPECT_EQ(DeweyId::Parse("1.2.3").CommonPrefixLength(
+                DeweyId::Parse("1.2.5.6")),
+            2u);
+  EXPECT_EQ(DeweyId::Parse("2").CommonPrefixLength(DeweyId::Parse("1")), 0u);
+  EXPECT_EQ(DeweyId().CommonPrefixLength(DeweyId::Parse("1")), 0u);
+}
+
+TEST(DeweyIdTest, EncodeDecodeRoundTrip) {
+  for (const char* text : {"", "1", "1.2.3", "4294967295.0.17"}) {
+    DeweyId id = DeweyId::Parse(text);
+    EXPECT_EQ(DeweyId::Decode(id.Encode()), id) << text;
+  }
+}
+
+TEST(DeweyIdTest, EncodedByteOrderEqualsDeweyOrder) {
+  // Property: the fixed-width encoding preserves document order, which is
+  // what makes encoded ids usable directly as B+-tree keys.
+  std::mt19937_64 rng(99);
+  std::vector<DeweyId> ids;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<uint32_t> components;
+    size_t depth = 1 + rng() % 5;
+    for (size_t d = 0; d < depth; ++d) {
+      components.push_back(static_cast<uint32_t>(rng() % 7));
+    }
+    ids.emplace_back(std::move(components));
+  }
+  for (size_t i = 0; i + 1 < ids.size(); ++i) {
+    bool dewey_less = ids[i] < ids[i + 1];
+    bool bytes_less = ids[i].Encode() < ids[i + 1].Encode();
+    EXPECT_EQ(dewey_less, bytes_less)
+        << ids[i].ToString() << " vs " << ids[i + 1].ToString();
+  }
+}
+
+}  // namespace
+}  // namespace quickview::xml

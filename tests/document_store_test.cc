@@ -1,0 +1,80 @@
+#include "storage/document_store.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace quickview::storage {
+namespace {
+
+class DocumentStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto books = xml::ParseXml(
+        "<books><book><isbn>111</isbn><title>X</title></book></books>", 1);
+    ASSERT_TRUE(books.ok());
+    db_.AddDocument("books.xml", *books);
+    store_ = std::make_unique<DocumentStore>(db_);
+  }
+
+  xml::Database db_;
+  std::unique_ptr<DocumentStore> store_;
+};
+
+TEST_F(DocumentStoreTest, CopySubtree) {
+  xml::Document target(1);
+  Status s = store_->CopySubtree(1, xml::DeweyId::Parse("1.1"), &target,
+                                 xml::kInvalidNode);
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_EQ(xml::Serialize(target),
+            "<book><isbn>111</isbn><title>X</title></book>");
+  EXPECT_EQ(store_->stats().fetch_calls, 1u);
+  EXPECT_GT(store_->stats().bytes_fetched, 0u);
+}
+
+TEST_F(DocumentStoreTest, CopySubtreeUnderParent) {
+  xml::Document target(1);
+  xml::NodeIndex root = target.CreateRoot("results");
+  ASSERT_TRUE(store_->CopySubtree(1, xml::DeweyId::Parse("1.1.2"), &target,
+                                  root)
+                  .ok());
+  EXPECT_EQ(xml::Serialize(target), "<results><title>X</title></results>");
+}
+
+TEST_F(DocumentStoreTest, GetValue) {
+  std::string value;
+  ASSERT_TRUE(store_->GetValue(1, xml::DeweyId::Parse("1.1.1"), &value).ok());
+  EXPECT_EQ(value, "111");
+}
+
+TEST_F(DocumentStoreTest, GetSubtreeLength) {
+  uint64_t length = 0;
+  ASSERT_TRUE(
+      store_->GetSubtreeLength(1, xml::DeweyId::Parse("1.1"), &length).ok());
+  EXPECT_EQ(length,
+            std::string("<book><isbn>111</isbn><title>X</title></book>")
+                .size());
+}
+
+TEST_F(DocumentStoreTest, ErrorsForMissing) {
+  xml::Document target(1);
+  EXPECT_EQ(store_->CopySubtree(9, xml::DeweyId::Parse("9.1"), &target,
+                                xml::kInvalidNode)
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store_->CopySubtree(1, xml::DeweyId::Parse("1.7"), &target,
+                                xml::kInvalidNode)
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(DocumentStoreTest, ResetStats) {
+  std::string value;
+  ASSERT_TRUE(store_->GetValue(1, xml::DeweyId::Parse("1.1.1"), &value).ok());
+  store_->ResetStats();
+  EXPECT_EQ(store_->stats().fetch_calls, 0u);
+}
+
+}  // namespace
+}  // namespace quickview::storage

@@ -1,0 +1,66 @@
+// Randomized end-to-end parity (Theorem 4.1 under fuzz): across random
+// book/review corpora and keyword subsets, the Efficient engine and the
+// materialize-first Baseline must agree on every hit's XML, statistics,
+// score and rank.
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "baseline/naive_engine.h"
+#include "engine/view_search_engine.h"
+#include "index/index_builder.h"
+#include "storage/document_store.h"
+#include "workload/bookrev_generator.h"
+
+namespace quickview {
+namespace {
+
+class EngineParityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineParityProperty, EfficientEqualsBaseline) {
+  std::mt19937_64 rng(GetParam());
+  workload::BookRevOptions gen;
+  gen.seed = rng();
+  gen.num_books = 10 + static_cast<int>(rng() % 60);
+  gen.max_reviews_per_book = static_cast<int>(rng() % 5);
+  auto db = workload::GenerateBookRevDatabase(gen);
+  auto indexes = index::BuildDatabaseIndexes(*db);
+  storage::DocumentStore store(*db);
+  engine::ViewSearchEngine efficient(db.get(), indexes.get(), &store);
+  baseline::NaiveEngine naive(db.get());
+
+  const char* kTerms[] = {"xml",      "search", "web",     "database",
+                          "services", "systems", "queries", "index",
+                          "practice", "absent-term"};
+  for (int round = 0; round < 6; ++round) {
+    std::vector<std::string> keywords;
+    size_t count = 1 + rng() % 3;
+    for (size_t i = 0; i < count; ++i) keywords.push_back(kTerms[rng() % 10]);
+    engine::SearchOptions options;
+    options.top_k = 1 + rng() % 8;
+    options.conjunctive = rng() % 2 == 0;
+
+    auto eff = efficient.SearchView(workload::BookRevView(), keywords,
+                                    options);
+    auto base = naive.SearchView(workload::BookRevView(), keywords, options);
+    ASSERT_TRUE(eff.ok()) << eff.status();
+    ASSERT_TRUE(base.ok()) << base.status();
+    ASSERT_EQ(eff->hits.size(), base->hits.size());
+    ASSERT_EQ(eff->stats.matching_results, base->stats.matching_results);
+    ASSERT_EQ(eff->stats.view_results, base->stats.view_results);
+    for (size_t i = 0; i < eff->hits.size(); ++i) {
+      SCOPED_TRACE("round " + std::to_string(round) + " hit " +
+                   std::to_string(i));
+      EXPECT_EQ(eff->hits[i].tf, base->hits[i].tf);
+      EXPECT_EQ(eff->hits[i].byte_length, base->hits[i].byte_length);
+      EXPECT_DOUBLE_EQ(eff->hits[i].score, base->hits[i].score);
+      EXPECT_EQ(eff->hits[i].xml, base->hits[i].xml);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineParityProperty,
+                         ::testing::Range(100, 140));
+
+}  // namespace
+}  // namespace quickview

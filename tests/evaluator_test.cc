@@ -1,0 +1,188 @@
+#include "xquery/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xquery/parser.h"
+
+namespace quickview::xquery {
+namespace {
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto books = xml::ParseXml(
+        "<books>"
+        "<book><isbn>1</isbn><title>XML Web</title><year>2004</year></book>"
+        "<book><isbn>2</isbn><title>AI</title><year>1992</year></book>"
+        "<book><isbn>3</isbn><title>DB</title><year>1999</year></book>"
+        "</books>",
+        1);
+    auto reviews = xml::ParseXml(
+        "<reviews>"
+        "<review><isbn>1</isbn><content>great xml</content></review>"
+        "<review><isbn>1</isbn><content>easy read</content></review>"
+        "<review><isbn>3</isbn><content>solid</content></review>"
+        "</reviews>",
+        2);
+    ASSERT_TRUE(books.ok() && reviews.ok());
+    db_.AddDocument("books.xml", *books);
+    db_.AddDocument("reviews.xml", *reviews);
+  }
+
+  /// Evaluates and serializes every node item.
+  std::vector<std::string> EvalToXml(const std::string& query_text) {
+    auto query = ParseQuery(query_text);
+    EXPECT_TRUE(query.ok()) << query.status();
+    if (!query.ok()) return {};
+    Evaluator evaluator(&db_);
+    auto result = evaluator.Evaluate(*query);
+    EXPECT_TRUE(result.ok()) << result.status();
+    if (!result.ok()) return {};
+    std::vector<std::string> out;
+    for (const Item& item : *result) {
+      if (const NodeHandle* h = std::get_if<NodeHandle>(&item)) {
+        out.push_back(xml::Serialize(*h->doc, h->index));
+      } else {
+        out.push_back(AtomicValue(item));
+      }
+    }
+    return out;
+  }
+
+  xml::Database db_;
+};
+
+TEST_F(EvaluatorTest, ChildAndDescendantSteps) {
+  EXPECT_EQ(EvalToXml("fn:doc(books.xml)/books/book/isbn").size(), 3u);
+  EXPECT_EQ(EvalToXml("fn:doc(books.xml)/books//isbn").size(), 3u);
+  EXPECT_EQ(EvalToXml("fn:doc(books.xml)//title").size(), 3u);
+  EXPECT_TRUE(EvalToXml("fn:doc(books.xml)/title").empty());
+}
+
+TEST_F(EvaluatorTest, PathPredicateNumericComparison) {
+  auto out = EvalToXml("fn:doc(books.xml)//book[./year > 1995]/title");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "<title>XML Web</title>");
+  EXPECT_EQ(out[1], "<title>DB</title>");
+}
+
+TEST_F(EvaluatorTest, ExistencePredicate) {
+  EXPECT_EQ(EvalToXml("fn:doc(books.xml)//book[./isbn]").size(), 3u);
+  EXPECT_TRUE(EvalToXml("fn:doc(books.xml)//book[./missing]").empty());
+}
+
+TEST_F(EvaluatorTest, FlworWhereAndReturn) {
+  auto out = EvalToXml(
+      "for $b in fn:doc(books.xml)//book where $b/year > 2000 "
+      "return $b/title");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "<title>XML Web</title>");
+}
+
+TEST_F(EvaluatorTest, ValueJoinAcrossDocuments) {
+  auto out = EvalToXml(
+      "for $b in fn:doc(books.xml)//book "
+      "for $r in fn:doc(reviews.xml)//review "
+      "where $r/isbn = $b/isbn return $r/content");
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "<content>great xml</content>");
+  EXPECT_EQ(out[2], "<content>solid</content>");
+}
+
+TEST_F(EvaluatorTest, ElementConstructorCopiesSubtrees) {
+  auto out = EvalToXml(
+      "for $b in fn:doc(books.xml)//book[./year > 2000] "
+      "return <res><t>{$b/title}</t></res>");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "<res><t><title>XML Web</title></t></res>");
+}
+
+TEST_F(EvaluatorTest, ConstructorJoinsAtomicValuesWithSpace) {
+  auto out = EvalToXml("<r>{'a'}{'b'}</r>");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "<r>a b</r>");
+}
+
+TEST_F(EvaluatorTest, NestedFlworBuildsNestedResults) {
+  auto out = EvalToXml(
+      "for $b in fn:doc(books.xml)//book "
+      "return <bk><t>{$b/title}</t>,"
+      "{for $r in fn:doc(reviews.xml)//review "
+      " where $r/isbn = $b/isbn return $r/content}</bk>");
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0],
+            "<bk><t><title>XML Web</title></t>"
+            "<content>great xml</content><content>easy read</content></bk>");
+  EXPECT_EQ(out[1], "<bk><t><title>AI</title></t></bk>");
+}
+
+TEST_F(EvaluatorTest, LetBindsWholeSequence) {
+  auto out = EvalToXml(
+      "let $ts := fn:doc(books.xml)//title return <all>{$ts}</all>");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0],
+            "<all><title>XML Web</title><title>AI</title>"
+            "<title>DB</title></all>");
+}
+
+TEST_F(EvaluatorTest, IfThenElse) {
+  auto out = EvalToXml(
+      "for $b in fn:doc(books.xml)//book "
+      "return if $b/year > 2000 then $b/title else $b/isbn");
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "<title>XML Web</title>");
+  EXPECT_EQ(out[1], "<isbn>2</isbn>");
+}
+
+TEST_F(EvaluatorTest, UserFunctions) {
+  auto out = EvalToXml(
+      "declare function titles($b) { $b/title } "
+      "for $b in fn:doc(books.xml)//book[./year > 2000] "
+      "return titles($b)");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "<title>XML Web</title>");
+}
+
+TEST_F(EvaluatorTest, DocumentOverrideRedirects) {
+  auto tiny = xml::ParseXml("<books><book><title>ONLY</title></book></books>",
+                            1);
+  ASSERT_TRUE(tiny.ok());
+  auto query = ParseQuery("fn:doc(books.xml)//title");
+  ASSERT_TRUE(query.ok());
+  Evaluator evaluator(&db_);
+  evaluator.OverrideDocument("books.xml", tiny->get());
+  auto result = evaluator.Evaluate(*query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+}
+
+TEST_F(EvaluatorTest, Errors) {
+  auto query = ParseQuery("fn:doc(missing.xml)//a");
+  ASSERT_TRUE(query.ok());
+  Evaluator evaluator(&db_);
+  EXPECT_EQ(evaluator.Evaluate(*query).status().code(),
+            StatusCode::kEvalError);
+  auto unbound = ParseQuery("$nope/title");
+  ASSERT_TRUE(unbound.ok());
+  EXPECT_EQ(Evaluator(&db_).Evaluate(*unbound).status().code(),
+            StatusCode::kEvalError);
+}
+
+TEST_F(EvaluatorTest, DuplicateEliminationAndDocumentOrder) {
+  // The same title reachable twice must appear once, in document order.
+  auto out = EvalToXml("fn:doc(books.xml)/books//book//title");
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "<title>XML Web</title>");
+}
+
+TEST_F(EvaluatorTest, EffectiveBooleanRules) {
+  EXPECT_FALSE(EffectiveBoolean({}));
+  EXPECT_FALSE(EffectiveBoolean({Item(false)}));
+  EXPECT_TRUE(EffectiveBoolean({Item(true)}));
+  EXPECT_TRUE(EffectiveBoolean({Item(std::string("x"))}));
+}
+
+}  // namespace
+}  // namespace quickview::xquery

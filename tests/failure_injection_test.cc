@@ -1,0 +1,181 @@
+// Failure injection and robustness: malformed inputs must come back as
+// Status errors — never crashes, never silent wrong answers.
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "baseline/gtp_termjoin.h"
+#include "baseline/naive_engine.h"
+#include "engine/view_search_engine.h"
+#include "index/index_builder.h"
+#include "storage/document_store.h"
+#include "workload/bookrev_generator.h"
+#include "xml/parser.h"
+#include "xquery/evaluator.h"
+#include "xquery/parser.h"
+
+namespace quickview {
+namespace {
+
+TEST(FuzzLiteTest, MutatedXmlNeverCrashesParser) {
+  const std::string seed_doc =
+      "<books><book isbn=\"1&amp;2\"><title>XML &lt;Web&gt;</title>"
+      "<!-- c --><year>2004</year><![CDATA[x]]></book></books>";
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    std::string mutated = seed_doc;
+    int edits = 1 + rng() % 4;
+    for (int e = 0; e < edits; ++e) {
+      size_t pos = rng() % mutated.size();
+      switch (rng() % 3) {
+        case 0:
+          mutated[pos] = static_cast<char>('!' + rng() % 90);
+          break;
+        case 1:
+          mutated.erase(pos, 1 + rng() % 3);
+          break;
+        case 2:
+          mutated.insert(pos, 1, static_cast<char>('!' + rng() % 90));
+          break;
+      }
+      if (mutated.empty()) break;
+    }
+    auto result = xml::ParseXml(mutated);  // ok or error, never UB
+    if (result.ok()) {
+      EXPECT_TRUE((*result)->has_root());
+    } else {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+TEST(FuzzLiteTest, MutatedQueriesNeverCrashParser) {
+  const std::string seed_query = workload::BookRevKeywordQuery();
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 500; ++i) {
+    std::string mutated = seed_query;
+    int edits = 1 + rng() % 5;
+    for (int e = 0; e < edits && !mutated.empty(); ++e) {
+      size_t pos = rng() % mutated.size();
+      switch (rng() % 3) {
+        case 0:
+          mutated[pos] = static_cast<char>('!' + rng() % 90);
+          break;
+        case 1:
+          mutated.erase(pos, 1 + rng() % 5);
+          break;
+        case 2:
+          mutated.insert(pos, 1, "(){}[]$/<>'&|"[rng() % 13]);
+          break;
+      }
+    }
+    auto query = xquery::ParseKeywordQuery(mutated);
+    if (!query.ok()) {
+      EXPECT_FALSE(query.status().message().empty());
+    }
+  }
+}
+
+class InjectionFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = workload::GenerateBookRevDatabase(workload::BookRevOptions{});
+    indexes_ = index::BuildDatabaseIndexes(*db_);
+    store_ = std::make_unique<storage::DocumentStore>(*db_);
+  }
+  std::shared_ptr<xml::Database> db_;
+  std::unique_ptr<index::DatabaseIndexes> indexes_;
+  std::unique_ptr<storage::DocumentStore> store_;
+};
+
+TEST_F(InjectionFixture, MissingIndexIsReportedNotCrashed) {
+  // An engine wired to an index set lacking one referenced document.
+  index::DatabaseIndexes partial;
+  partial.Put("books.xml", index::BuildDocumentIndexes(
+                               *db_->GetDocument("books.xml")));
+  engine::ViewSearchEngine engine(db_.get(), &partial, store_.get());
+  auto response = engine.SearchView(workload::BookRevView(), {"xml"},
+                                    engine::SearchOptions{});
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kNotFound);
+
+  baseline::GtpTermJoinEngine gtp(db_.get(), &partial, store_.get());
+  auto gtp_response = gtp.SearchView(workload::BookRevView(), {"xml"},
+                                     engine::SearchOptions{});
+  ASSERT_FALSE(gtp_response.ok());
+  EXPECT_EQ(gtp_response.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(InjectionFixture, RecursiveFunctionIsRejected) {
+  engine::ViewSearchEngine engine(db_.get(), indexes_.get(), store_.get());
+  auto response = engine.SearchView(
+      "declare function spin($x) { spin($x) } "
+      "spin(fn:doc(books.xml)//book)",
+      {"xml"}, engine::SearchOptions{});
+  EXPECT_FALSE(response.ok());
+}
+
+TEST_F(InjectionFixture, RecursiveFunctionInEvaluatorIsBounded) {
+  auto query = xquery::ParseQuery(
+      "declare function spin($x) { spin($x) } "
+      "spin(fn:doc(books.xml)//book)");
+  ASSERT_TRUE(query.ok());
+  xquery::Evaluator evaluator(db_.get());
+  auto result = evaluator.Evaluate(*query);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kEvalError);
+}
+
+TEST_F(InjectionFixture, WrongArityFunctionCall) {
+  auto query = xquery::ParseQuery(
+      "declare function f($a, $b) { $a } f(fn:doc(books.xml))");
+  ASSERT_TRUE(query.ok());
+  xquery::Evaluator evaluator(db_.get());
+  EXPECT_FALSE(evaluator.Evaluate(*query).ok());
+}
+
+TEST_F(InjectionFixture, ViewsOutsideTheGrammarAreRejectedUpfront) {
+  engine::ViewSearchEngine engine(db_.get(), indexes_.get(), store_.get());
+  // Navigation into constructed content is outside the supported subset.
+  auto response = engine.SearchView(
+      "for $x in <a><b>t</b></a> return $x/b", {"t"},
+      engine::SearchOptions{});
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(InjectionFixture, EmptyKeywordListIsHarmless) {
+  engine::ViewSearchEngine engine(db_.get(), indexes_.get(), store_.get());
+  engine::SearchOptions options;
+  options.top_k = 3;
+  auto response =
+      engine.SearchView(workload::BookRevView(), {}, options);
+  ASSERT_TRUE(response.ok()) << response.status();
+  // Conjunctive over zero keywords keeps every view result.
+  EXPECT_EQ(response->stats.matching_results,
+            response->stats.view_results);
+  EXPECT_LE(response->hits.size(), 3u);
+}
+
+TEST_F(InjectionFixture, EmptyDatabase) {
+  xml::Database empty;
+  auto indexes = index::BuildDatabaseIndexes(empty);
+  storage::DocumentStore store(empty);
+  engine::ViewSearchEngine engine(&empty, indexes.get(), &store);
+  auto response = engine.SearchView("fn:doc(books.xml)//book", {"x"},
+                                    engine::SearchOptions{});
+  EXPECT_FALSE(response.ok());
+}
+
+TEST_F(InjectionFixture, KeywordsAreCaseNormalized) {
+  engine::ViewSearchEngine engine(db_.get(), indexes_.get(), store_.get());
+  auto upper = engine.SearchView(workload::BookRevView(), {"XML"},
+                                 engine::SearchOptions{});
+  auto lower = engine.SearchView(workload::BookRevView(), {"xml"},
+                                 engine::SearchOptions{});
+  ASSERT_TRUE(upper.ok() && lower.ok());
+  EXPECT_EQ(upper->stats.matching_results, lower->stats.matching_results);
+}
+
+}  // namespace
+}  // namespace quickview

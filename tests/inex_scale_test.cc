@@ -1,0 +1,121 @@
+// Medium-scale integration: the invariants the architecture promises,
+// checked on a ~1 MB INEX-like corpus with the default view.
+#include <gtest/gtest.h>
+
+#include "baseline/naive_engine.h"
+#include "engine/view_search_engine.h"
+#include "index/index_builder.h"
+#include "storage/document_store.h"
+#include "workload/inex_generator.h"
+#include "workload/view_factory.h"
+#include "xml/serializer.h"
+
+namespace quickview {
+namespace {
+
+class InexScaleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::InexOptions opts;
+    opts.target_bytes = 1 << 20;
+    database_ = workload::GenerateInexDatabase(opts);
+    indexes_ = index::BuildDatabaseIndexes(*database_);
+    store_ = std::make_unique<storage::DocumentStore>(*database_);
+    engine_ = std::make_unique<engine::ViewSearchEngine>(
+        database_.get(), indexes_.get(), store_.get());
+  }
+
+  std::shared_ptr<xml::Database> database_;
+  std::unique_ptr<index::DatabaseIndexes> indexes_;
+  std::unique_ptr<storage::DocumentStore> store_;
+  std::unique_ptr<engine::ViewSearchEngine> engine_;
+};
+
+TEST_F(InexScaleTest, ProbeCountIndependentOfDataSize) {
+  // PrepareLists probes scale with the query, not the data: compare probe
+  // counts on a corpus 4x larger.
+  auto small = engine_->SearchView(
+      workload::BuildInexView(workload::ViewSpec{}),
+      workload::KeywordsForTier(workload::KeywordTier::kMedium),
+      engine::SearchOptions{});
+  ASSERT_TRUE(small.ok()) << small.status();
+
+  workload::InexOptions big_opts;
+  big_opts.target_bytes = 4 << 20;
+  auto big_db = workload::GenerateInexDatabase(big_opts);
+  auto big_indexes = index::BuildDatabaseIndexes(*big_db);
+  storage::DocumentStore big_store(*big_db);
+  engine::ViewSearchEngine big_engine(big_db.get(), big_indexes.get(),
+                                      &big_store);
+  auto big = big_engine.SearchView(
+      workload::BuildInexView(workload::ViewSpec{}),
+      workload::KeywordsForTier(workload::KeywordTier::kMedium),
+      engine::SearchOptions{});
+  ASSERT_TRUE(big.ok()) << big.status();
+  EXPECT_EQ(small->stats.pdt.index_probes, big->stats.pdt.index_probes);
+  EXPECT_GT(big->stats.pdt.ids_processed, small->stats.pdt.ids_processed);
+}
+
+TEST_F(InexScaleTest, PdtsAreSmallFractionOfBase) {
+  auto response = engine_->SearchView(
+      workload::BuildInexView(workload::ViewSpec{}),
+      workload::KeywordsForTier(workload::KeywordTier::kMedium),
+      engine::SearchOptions{});
+  ASSERT_TRUE(response.ok());
+  const xml::Document* base = database_->GetDocument("inex.xml");
+  uint64_t base_bytes = xml::SubtreeByteLength(*base, base->root());
+  // The paper reports ~2 MB of PDTs per 500 MB (0.4%); we assert < 10%.
+  EXPECT_LT(response->stats.pdt.pdt_bytes, base_bytes / 10);
+}
+
+TEST_F(InexScaleTest, StoreFetchesBoundedByTopKResults) {
+  engine::SearchOptions options;
+  options.top_k = 5;
+  auto response = engine_->SearchView(
+      workload::BuildInexView(workload::ViewSpec{}),
+      workload::KeywordsForTier(workload::KeywordTier::kLow), options);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->hits.size(), 5u);
+  // Each hit has a handful of pruned nodes (title/bdy per article); a
+  // generous per-hit bound still excludes "touched the whole corpus".
+  EXPECT_LT(response->stats.store_fetches,
+            5u * 2u * (response->stats.view_results + 4));
+  EXPECT_LT(response->stats.store_bytes,
+            xml::SubtreeByteLength(*database_->GetDocument("inex.xml"), 0));
+}
+
+TEST_F(InexScaleTest, ScoresAgreeWithBaselineAtScale) {
+  baseline::NaiveEngine naive(database_.get());
+  auto eff = engine_->SearchView(
+      workload::BuildInexView(workload::ViewSpec{}),
+      workload::KeywordsForTier(workload::KeywordTier::kMedium),
+      engine::SearchOptions{});
+  auto base = naive.SearchView(
+      workload::BuildInexView(workload::ViewSpec{}),
+      workload::KeywordsForTier(workload::KeywordTier::kMedium),
+      engine::SearchOptions{});
+  ASSERT_TRUE(eff.ok() && base.ok());
+  ASSERT_EQ(eff->hits.size(), base->hits.size());
+  ASSERT_FALSE(eff->hits.empty());
+  for (size_t i = 0; i < eff->hits.size(); ++i) {
+    EXPECT_DOUBLE_EQ(eff->hits[i].score, base->hits[i].score);
+    EXPECT_EQ(eff->hits[i].xml, base->hits[i].xml);
+  }
+}
+
+TEST_F(InexScaleTest, DisjointKeywordTiersRankDifferently) {
+  auto low = engine_->SearchView(
+      workload::BuildInexView(workload::ViewSpec{}),
+      workload::KeywordsForTier(workload::KeywordTier::kLow),
+      engine::SearchOptions{});
+  auto high = engine_->SearchView(
+      workload::BuildInexView(workload::ViewSpec{}),
+      workload::KeywordsForTier(workload::KeywordTier::kHigh),
+      engine::SearchOptions{});
+  ASSERT_TRUE(low.ok() && high.ok());
+  // Frequent terms match far more view results than rare terms.
+  EXPECT_GT(low->stats.matching_results, high->stats.matching_results);
+}
+
+}  // namespace
+}  // namespace quickview

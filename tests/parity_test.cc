@@ -1,0 +1,185 @@
+// Theorem 4.1 as a test suite: keyword search over the virtual view via
+// the Efficient engine (indices + PDTs, deferred materialization) must
+// produce exactly the same results — same XML, same tf values, same byte
+// lengths, same scores, same rank order — as the Baseline engine that
+// materializes the entire view first. The GTP baseline must also agree.
+#include <gtest/gtest.h>
+
+#include "baseline/gtp_termjoin.h"
+#include "xml/parser.h"
+#include "baseline/naive_engine.h"
+#include "engine/view_search_engine.h"
+#include "index/index_builder.h"
+#include "storage/document_store.h"
+#include "workload/bookrev_generator.h"
+#include "workload/inex_generator.h"
+#include "workload/view_factory.h"
+
+namespace quickview {
+namespace {
+
+void ExpectSameResponses(const engine::SearchResponse& a,
+                         const engine::SearchResponse& b,
+                         const std::string& label) {
+  EXPECT_EQ(a.stats.view_results, b.stats.view_results) << label;
+  EXPECT_EQ(a.stats.matching_results, b.stats.matching_results) << label;
+  ASSERT_EQ(a.hits.size(), b.hits.size()) << label;
+  for (size_t i = 0; i < a.hits.size(); ++i) {
+    SCOPED_TRACE(label + " hit " + std::to_string(i));
+    EXPECT_EQ(a.hits[i].tf, b.hits[i].tf);
+    EXPECT_EQ(a.hits[i].byte_length, b.hits[i].byte_length);
+    EXPECT_DOUBLE_EQ(a.hits[i].score, b.hits[i].score);
+    EXPECT_EQ(a.hits[i].xml, b.hits[i].xml);
+  }
+}
+
+class ParityFixture {
+ public:
+  explicit ParityFixture(std::shared_ptr<xml::Database> db)
+      : db_(std::move(db)),
+        indexes_(index::BuildDatabaseIndexes(*db_)),
+        store_(*db_),
+        efficient_(db_.get(), indexes_.get(), &store_),
+        naive_(db_.get()),
+        gtp_(db_.get(), indexes_.get(), &store_) {}
+
+  void Check(const std::string& view,
+             const std::vector<std::string>& keywords, bool conjunctive,
+             size_t top_k) {
+    engine::SearchOptions options;
+    options.top_k = top_k;
+    options.conjunctive = conjunctive;
+    auto eff = efficient_.SearchView(view, keywords, options);
+    ASSERT_TRUE(eff.ok()) << eff.status();
+    auto naive = naive_.SearchView(view, keywords, options);
+    ASSERT_TRUE(naive.ok()) << naive.status();
+    ExpectSameResponses(*eff, *naive, "efficient-vs-naive");
+    auto gtp = gtp_.SearchView(view, keywords, options);
+    ASSERT_TRUE(gtp.ok()) << gtp.status();
+    ExpectSameResponses(*gtp, *naive, "gtp-vs-naive");
+  }
+
+ private:
+  std::shared_ptr<xml::Database> db_;
+  std::unique_ptr<index::DatabaseIndexes> indexes_;
+  storage::DocumentStore store_;
+  engine::ViewSearchEngine efficient_;
+  baseline::NaiveEngine naive_;
+  baseline::GtpTermJoinEngine gtp_;
+};
+
+TEST(ParityTest, PaperFig2ViewConjunctive) {
+  ParityFixture fixture(
+      workload::GenerateBookRevDatabase(workload::BookRevOptions{}));
+  fixture.Check(workload::BookRevView(), {"xml", "search"}, true, 10);
+}
+
+TEST(ParityTest, PaperFig2ViewDisjunctive) {
+  ParityFixture fixture(
+      workload::GenerateBookRevDatabase(workload::BookRevOptions{}));
+  fixture.Check(workload::BookRevView(), {"xml", "database"}, false, 10);
+}
+
+TEST(ParityTest, SingleAndManyKeywords) {
+  ParityFixture fixture(
+      workload::GenerateBookRevDatabase(workload::BookRevOptions{}));
+  fixture.Check(workload::BookRevView(), {"search"}, true, 5);
+  fixture.Check(workload::BookRevView(),
+                {"xml", "search", "web", "database"}, false, 20);
+}
+
+TEST(ParityTest, SelectionOnlyView) {
+  ParityFixture fixture(
+      workload::GenerateBookRevDatabase(workload::BookRevOptions{}));
+  fixture.Check(
+      "for $b in fn:doc(books.xml)/books//book where $b/year > 2000 "
+      "return <hit>{$b/title}</hit>",
+      {"xml"}, true, 10);
+}
+
+TEST(ParityTest, ReturnWholeElement) {
+  ParityFixture fixture(
+      workload::GenerateBookRevDatabase(workload::BookRevOptions{}));
+  fixture.Check(
+      "for $b in fn:doc(books.xml)/books//book[./year > 1998] return $b",
+      {"xml", "practice"}, true, 10);
+}
+
+TEST(ParityTest, KeywordInConstructedTagName) {
+  // "pub" appears only as a constructed tag: both engines must count it.
+  ParityFixture fixture(
+      workload::GenerateBookRevDatabase(workload::BookRevOptions{}));
+  fixture.Check(
+      "for $b in fn:doc(books.xml)/books//book "
+      "return <pub>{$b/title}</pub>",
+      {"pub", "xml"}, true, 10);
+}
+
+TEST(ParityTest, InexDefaultView) {
+  workload::InexOptions opts;
+  opts.target_bytes = 80 * 1024;
+  ParityFixture fixture(workload::GenerateInexDatabase(opts));
+  workload::ViewSpec spec;
+  fixture.Check(workload::BuildInexView(spec),
+                workload::KeywordsForTier(workload::KeywordTier::kMedium),
+                true, 10);
+}
+
+TEST(ParityTest, InexAllJoinCounts) {
+  workload::InexOptions opts;
+  opts.target_bytes = 40 * 1024;
+  ParityFixture fixture(workload::GenerateInexDatabase(opts));
+  for (int joins = 0; joins <= 4; ++joins) {
+    SCOPED_TRACE("joins=" + std::to_string(joins));
+    workload::ViewSpec spec;
+    spec.num_joins = joins;
+    fixture.Check(workload::BuildInexView(spec), {"ieee", "computing"},
+                  true, 10);
+  }
+}
+
+TEST(ParityTest, InexAllNestingLevels) {
+  workload::InexOptions opts;
+  opts.target_bytes = 40 * 1024;
+  ParityFixture fixture(workload::GenerateInexDatabase(opts));
+  for (int nesting = 1; nesting <= 4; ++nesting) {
+    SCOPED_TRACE("nesting=" + std::to_string(nesting));
+    workload::ViewSpec spec;
+    spec.nesting_level = nesting;
+    fixture.Check(workload::BuildInexView(spec), {"thomas", "control"},
+                  true, 10);
+  }
+}
+
+TEST(ParityTest, LetBoundContentWithMissingChild) {
+  // Regression: a let-bound path must not prune elements lacking the
+  // child — `let $t in $b/title` still yields a result for title-less
+  // books (unlike a `for`), so the QPT edge must be optional.
+  auto books = xml::ParseXml(
+      "<books><book><isbn>1</isbn><title>xml search</title></book>"
+      "<book><isbn>2</isbn></book></books>",
+      1);
+  ASSERT_TRUE(books.ok());
+  auto db = std::make_shared<xml::Database>();
+  db->AddDocument("books.xml", *books);
+  ParityFixture fixture(db);
+  fixture.Check(
+      "for $b in fn:doc(books.xml)/books//book "
+      "let $t in $b/title return <r><got>{$t}</got>,{$b/isbn}</r>",
+      {"isbn"}, true, 10);
+}
+
+TEST(ParityTest, AllSelectivityTiers) {
+  workload::InexOptions opts;
+  opts.target_bytes = 60 * 1024;
+  ParityFixture fixture(workload::GenerateInexDatabase(opts));
+  for (auto tier : {workload::KeywordTier::kLow, workload::KeywordTier::kMedium,
+                    workload::KeywordTier::kHigh}) {
+    workload::ViewSpec spec;
+    fixture.Check(workload::BuildInexView(spec),
+                  workload::KeywordsForTier(tier), true, 10);
+  }
+}
+
+}  // namespace
+}  // namespace quickview

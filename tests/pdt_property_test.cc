@@ -1,0 +1,218 @@
+// Property tests for PDT generation: on randomized documents and QPTs
+// (including repeating tags and '//' chains), the single-merge-pass
+// GeneratePdt must produce exactly the element set defined by the paper's
+// Definitions 1-3 — CE (descendant constraints, bottom-up) intersected
+// with ancestor constraints (PE, top-down) — computed here by brute force
+// directly over the document.
+#include <map>
+#include <random>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "index/index_builder.h"
+#include "pdt/generate_pdt.h"
+#include "qpt/qpt.h"
+#include "xml/dom.h"
+
+namespace quickview::pdt {
+namespace {
+
+using xml::DeweyId;
+using xml::Document;
+using xml::NodeIndex;
+
+// ---- Brute-force Definitions 1-3 ----
+
+bool SatisfiesPreds(const qpt::QptNode& qnode, const xml::Node& node) {
+  for (const qpt::QptPredicate& pred : qnode.preds) {
+    if (!pred.Matches(node.text)) return false;
+  }
+  return true;
+}
+
+/// CE(n, D) by structural recursion over Definition 1 (bottom-up).
+void ComputeCe(const qpt::Qpt& qpt, const Document& doc,
+               std::vector<std::set<DeweyId>>* ce) {
+  ce->assign(qpt.nodes.size(), {});
+  // Children have larger indices; visit bottom-up.
+  for (size_t n = qpt.nodes.size(); n-- > 1;) {
+    const qpt::QptNode& qnode = qpt.nodes[n];
+    for (NodeIndex i = 0; i < doc.size(); ++i) {
+      const xml::Node& node = doc.node(i);
+      if (node.tag != qnode.tag) continue;
+      if (!SatisfiesPreds(qnode, node)) continue;
+      bool ok = true;
+      for (int child : qpt.nodes[n].children) {
+        if (!qpt.nodes[child].parent_mandatory) continue;
+        bool found = false;
+        for (const DeweyId& cid : (*ce)[child]) {
+          bool related = qpt.nodes[child].parent_descendant
+                             ? node.id.IsAncestorOf(cid)
+                             : node.id.IsParentOf(cid);
+          if (related) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) (*ce)[n].insert(node.id);
+    }
+  }
+}
+
+/// PE(n, D) per Definition 2 (top-down), with the virtual document root
+/// as QPT node 0 (its '/' children must sit at depth 1).
+void ComputePe(const qpt::Qpt& qpt, const std::vector<std::set<DeweyId>>& ce,
+               std::vector<std::set<DeweyId>>* pe) {
+  pe->assign(qpt.nodes.size(), {});
+  for (size_t n = 1; n < qpt.nodes.size(); ++n) {
+    const qpt::QptNode& qnode = qpt.nodes[n];
+    for (const DeweyId& id : ce[n]) {
+      bool ok;
+      if (qnode.parent == 0) {
+        ok = qnode.parent_descendant || id.depth() == 1;
+      } else {
+        ok = false;
+        for (const DeweyId& pid : (*pe)[qnode.parent]) {
+          bool related = qnode.parent_descendant ? pid.IsAncestorOf(id)
+                                                 : pid.IsParentOf(id);
+          if (related) {
+            ok = true;
+            break;
+          }
+        }
+      }
+      if (ok) (*pe)[n].insert(id);
+    }
+  }
+}
+
+std::set<DeweyId> BruteForcePdtIds(const qpt::Qpt& qpt, const Document& doc) {
+  std::vector<std::set<DeweyId>> ce;
+  ComputeCe(qpt, doc, &ce);
+  std::vector<std::set<DeweyId>> pe;
+  ComputePe(qpt, ce, &pe);
+  std::set<DeweyId> out;
+  for (size_t n = 1; n < qpt.nodes.size(); ++n) {
+    out.insert(pe[n].begin(), pe[n].end());
+  }
+  return out;
+}
+
+std::set<DeweyId> PdtIds(const Document& pdt) {
+  std::set<DeweyId> out;
+  for (NodeIndex i = 0; i < pdt.size(); ++i) {
+    if (pdt.node(i).tag != "qv:gap") out.insert(pdt.node(i).id);
+  }
+  return out;
+}
+
+// ---- Random instance generation ----
+
+constexpr const char* kTags[] = {"a", "b", "c", "d"};
+
+std::shared_ptr<Document> RandomDocument(std::mt19937_64* rng) {
+  auto doc = std::make_shared<Document>(1);
+  NodeIndex root = doc->CreateRoot(kTags[(*rng)() % 4]);
+  // Random tree: up to ~60 nodes, depth <= 5.
+  std::vector<std::pair<NodeIndex, int>> frontier = {{root, 1}};
+  int budget = 8 + static_cast<int>((*rng)() % 52);
+  while (budget > 0 && !frontier.empty()) {
+    size_t pick = (*rng)() % frontier.size();
+    auto [parent, depth] = frontier[pick];
+    NodeIndex child = doc->AddChild(parent, kTags[(*rng)() % 4]);
+    if ((*rng)() % 2 == 0) {
+      doc->node(child).text = std::to_string((*rng)() % 10);
+    }
+    if (depth < 5) frontier.emplace_back(child, depth + 1);
+    --budget;
+    if ((*rng)() % 4 == 0) frontier.erase(frontier.begin() + pick);
+  }
+  return doc;
+}
+
+qpt::Qpt RandomQpt(std::mt19937_64* rng) {
+  qpt::Qpt qpt;
+  qpt.source_doc = "doc.xml";
+  qpt.occurrence_name = "doc.xml#1";
+  qpt.nodes.push_back(qpt::QptNode{});
+  // 2-6 nodes, random shape; repeated tags very likely with 4 tags.
+  int count = 2 + static_cast<int>((*rng)() % 5);
+  for (int i = 0; i < count; ++i) {
+    int parent = static_cast<int>((*rng)() % qpt.nodes.size());
+    bool descendant = (*rng)() % 2 == 0;
+    bool mandatory = (*rng)() % 2 == 0;
+    if (parent == 0) mandatory = true;  // root edges are structural
+    int node = qpt.AddNode(parent, kTags[(*rng)() % 4], descendant,
+                           mandatory);
+    switch ((*rng)() % 6) {
+      case 0:
+        qpt.nodes[node].v_ann = true;
+        break;
+      case 1:
+        qpt.nodes[node].c_ann = true;
+        break;
+      case 2: {
+        qpt::QptPredicate pred;
+        pred.op = xquery::CompOp::kGt;
+        pred.number = static_cast<double>((*rng)() % 10);
+        pred.literal = std::to_string(static_cast<int>(pred.number));
+        pred.is_number = true;
+        // Predicates attach to leaves only (as GenerateQpts produces).
+        if (qpt.nodes[node].children.empty()) {
+          qpt.nodes[node].preds.push_back(pred);
+          qpt.nodes[node].v_ann = true;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  // A node that gained children cannot keep predicates (leaf-only).
+  for (auto& node : qpt.nodes) {
+    if (!node.children.empty()) node.preds.clear();
+  }
+  return qpt;
+}
+
+class PdtDefinitionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PdtDefinitionProperty, MergePassMatchesBruteForceDefinitions) {
+  std::mt19937_64 rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    std::shared_ptr<Document> doc = RandomDocument(&rng);
+    qpt::Qpt qpt = RandomQpt(&rng);
+    auto indexes = index::BuildDocumentIndexes(*doc);
+    auto pdt = GeneratePdt(qpt, *indexes, {}, nullptr);
+    ASSERT_TRUE(pdt.ok()) << pdt.status() << "\nQPT:\n" << qpt.ToString();
+    std::set<DeweyId> actual = PdtIds(**pdt);
+    std::set<DeweyId> expected = BruteForcePdtIds(qpt, *doc);
+    if (actual != expected) {
+      std::string msg = "QPT:\n" + qpt.ToString() + "\nexpected:";
+      for (const DeweyId& id : expected) msg += " " + id.ToString();
+      msg += "\nactual:";
+      for (const DeweyId& id : actual) msg += " " + id.ToString();
+      FAIL() << msg;
+    }
+    // Every materialized value must match the base document.
+    for (NodeIndex i = 0; i < (*pdt)->size(); ++i) {
+      const xml::Node& node = (*pdt)->node(i);
+      if (node.text.empty()) continue;
+      NodeIndex base = doc->FindByDewey(node.id);
+      ASSERT_NE(base, xml::kInvalidNode);
+      EXPECT_EQ(node.text, doc->node(base).text) << node.id.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PdtDefinitionProperty,
+                         ::testing::Range(1, 61));
+
+}  // namespace
+}  // namespace quickview::pdt

@@ -1,0 +1,132 @@
+// Persistence round-trips: a database and its indices written to disk and
+// loaded back must answer every query identically.
+#include "storage/persistence.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "engine/view_search_engine.h"
+#include "index/index_builder.h"
+#include "storage/document_store.h"
+#include "workload/bookrev_generator.h"
+#include "xml/serializer.h"
+
+namespace quickview::storage {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/qvdb_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    db_ = workload::GenerateBookRevDatabase(workload::BookRevOptions{});
+    indexes_ = index::BuildDatabaseIndexes(*db_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  std::shared_ptr<xml::Database> db_;
+  std::unique_ptr<index::DatabaseIndexes> indexes_;
+};
+
+TEST_F(PersistenceTest, DatabaseRoundTrip) {
+  ASSERT_TRUE(SaveDatabase(*db_, dir_).ok());
+  auto loaded = LoadDatabase(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ((*loaded)->documents().size(), db_->documents().size());
+  for (const auto& [name, doc] : db_->documents()) {
+    const xml::Document* reloaded = (*loaded)->GetDocument(name);
+    ASSERT_NE(reloaded, nullptr) << name;
+    EXPECT_EQ(reloaded->root_component(), doc->root_component());
+    EXPECT_EQ(xml::Serialize(*reloaded), xml::Serialize(*doc));
+  }
+}
+
+TEST_F(PersistenceTest, IndexRoundTripAnswersIdentically) {
+  ASSERT_TRUE(SaveDatabase(*db_, dir_).ok());
+  ASSERT_TRUE(SaveIndexes(*db_, *indexes_, dir_).ok());
+  auto loaded_db = LoadDatabase(dir_);
+  ASSERT_TRUE(loaded_db.ok());
+  auto loaded_idx = LoadIndexes(**loaded_db, dir_);
+  ASSERT_TRUE(loaded_idx.ok()) << loaded_idx.status();
+
+  // Full searches over original vs reloaded state agree exactly.
+  DocumentStore store_a(*db_);
+  DocumentStore store_b(**loaded_db);
+  engine::ViewSearchEngine original(db_.get(), indexes_.get(), &store_a);
+  engine::ViewSearchEngine reloaded(loaded_db->get(), loaded_idx->get(),
+                                    &store_b);
+  for (const auto& keywords :
+       std::vector<std::vector<std::string>>{{"xml", "search"},
+                                             {"database"}}) {
+    auto a = original.SearchView(workload::BookRevView(), keywords,
+                                 engine::SearchOptions{});
+    auto b = reloaded.SearchView(workload::BookRevView(), keywords,
+                                 engine::SearchOptions{});
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->hits.size(), b->hits.size());
+    for (size_t i = 0; i < a->hits.size(); ++i) {
+      EXPECT_EQ(a->hits[i].xml, b->hits[i].xml);
+      EXPECT_DOUBLE_EQ(a->hits[i].score, b->hits[i].score);
+    }
+  }
+}
+
+TEST_F(PersistenceTest, LoadFromMissingDirectory) {
+  auto loaded = LoadDatabase(dir_ + "_nope");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PersistenceTest, LoadIndexesMissingFilesIsNotFound) {
+  ASSERT_TRUE(SaveDatabase(*db_, dir_).ok());
+  auto loaded_db = LoadDatabase(dir_);
+  ASSERT_TRUE(loaded_db.ok());
+  auto loaded_idx = LoadIndexes(**loaded_db, dir_);
+  ASSERT_FALSE(loaded_idx.ok());
+  EXPECT_EQ(loaded_idx.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PersistenceTest, TruncatedIndexFileIsParseError) {
+  ASSERT_TRUE(SaveDatabase(*db_, dir_).ok());
+  ASSERT_TRUE(SaveIndexes(*db_, *indexes_, dir_).ok());
+  // Truncate one index file mid-record.
+  std::string victim = dir_ + "/idx_1.paths";
+  auto size = std::filesystem::file_size(victim);
+  std::filesystem::resize_file(victim, size / 2 + 3);
+  auto loaded_db = LoadDatabase(dir_);
+  ASSERT_TRUE(loaded_db.ok());
+  auto loaded_idx = LoadIndexes(**loaded_db, dir_);
+  EXPECT_FALSE(loaded_idx.ok());
+}
+
+TEST_F(PersistenceTest, ValuesWithSpecialBytesSurvive) {
+  xml::Database db;
+  auto doc = std::make_shared<xml::Document>(1);
+  xml::NodeIndex root = doc->CreateRoot("r");
+  doc->node(doc->AddChild(root, "v")).text = "line1\nline2 & <tag> 'q'";
+  db.AddDocument("special.xml", doc);
+  auto indexes = index::BuildDatabaseIndexes(db);
+  ASSERT_TRUE(SaveDatabase(db, dir_).ok());
+  ASSERT_TRUE(SaveIndexes(db, *indexes, dir_).ok());
+  auto loaded_db = LoadDatabase(dir_);
+  ASSERT_TRUE(loaded_db.ok()) << loaded_db.status();
+  auto loaded_idx = LoadIndexes(**loaded_db, dir_);
+  ASSERT_TRUE(loaded_idx.ok()) << loaded_idx.status();
+  const xml::Document* reloaded = (*loaded_db)->GetDocument("special.xml");
+  ASSERT_NE(reloaded, nullptr);
+  EXPECT_EQ(reloaded->node(1).text, "line1\nline2 & <tag> 'q'");
+  // Index row with the multi-line value survived.
+  index::PathPattern pattern{index::PathStep{false, "r"},
+                             index::PathStep{false, "v"}};
+  auto entries = loaded_idx->get()
+                     ->Get("special.xml")
+                     ->path_index.LookUpIdValue(pattern);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(*entries[0].value, "line1\nline2 & <tag> 'q'");
+}
+
+}  // namespace
+}  // namespace quickview::storage

@@ -1,0 +1,149 @@
+#include "pdt/prepare_lists.h"
+
+#include <gtest/gtest.h>
+
+#include "index/index_builder.h"
+#include "qpt/generate_qpt.h"
+#include "workload/bookrev_generator.h"
+#include "xml/parser.h"
+#include "xquery/parser.h"
+
+namespace quickview::pdt {
+namespace {
+
+qpt::Qpt QptFor(const std::string& view, size_t index = 0) {
+  auto query = xquery::ParseQuery(view);
+  EXPECT_TRUE(query.ok()) << query.status();
+  auto qpts = qpt::GenerateQpts(&*query);
+  EXPECT_TRUE(qpts.ok()) << qpts.status();
+  return std::move((*qpts)[index]);
+}
+
+TEST(InvListTest, SubtreeTfRangeSums) {
+  InvList inv;
+  inv.term = "xml";
+  for (const char* id : {"1.1", "1.1.2", "1.2", "1.10.1"}) {
+    inv.postings.push_back(index::Posting{xml::DeweyId::Parse(id), 2});
+  }
+  inv.BuildPrefix();
+  EXPECT_EQ(inv.SubtreeTf(xml::DeweyId::Parse("1")), 8u);
+  EXPECT_EQ(inv.SubtreeTf(xml::DeweyId::Parse("1.1")), 4u);  // incl. self
+  EXPECT_EQ(inv.SubtreeTf(xml::DeweyId::Parse("1.1.2")), 2u);
+  EXPECT_EQ(inv.SubtreeTf(xml::DeweyId::Parse("1.3")), 0u);
+  EXPECT_EQ(inv.SubtreeTf(xml::DeweyId::Parse("1.10")), 2u);
+}
+
+TEST(MapDepthsTest, SimpleChain) {
+  qpt::Qpt qpt;
+  qpt.nodes.push_back(qpt::QptNode{});
+  int books = qpt.AddNode(0, "books", false, true);
+  int book = qpt.AddNode(books, "book", true, true);
+  int isbn = qpt.AddNode(book, "isbn", false, true);
+  auto map = MapDepthsToQptNodes(qpt, isbn, "/books/book/isbn");
+  ASSERT_EQ(map.size(), 3u);
+  EXPECT_EQ(map[0], (std::vector<int>{books}));
+  EXPECT_EQ(map[1], (std::vector<int>{book}));
+  EXPECT_EQ(map[2], (std::vector<int>{isbn}));
+}
+
+TEST(MapDepthsTest, DescendantGapLeavesUnmappedDepths) {
+  qpt::Qpt qpt;
+  qpt.nodes.push_back(qpt::QptNode{});
+  int books = qpt.AddNode(0, "books", false, true);
+  int isbn = qpt.AddNode(books, "isbn", true, true);
+  auto map = MapDepthsToQptNodes(qpt, isbn, "/books/book/isbn");
+  ASSERT_EQ(map.size(), 3u);
+  EXPECT_EQ(map[0], (std::vector<int>{books}));
+  EXPECT_TRUE(map[1].empty());  // "book" matches no QPT node
+  EXPECT_EQ(map[2], (std::vector<int>{isbn}));
+}
+
+TEST(MapDepthsTest, RepeatingTagsMatchMultipleQptNodes) {
+  // QPT //a//a against data path /a/a/a: the middle element matches the
+  // first QPT node; the leaf element matches the second (Appendix E).
+  qpt::Qpt qpt;
+  qpt.nodes.push_back(qpt::QptNode{});
+  int a1 = qpt.AddNode(0, "a", true, true);
+  int a2 = qpt.AddNode(a1, "a", true, true);
+  auto map = MapDepthsToQptNodes(qpt, a2, "/a/a/a");
+  ASSERT_EQ(map.size(), 3u);
+  EXPECT_EQ(map[0], (std::vector<int>{a1}));
+  EXPECT_EQ(map[1], (std::vector<int>{a1}));  // both embeddings use depth<3
+  EXPECT_EQ(map[2], (std::vector<int>{a2}));
+}
+
+class PrepareListsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = workload::GenerateBookRevDatabase(workload::BookRevOptions{});
+    indexes_ = index::BuildDatabaseIndexes(*db_);
+  }
+
+  std::shared_ptr<xml::Database> db_;
+  std::unique_ptr<index::DatabaseIndexes> indexes_;
+};
+
+TEST_F(PrepareListsTest, ProbesAreBoundedByQuerySize) {
+  qpt::Qpt qpt = QptFor(workload::BookRevView(), 0);
+  auto lists = PrepareLists(qpt, *indexes_->Get("books.xml"),
+                            {"xml", "search"});
+  ASSERT_TRUE(lists.ok()) << lists.status();
+  // Probed nodes: year (pred leaf), title (c leaf), isbn (v leaf), book
+  // (no mandatory-child probe exemption does not apply: book has the
+  // mandatory year child and no v/c annotation -> not probed), books
+  // (has mandatory child -> not probed).
+  EXPECT_EQ(lists->path_lists.size(), 3u);
+  EXPECT_EQ(lists->index_probes, 3u);
+  EXPECT_EQ(lists->inv_lists.size(), 2u);
+}
+
+TEST_F(PrepareListsTest, PredicateFilteringHappensAtProbeTime) {
+  qpt::Qpt qpt = QptFor(workload::BookRevView(), 0);
+  auto lists = PrepareLists(qpt, *indexes_->Get("books.xml"), {});
+  ASSERT_TRUE(lists.ok());
+  const xml::Document& books = *db_->GetDocument("books.xml");
+  for (const PathList& list : lists->path_lists) {
+    if (qpt.nodes[list.qpt_node].tag != "year") continue;
+    for (const ListEntry& entry : list.entries) {
+      xml::NodeIndex node = books.FindByDewey(entry.id);
+      ASSERT_NE(node, xml::kInvalidNode);
+      EXPECT_GT(std::stoi(books.node(node).text), 1995);
+    }
+    EXPECT_FALSE(list.entries.empty());
+  }
+}
+
+TEST_F(PrepareListsTest, ValuesRideAlongForVNodes) {
+  qpt::Qpt qpt = QptFor(workload::BookRevView(), 1);  // review QPT
+  auto lists = PrepareLists(qpt, *indexes_->Get("reviews.xml"), {});
+  ASSERT_TRUE(lists.ok());
+  bool saw_isbn = false;
+  for (const PathList& list : lists->path_lists) {
+    if (qpt.nodes[list.qpt_node].tag != "isbn") continue;
+    saw_isbn = true;
+    ASSERT_FALSE(list.entries.empty());
+    for (const ListEntry& entry : list.entries) {
+      EXPECT_TRUE(entry.value.has_value());
+    }
+  }
+  EXPECT_TRUE(saw_isbn);
+}
+
+TEST_F(PrepareListsTest, EntriesAreDeweyOrdered) {
+  qpt::Qpt qpt = QptFor(workload::BookRevView(), 0);
+  auto lists = PrepareLists(qpt, *indexes_->Get("books.xml"), {"xml"});
+  ASSERT_TRUE(lists.ok());
+  for (const PathList& list : lists->path_lists) {
+    for (size_t i = 1; i < list.entries.size(); ++i) {
+      EXPECT_LT(list.entries[i - 1].id, list.entries[i].id);
+    }
+  }
+  for (const InvList& inv : lists->inv_lists) {
+    for (size_t i = 1; i < inv.postings.size(); ++i) {
+      EXPECT_LT(inv.postings[i - 1].id, inv.postings[i].id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace quickview::pdt

@@ -1,0 +1,88 @@
+#include "baseline/projection.h"
+
+#include <gtest/gtest.h>
+
+#include "qpt/generate_qpt.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xquery/parser.h"
+
+namespace quickview::baseline {
+namespace {
+
+ProjectionPath MakePath(std::initializer_list<std::pair<bool, const char*>>
+                            steps,
+                        bool subtree) {
+  ProjectionPath out;
+  for (auto& [descendant, tag] : steps) {
+    out.pattern.push_back(index::PathStep{descendant, tag});
+  }
+  out.keep_subtree = subtree;
+  return out;
+}
+
+TEST(ProjectionTest, KeepsMatchesAndAncestors) {
+  auto doc = xml::ParseXml(
+      "<books><book><isbn>1</isbn><title>X</title></book>"
+      "<shelf><label>L</label></shelf></books>");
+  ASSERT_TRUE(doc.ok());
+  ProjectionStats stats;
+  auto projected = ProjectDocument(
+      **doc, {MakePath({{false, "books"}, {true, "isbn"}}, false)}, &stats);
+  EXPECT_EQ(xml::Serialize(*projected),
+            "<books><book><isbn>1</isbn></book></books>");
+  EXPECT_EQ(stats.elements_scanned, (*doc)->size());  // full scan, always
+  EXPECT_EQ(stats.elements_kept, 3u);
+}
+
+TEST(ProjectionTest, SubtreeAnnotationMaterializesDescendants) {
+  auto doc = xml::ParseXml(
+      "<books><book><title>X</title><body><p>text</p></body></book>"
+      "</books>");
+  ASSERT_TRUE(doc.ok());
+  auto projected = ProjectDocument(
+      **doc, {MakePath({{true, "body"}}, true)}, nullptr);
+  EXPECT_EQ(xml::Serialize(*projected),
+            "<books><book><body><p>text</p></body></book></books>");
+}
+
+TEST(ProjectionTest, IsolatedPathsIgnoreTwigConstraints) {
+  // PROJ semantics (paper §4): for books//book/isbn it keeps ALL books
+  // with isbns — the year > 1995 twig filter is not applied. This is one
+  // of the differences between PROJ and PDTs the paper calls out.
+  auto doc = xml::ParseXml(
+      "<books><book><isbn>1</isbn><year>1990</year></book></books>");
+  ASSERT_TRUE(doc.ok());
+  auto query = xquery::ParseQuery(
+      "for $b in fn:doc(books.xml)/books//book where $b/year > 1995 "
+      "return <r>{$b/isbn}</r>");
+  ASSERT_TRUE(query.ok());
+  auto qpts = qpt::GenerateQpts(&*query);
+  ASSERT_TRUE(qpts.ok());
+  auto paths = ProjectionPathsFromQpt((*qpts)[0]);
+  auto projected = ProjectDocument(**doc, paths, nullptr);
+  // The 1990 book survives projection (PDT generation would prune it).
+  EXPECT_NE(xml::Serialize(*projected).find("<isbn>1</isbn>"),
+            std::string::npos);
+}
+
+TEST(ProjectionTest, NoMatchesYieldsEmptyDocument) {
+  auto doc = xml::ParseXml("<a><b/></a>");
+  ASSERT_TRUE(doc.ok());
+  auto projected =
+      ProjectDocument(**doc, {MakePath({{true, "zzz"}}, false)}, nullptr);
+  EXPECT_FALSE(projected->has_root());
+}
+
+TEST(ProjectionTest, PreservesDeweyIds) {
+  auto doc = xml::ParseXml("<a><skip/><b>x</b></a>");
+  ASSERT_TRUE(doc.ok());
+  auto projected =
+      ProjectDocument(**doc, {MakePath({{true, "b"}}, false)}, nullptr);
+  xml::NodeIndex b = projected->FindByDewey(xml::DeweyId::Parse("1.2"));
+  ASSERT_NE(b, xml::kInvalidNode);
+  EXPECT_EQ(projected->node(b).tag, "b");
+}
+
+}  // namespace
+}  // namespace quickview::baseline

@@ -1,0 +1,76 @@
+// Appendix D's equivalence claim, as tests: surface query forms and their
+// core-grammar normalizations must generate structurally identical QPTs —
+// path predicates vs where clauses, let-bound paths vs inlined paths,
+// function calls vs inlined bodies.
+#include <gtest/gtest.h>
+
+#include "qpt/generate_qpt.h"
+#include "xquery/parser.h"
+
+namespace quickview::qpt {
+namespace {
+
+/// Canonical structural rendering, ignoring occurrence names.
+std::string Shape(const std::string& view) {
+  auto query = xquery::ParseQuery(view);
+  EXPECT_TRUE(query.ok()) << query.status() << "\n" << view;
+  if (!query.ok()) return "";
+  auto qpts = GenerateQpts(&*query);
+  EXPECT_TRUE(qpts.ok()) << qpts.status() << "\n" << view;
+  if (!qpts.ok()) return "";
+  std::string out;
+  for (const Qpt& qpt : *qpts) out += qpt.ToString() + "---\n";
+  return out;
+}
+
+TEST(QptEquivalenceTest, PathPredicateEqualsWhereClause) {
+  std::string with_pred =
+      "for $b in fn:doc(d.xml)/books//book[./year > 1995] "
+      "return <r>{$b/title}</r>";
+  std::string with_where =
+      "for $b in fn:doc(d.xml)/books//book where $b/year > 1995 "
+      "return <r>{$b/title}</r>";
+  EXPECT_EQ(Shape(with_pred), Shape(with_where));
+}
+
+TEST(QptEquivalenceTest, BareTagPredicateEqualsContextPredicate) {
+  EXPECT_EQ(Shape("fn:doc(d.xml)//book[year > 1995]"),
+            Shape("fn:doc(d.xml)//book[./year > 1995]"));
+}
+
+TEST(QptEquivalenceTest, FunctionCallEqualsInlinedBody) {
+  std::string with_function =
+      "declare function titled($b) { <r>{$b/title}</r> } "
+      "for $b in fn:doc(d.xml)//book return titled($b)";
+  std::string inlined =
+      "for $b in fn:doc(d.xml)//book return <r>{$b/title}</r>";
+  EXPECT_EQ(Shape(with_function), Shape(inlined));
+}
+
+TEST(QptEquivalenceTest, LetBoundPathEqualsInlinedPath) {
+  std::string with_let =
+      "for $b in fn:doc(d.xml)//book "
+      "let $t in $b/title return <r>{$t}</r>";
+  std::string inlined =
+      "for $b in fn:doc(d.xml)//book return <r>{$b/title}</r>";
+  EXPECT_EQ(Shape(with_let), Shape(inlined));
+}
+
+TEST(QptEquivalenceTest, SequenceReturnEqualsConstructorChildren) {
+  // (a, b) in a return behaves like two constructor children w.r.t.
+  // optionality: both forms yield optional first edges.
+  std::string as_sequence =
+      "for $b in fn:doc(d.xml)//book return ($b/title, $b/isbn)";
+  std::string as_ctor =
+      "for $b in fn:doc(d.xml)//book return <r>{$b/title}, {$b/isbn}</r>";
+  EXPECT_EQ(Shape(as_sequence), Shape(as_ctor));
+}
+
+TEST(QptEquivalenceTest, WhereExistenceEqualsPredicateExistence) {
+  EXPECT_EQ(Shape("for $b in fn:doc(d.xml)//book[./isbn] return $b"),
+            Shape("for $b in fn:doc(d.xml)//book where $b/isbn "
+                  "return $b"));
+}
+
+}  // namespace
+}  // namespace quickview::qpt

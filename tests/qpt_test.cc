@@ -1,0 +1,219 @@
+#include "qpt/generate_qpt.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/bookrev_generator.h"
+#include "xquery/parser.h"
+
+namespace quickview::qpt {
+namespace {
+
+/// Finds the child of `parent` with the given tag; -1 if absent.
+int FindChild(const Qpt& qpt, int parent, const std::string& tag) {
+  for (int child : qpt.nodes[parent].children) {
+    if (qpt.nodes[child].tag == tag) return child;
+  }
+  return -1;
+}
+
+TEST(GenerateQptTest, PaperFig2ViewProducesFig6Qpts) {
+  auto query = xquery::ParseQuery(workload::BookRevView());
+  ASSERT_TRUE(query.ok()) << query.status();
+  auto qpts = GenerateQpts(&*query);
+  ASSERT_TRUE(qpts.ok()) << qpts.status();
+  ASSERT_EQ(qpts->size(), 2u);
+
+  // --- Book QPT (paper Fig 6(a), left) ---
+  const Qpt& book_qpt = (*qpts)[0];
+  EXPECT_EQ(book_qpt.source_doc, "books.xml");
+  int books = FindChild(book_qpt, 0, "books");
+  ASSERT_GE(books, 0);
+  EXPECT_FALSE(book_qpt.nodes[books].parent_descendant);
+  EXPECT_TRUE(book_qpt.nodes[books].parent_mandatory);
+  int book = FindChild(book_qpt, books, "book");
+  ASSERT_GE(book, 0);
+  EXPECT_TRUE(book_qpt.nodes[book].parent_descendant);  // '//'
+
+  // year: mandatory edge with the > 1995 predicate (where clause).
+  int year = FindChild(book_qpt, book, "year");
+  ASSERT_GE(year, 0);
+  EXPECT_TRUE(book_qpt.nodes[year].parent_mandatory);
+  ASSERT_EQ(book_qpt.nodes[year].preds.size(), 1u);
+  EXPECT_EQ(book_qpt.nodes[year].preds[0].op, xquery::CompOp::kGt);
+  EXPECT_EQ(book_qpt.nodes[year].preds[0].number, 1995);
+
+  // title: optional edge (inside the constructor), content-annotated.
+  int title = FindChild(book_qpt, book, "title");
+  ASSERT_GE(title, 0);
+  EXPECT_FALSE(book_qpt.nodes[title].parent_mandatory);
+  EXPECT_TRUE(book_qpt.nodes[title].c_ann);
+  EXPECT_FALSE(book_qpt.nodes[title].v_ann);
+
+  // isbn: optional edge (used by the nested FLWOR's join), value-annotated
+  // ("a book can be present in the view result even if it does not have an
+  // isbn number").
+  int isbn = FindChild(book_qpt, book, "isbn");
+  ASSERT_GE(isbn, 0);
+  EXPECT_FALSE(book_qpt.nodes[isbn].parent_mandatory);
+  EXPECT_TRUE(book_qpt.nodes[isbn].v_ann);
+  EXPECT_FALSE(book_qpt.nodes[isbn].c_ann);
+
+  // --- Review QPT (paper Fig 6(a), right) ---
+  const Qpt& review_qpt = (*qpts)[1];
+  EXPECT_EQ(review_qpt.source_doc, "reviews.xml");
+  int reviews = FindChild(review_qpt, 0, "reviews");
+  int review = FindChild(review_qpt, reviews, "review");
+  ASSERT_GE(review, 0);
+  // isbn: mandatory ("a review is of no relevance to query execution
+  // unless it has an isbn number").
+  int risbn = FindChild(review_qpt, review, "isbn");
+  ASSERT_GE(risbn, 0);
+  EXPECT_TRUE(review_qpt.nodes[risbn].parent_mandatory);
+  EXPECT_TRUE(review_qpt.nodes[risbn].v_ann);
+  int content = FindChild(review_qpt, review, "content");
+  ASSERT_GE(content, 0);
+  EXPECT_TRUE(review_qpt.nodes[content].c_ann);
+}
+
+TEST(GenerateQptTest, RewritesDocNamesToOccurrenceNames) {
+  auto query = xquery::ParseQuery("fn:doc(books.xml)//title");
+  ASSERT_TRUE(query.ok());
+  auto qpts = GenerateQpts(&*query);
+  ASSERT_TRUE(qpts.ok()) << qpts.status();
+  ASSERT_EQ(qpts->size(), 1u);
+  EXPECT_EQ((*qpts)[0].source_doc, "books.xml");
+  EXPECT_NE((*qpts)[0].occurrence_name, "books.xml");
+  // The AST now references the occurrence name.
+  EXPECT_NE(xquery::ExprToString(*query->body).find(
+                (*qpts)[0].occurrence_name),
+            std::string::npos);
+}
+
+TEST(GenerateQptTest, MultipleOccurrencesOfSameDocument) {
+  auto query = xquery::ParseQuery(
+      "for $a in fn:doc(d.xml)//a return "
+      "<r>{for $b in fn:doc(d.xml)//b where $b/k = $a/k return $b}</r>");
+  ASSERT_TRUE(query.ok());
+  auto qpts = GenerateQpts(&*query);
+  ASSERT_TRUE(qpts.ok()) << qpts.status();
+  ASSERT_EQ(qpts->size(), 2u);
+  EXPECT_EQ((*qpts)[0].source_doc, "d.xml");
+  EXPECT_EQ((*qpts)[1].source_doc, "d.xml");
+  EXPECT_NE((*qpts)[0].occurrence_name, (*qpts)[1].occurrence_name);
+}
+
+TEST(GenerateQptTest, PlainPathReturnKeepsMandatoryEdge) {
+  // `return $b/title` (no constructor): a book without title contributes
+  // nothing, so pruning books without titles is sound and the edge is
+  // mandatory — in contrast to `return <r>{$b/title}</r>`.
+  auto query = xquery::ParseQuery(
+      "for $b in fn:doc(d.xml)//book return $b/title");
+  ASSERT_TRUE(query.ok());
+  auto qpts = GenerateQpts(&*query);
+  ASSERT_TRUE(qpts.ok());
+  const Qpt& qpt = (*qpts)[0];
+  int book = FindChild(qpt, 0, "book");
+  int title = FindChild(qpt, book, "title");
+  ASSERT_GE(title, 0);
+  EXPECT_TRUE(qpt.nodes[title].parent_mandatory);
+  EXPECT_TRUE(qpt.nodes[title].c_ann);
+}
+
+TEST(GenerateQptTest, ReturnVariableAnnotatesBindingNode) {
+  auto query = xquery::ParseQuery(
+      "for $b in fn:doc(d.xml)//book[./year > 1995] return $b");
+  ASSERT_TRUE(query.ok());
+  auto qpts = GenerateQpts(&*query);
+  ASSERT_TRUE(qpts.ok());
+  const Qpt& qpt = (*qpts)[0];
+  int book = FindChild(qpt, 0, "book");
+  ASSERT_GE(book, 0);
+  EXPECT_TRUE(qpt.nodes[book].c_ann);
+  // The predicate twig hangs off book with a value annotation.
+  int year = FindChild(qpt, book, "year");
+  ASSERT_GE(year, 0);
+  EXPECT_EQ(qpt.nodes[year].preds.size(), 1u);
+  EXPECT_TRUE(qpt.nodes[year].v_ann);
+}
+
+TEST(GenerateQptTest, PredicateAndOutputUsesStaySeparateNodes) {
+  // year is both filtered on and output: two distinct QPT nodes with the
+  // same tag (repeating-tag case handled by CTQNodeSet machinery).
+  auto query = xquery::ParseQuery(
+      "for $b in fn:doc(d.xml)//book where $b/year > 1995 "
+      "return <r>{$b/year}</r>");
+  ASSERT_TRUE(query.ok());
+  auto qpts = GenerateQpts(&*query);
+  ASSERT_TRUE(qpts.ok());
+  const Qpt& qpt = (*qpts)[0];
+  int book = FindChild(qpt, 0, "book");
+  int with_pred = -1;
+  int with_content = -1;
+  for (int child : qpt.nodes[book].children) {
+    if (qpt.nodes[child].tag != "year") continue;
+    if (!qpt.nodes[child].preds.empty()) with_pred = child;
+    if (qpt.nodes[child].c_ann) with_content = child;
+  }
+  ASSERT_GE(with_pred, 0);
+  ASSERT_GE(with_content, 0);
+  EXPECT_NE(with_pred, with_content);
+}
+
+TEST(GenerateQptTest, SharedJoinPathMergesIntoOneNode) {
+  auto query = xquery::ParseQuery(
+      "for $a in fn:doc(x.xml)//a for $b in fn:doc(y.xml)//b "
+      "where $a/k = $b/k return <r>{$a/k}</r>");
+  ASSERT_TRUE(query.ok());
+  auto qpts = GenerateQpts(&*query);
+  ASSERT_TRUE(qpts.ok());
+  const Qpt& a_qpt = (*qpts)[0];
+  int a = FindChild(a_qpt, 0, "a");
+  // $a/k used as join key and as output: one node, both annotations.
+  int count = 0;
+  for (int child : a_qpt.nodes[a].children) {
+    if (a_qpt.nodes[child].tag == "k") ++count;
+  }
+  EXPECT_EQ(count, 1);
+  int k = FindChild(a_qpt, a, "k");
+  EXPECT_TRUE(a_qpt.nodes[k].v_ann);
+  EXPECT_TRUE(a_qpt.nodes[k].c_ann);
+}
+
+TEST(GenerateQptTest, UnsupportedNavigationIntoConstructedContent) {
+  auto query = xquery::ParseQuery(
+      "for $x in <a><b>t</b></a> return $x/b");
+  ASSERT_TRUE(query.ok()) << query.status();
+  auto qpts = GenerateQpts(&*query);
+  EXPECT_FALSE(qpts.ok());
+  EXPECT_EQ(qpts.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(QptPredicateTest, NumericAndStringMatching) {
+  QptPredicate gt{xquery::CompOp::kGt, "1995", true, 1995};
+  EXPECT_TRUE(gt.Matches("1996"));
+  EXPECT_FALSE(gt.Matches("1995"));
+  // Non-numeric values fall back to string comparison — exactly the
+  // evaluator's general-comparison rule, which parity requires.
+  EXPECT_TRUE(gt.Matches("not-a-number"));   // "n..." > "1995" as strings
+  EXPECT_FALSE(gt.Matches("0-not-number"));  // "0..." < "1995" as strings
+  QptPredicate eq{xquery::CompOp::kEq, "Jane", false, 0};
+  EXPECT_TRUE(eq.Matches("Jane"));
+  EXPECT_FALSE(eq.Matches("John"));
+}
+
+TEST(QptTest, PatternForWalksToRoot) {
+  Qpt qpt;
+  qpt.nodes.push_back(QptNode{});
+  int books = qpt.AddNode(0, "books", false, true);
+  int book = qpt.AddNode(books, "book", true, true);
+  int isbn = qpt.AddNode(book, "isbn", false, true);
+  index::PathPattern pattern = qpt.PatternFor(isbn);
+  ASSERT_EQ(pattern.size(), 3u);
+  EXPECT_EQ(pattern[0].tag, "books");
+  EXPECT_TRUE(pattern[1].descendant);
+  EXPECT_EQ(pattern[2].tag, "isbn");
+  EXPECT_EQ(index::PatternToString(pattern), "/books//book/isbn");
+}
+
+}  // namespace
+}  // namespace quickview::qpt

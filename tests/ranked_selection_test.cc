@@ -1,0 +1,135 @@
+// The §7 monotone-selection fast path must be result-identical to the
+// full pipeline, and must refuse every non-monotone view shape.
+#include "engine/ranked_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "index/index_builder.h"
+#include "storage/document_store.h"
+#include "workload/bookrev_generator.h"
+#include "workload/inex_generator.h"
+#include "workload/view_factory.h"
+
+namespace quickview::engine {
+namespace {
+
+class RankedSelectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = workload::GenerateBookRevDatabase(workload::BookRevOptions{});
+    indexes_ = index::BuildDatabaseIndexes(*db_);
+    store_ = std::make_unique<storage::DocumentStore>(*db_);
+    engine_ = std::make_unique<ViewSearchEngine>(db_.get(), indexes_.get(),
+                                                 store_.get());
+  }
+
+  void ExpectAgreesWithFullPipeline(const std::string& view,
+                                    const std::vector<std::string>& keywords,
+                                    const SearchOptions& options) {
+    auto fast = RankedSelectionSearch(*db_, *indexes_, store_.get(), view,
+                                      keywords, options);
+    ASSERT_TRUE(fast.ok()) << fast.status();
+    auto full = engine_->SearchView(view, keywords, options);
+    ASSERT_TRUE(full.ok()) << full.status();
+    ASSERT_EQ(fast->hits.size(), full->hits.size());
+    EXPECT_EQ(fast->stats.view_results, full->stats.view_results);
+    EXPECT_EQ(fast->stats.matching_results, full->stats.matching_results);
+    EXPECT_EQ(fast->stats.view_bytes, full->stats.view_bytes);
+    for (size_t i = 0; i < fast->hits.size(); ++i) {
+      SCOPED_TRACE("hit " + std::to_string(i));
+      EXPECT_DOUBLE_EQ(fast->hits[i].score, full->hits[i].score);
+      EXPECT_EQ(fast->hits[i].tf, full->hits[i].tf);
+      EXPECT_EQ(fast->hits[i].byte_length, full->hits[i].byte_length);
+      EXPECT_EQ(fast->hits[i].xml, full->hits[i].xml);
+    }
+  }
+
+  std::shared_ptr<xml::Database> db_;
+  std::unique_ptr<index::DatabaseIndexes> indexes_;
+  std::unique_ptr<storage::DocumentStore> store_;
+  std::unique_ptr<ViewSearchEngine> engine_;
+};
+
+TEST_F(RankedSelectionTest, PlainSelectionAgrees) {
+  ExpectAgreesWithFullPipeline(
+      "for $b in fn:doc(books.xml)/books//book return $b",
+      {"xml", "search"}, SearchOptions{});
+}
+
+TEST_F(RankedSelectionTest, PredicateSelectionAgrees) {
+  ExpectAgreesWithFullPipeline(
+      "for $b in fn:doc(books.xml)/books//book[./year > 1998] return $b",
+      {"xml"}, SearchOptions{});
+}
+
+TEST_F(RankedSelectionTest, WhereSelectionAgrees) {
+  ExpectAgreesWithFullPipeline(
+      "for $b in fn:doc(books.xml)/books//book "
+      "where $b/publisher = 'Prentice Hall' return $b",
+      {"database"}, SearchOptions{});
+}
+
+TEST_F(RankedSelectionTest, DisjunctiveAndTopKAgree) {
+  SearchOptions options;
+  options.conjunctive = false;
+  options.top_k = 3;
+  ExpectAgreesWithFullPipeline(
+      "for $b in fn:doc(books.xml)/books//book return $b",
+      {"xml", "database"}, options);
+}
+
+TEST_F(RankedSelectionTest, SkipsEvaluationEntirely) {
+  auto fast = RankedSelectionSearch(
+      *db_, *indexes_, store_.get(),
+      "for $b in fn:doc(books.xml)/books//book return $b", {"xml"},
+      SearchOptions{});
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(fast->timings.eval_ms, 0.0);
+  EXPECT_FALSE(fast->hits.empty());
+}
+
+TEST_F(RankedSelectionTest, RejectsNonMonotoneShapes) {
+  const char* kRejected[] = {
+      // Join (non-monotonic per §7).
+      "for $b in fn:doc(books.xml)//book "
+      "for $r in fn:doc(reviews.xml)//review "
+      "where $r/isbn = $b/isbn return $b",
+      // Constructor output.
+      "for $b in fn:doc(books.xml)//book return <r>{$b/title}</r>",
+      // Projection of a child, not the bound element.
+      "for $b in fn:doc(books.xml)//book return $b/title",
+      // let clause.
+      "let $all in fn:doc(books.xml)//book return $all",
+  };
+  for (const char* view : kRejected) {
+    auto fast = RankedSelectionSearch(*db_, *indexes_, store_.get(), view,
+                                      {"xml"}, SearchOptions{});
+    ASSERT_FALSE(fast.ok()) << view;
+    EXPECT_EQ(fast.status().code(), StatusCode::kUnsupported) << view;
+  }
+}
+
+TEST_F(RankedSelectionTest, InexArticleSelectionAgrees) {
+  workload::InexOptions opts;
+  opts.target_bytes = 96 * 1024;
+  auto db = workload::GenerateInexDatabase(opts);
+  auto indexes = index::BuildDatabaseIndexes(*db);
+  storage::DocumentStore store(*db);
+  ViewSearchEngine full_engine(db.get(), indexes.get(), &store);
+  std::string view =
+      "for $a in fn:doc(inex.xml)/books//article[./year > 1995] return $a";
+  auto keywords = workload::KeywordsForTier(workload::KeywordTier::kMedium);
+  auto fast = RankedSelectionSearch(*db, *indexes, &store, view, keywords,
+                                    SearchOptions{});
+  ASSERT_TRUE(fast.ok()) << fast.status();
+  auto full = full_engine.SearchView(view, keywords, SearchOptions{});
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(fast->hits.size(), full->hits.size());
+  for (size_t i = 0; i < fast->hits.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fast->hits[i].score, full->hits[i].score);
+    EXPECT_EQ(fast->hits[i].xml, full->hits[i].xml);
+  }
+}
+
+}  // namespace
+}  // namespace quickview::engine

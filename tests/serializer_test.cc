@@ -1,0 +1,45 @@
+#include "xml/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace quickview::xml {
+namespace {
+
+TEST(SerializerTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(EscapeText("a&b<c>d\"e'f"),
+            "a&amp;b&lt;c&gt;d&quot;e&apos;f");
+}
+
+TEST(SerializerTest, SerializeSubtree) {
+  Document doc(1);
+  NodeIndex root = doc.CreateRoot("a");
+  NodeIndex b = doc.AddChild(root, "b");
+  doc.node(b).text = "x<y";
+  doc.AddChild(b, "c");
+  EXPECT_EQ(Serialize(doc, b), "<b>x&lt;y<c></c></b>");
+  EXPECT_EQ(Serialize(doc), "<a><b>x&lt;y<c></c></b></a>");
+}
+
+TEST(SerializerTest, EmptyDocument) {
+  Document doc(1);
+  EXPECT_EQ(Serialize(doc), "");
+}
+
+TEST(SerializerTest, ByteLengthMatchesSerializedSize) {
+  // Property: SubtreeByteLength must equal the actual serialized length —
+  // it is the len(e) used in score normalization (Theorem 4.1 part b).
+  auto result = ParseXml(
+      "<books><book isbn=\"1&amp;1\"><title>X &lt; Y</title>"
+      "<year>2004</year></book><empty/></books>");
+  ASSERT_TRUE(result.ok()) << result.status();
+  const Document& doc = **result;
+  for (NodeIndex i = 0; i < doc.size(); ++i) {
+    EXPECT_EQ(SubtreeByteLength(doc, i), Serialize(doc, i).size())
+        << "node " << i << " (" << doc.node(i).tag << ")";
+  }
+}
+
+}  // namespace
+}  // namespace quickview::xml

@@ -1,0 +1,39 @@
+#include "xml/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace quickview::xml {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplitsOnNonAlnum) {
+  EXPECT_EQ(Tokenize("XML Web-Services, 2nd ed."),
+            (std::vector<std::string>{"xml", "web", "services", "2nd",
+                                      "ed"}));
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("---").empty());
+}
+
+TEST(TokenizerTest, DirectTermsIncludeTagName) {
+  Node node;
+  node.tag = "book-title";
+  node.text = "XML search";
+  EXPECT_EQ(DirectTerms(node),
+            (std::vector<std::string>{"book", "title", "xml", "search"}));
+}
+
+TEST(TokenizerTest, SubtreeTermFrequencyCountsDescendants) {
+  auto result = ParseXml(
+      "<book><title>xml search</title>"
+      "<review><content>about xml</content></review></book>");
+  ASSERT_TRUE(result.ok());
+  const Document& doc = **result;
+  EXPECT_EQ(SubtreeTermFrequency(doc, doc.root(), "xml"), 2u);
+  EXPECT_EQ(SubtreeTermFrequency(doc, doc.root(), "search"), 1u);
+  EXPECT_EQ(SubtreeTermFrequency(doc, doc.root(), "book"), 1u);  // tag
+  EXPECT_EQ(SubtreeTermFrequency(doc, doc.root(), "absent"), 0u);
+}
+
+}  // namespace
+}  // namespace quickview::xml

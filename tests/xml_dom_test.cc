@@ -1,0 +1,81 @@
+#include "xml/dom.h"
+
+#include <gtest/gtest.h>
+
+namespace quickview::xml {
+namespace {
+
+TEST(DocumentTest, RootAndChildrenGetDeweyIds) {
+  Document doc(1);
+  NodeIndex root = doc.CreateRoot("books");
+  EXPECT_EQ(doc.node(root).id.ToString(), "1");
+  NodeIndex book1 = doc.AddChild(root, "book");
+  NodeIndex book2 = doc.AddChild(root, "book");
+  NodeIndex isbn = doc.AddChild(book1, "isbn");
+  EXPECT_EQ(doc.node(book1).id.ToString(), "1.1");
+  EXPECT_EQ(doc.node(book2).id.ToString(), "1.2");
+  EXPECT_EQ(doc.node(isbn).id.ToString(), "1.1.1");
+  EXPECT_EQ(doc.node(isbn).parent, book1);
+}
+
+TEST(DocumentTest, RootComponentIsConfigurable) {
+  Document doc(7);
+  doc.CreateRoot("reviews");
+  NodeIndex child = doc.AddChild(doc.root(), "review");
+  EXPECT_EQ(doc.node(child).id.ToString(), "7.1");
+}
+
+TEST(DocumentTest, AddChildWithSparseIds) {
+  Document doc(1);
+  NodeIndex root = doc.CreateRoot("books");
+  NodeIndex a = doc.AddChildWithId(root, "book", DeweyId::Parse("1.5"));
+  NodeIndex b = doc.AddChildWithId(root, "book", DeweyId::Parse("1.9"));
+  // Contiguous AddChild continues past the last sparse ordinal.
+  NodeIndex c = doc.AddChild(root, "book");
+  EXPECT_EQ(doc.node(a).id.ToString(), "1.5");
+  EXPECT_EQ(doc.node(b).id.ToString(), "1.9");
+  EXPECT_EQ(doc.node(c).id.ToString(), "1.10");
+}
+
+TEST(DocumentTest, FindByDeweyExactAndMissing) {
+  Document doc(1);
+  NodeIndex root = doc.CreateRoot("books");
+  NodeIndex book = doc.AddChildWithId(root, "book", DeweyId::Parse("1.4"));
+  NodeIndex isbn = doc.AddChildWithId(book, "isbn", DeweyId::Parse("1.4.2"));
+  EXPECT_EQ(doc.FindByDewey(DeweyId::Parse("1")), root);
+  EXPECT_EQ(doc.FindByDewey(DeweyId::Parse("1.4")), book);
+  EXPECT_EQ(doc.FindByDewey(DeweyId::Parse("1.4.2")), isbn);
+  EXPECT_EQ(doc.FindByDewey(DeweyId::Parse("1.4.1")), kInvalidNode);
+  EXPECT_EQ(doc.FindByDewey(DeweyId::Parse("2")), kInvalidNode);
+  EXPECT_EQ(doc.FindByDewey(DeweyId()), kInvalidNode);
+}
+
+TEST(DocumentTest, SubtreeNodesIsPreorder) {
+  Document doc(1);
+  NodeIndex root = doc.CreateRoot("a");
+  NodeIndex b = doc.AddChild(root, "b");
+  NodeIndex c = doc.AddChild(b, "c");
+  NodeIndex d = doc.AddChild(root, "d");
+  std::vector<NodeIndex> order = doc.SubtreeNodes(root);
+  EXPECT_EQ(order, (std::vector<NodeIndex>{root, b, c, d}));
+}
+
+TEST(DatabaseTest, LookupByNameAndRoot) {
+  Database db;
+  auto books = std::make_shared<Document>(1);
+  books->CreateRoot("books");
+  auto reviews = std::make_shared<Document>(2);
+  reviews->CreateRoot("reviews");
+  db.AddDocument("books.xml", books);
+  db.AddDocument("reviews.xml", reviews);
+
+  EXPECT_EQ(db.GetDocument("books.xml"), books.get());
+  EXPECT_EQ(db.GetDocument("missing.xml"), nullptr);
+  EXPECT_EQ(db.GetDocumentByRoot(2), reviews.get());
+  ASSERT_NE(db.GetNameByRoot(1), nullptr);
+  EXPECT_EQ(*db.GetNameByRoot(1), "books.xml");
+  EXPECT_EQ(db.NextRootComponent(), 3u);
+}
+
+}  // namespace
+}  // namespace quickview::xml

@@ -1,0 +1,93 @@
+#include "xquery/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace quickview::xquery {
+namespace {
+
+std::vector<TokenKind> KindsOf(const std::string& input) {
+  Lexer lexer(input);
+  std::vector<TokenKind> out;
+  while (true) {
+    Token t = lexer.Next();
+    if (t.kind == TokenKind::kEnd) break;
+    out.push_back(t.kind);
+  }
+  return out;
+}
+
+TEST(LexerTest, BasicTokens) {
+  EXPECT_EQ(KindsOf("for $x in fn:doc(books.xml)"),
+            (std::vector<TokenKind>{TokenKind::kIdent, TokenKind::kVariable,
+                                    TokenKind::kIdent, TokenKind::kIdent,
+                                    TokenKind::kLParen, TokenKind::kIdent,
+                                    TokenKind::kRParen}));
+}
+
+TEST(LexerTest, SlashVsSlashSlash) {
+  EXPECT_EQ(KindsOf("/a//b"),
+            (std::vector<TokenKind>{TokenKind::kSlash, TokenKind::kIdent,
+                                    TokenKind::kSlashSlash,
+                                    TokenKind::kIdent}));
+}
+
+TEST(LexerTest, DocNameWithDot) {
+  Lexer lexer("books.xml");
+  Token t = lexer.Next();
+  EXPECT_EQ(t.kind, TokenKind::kIdent);
+  EXPECT_EQ(t.text, "books.xml");
+}
+
+TEST(LexerTest, LoneDotIsContextItem) {
+  Lexer lexer(". > 5");
+  EXPECT_EQ(lexer.Next().kind, TokenKind::kDot);
+  EXPECT_EQ(lexer.Next().kind, TokenKind::kGt);
+  Token num = lexer.Next();
+  EXPECT_EQ(num.kind, TokenKind::kNumber);
+  EXPECT_EQ(num.number, 5);
+}
+
+TEST(LexerTest, StringsAndVariables) {
+  Lexer lexer("$book 'XML' \"Search\"");
+  Token var = lexer.Next();
+  EXPECT_EQ(var.kind, TokenKind::kVariable);
+  EXPECT_EQ(var.text, "book");
+  Token s1 = lexer.Next();
+  EXPECT_EQ(s1.kind, TokenKind::kString);
+  EXPECT_EQ(s1.text, "XML");
+  EXPECT_EQ(lexer.Next().text, "Search");
+}
+
+TEST(LexerTest, AssignAmpPipe) {
+  EXPECT_EQ(KindsOf(":= & |"),
+            (std::vector<TokenKind>{TokenKind::kAssign, TokenKind::kAmp,
+                                    TokenKind::kPipe}));
+}
+
+TEST(LexerTest, PeekDoesNotConsume) {
+  Lexer lexer("a b");
+  EXPECT_EQ(lexer.Peek().text, "a");
+  EXPECT_EQ(lexer.Peek(1).text, "b");
+  EXPECT_EQ(lexer.Next().text, "a");
+  EXPECT_EQ(lexer.Peek().text, "b");
+}
+
+TEST(LexerTest, RawContentMode) {
+  Lexer lexer("<tag> some raw, text {$x}</tag>");
+  lexer.Next();  // <
+  lexer.Next();  // tag
+  lexer.Next();  // >
+  std::string raw = lexer.ReadRawContent();
+  EXPECT_EQ(raw, " some raw, text ");
+  EXPECT_EQ(lexer.Next().kind, TokenKind::kLBrace);
+}
+
+TEST(LexerTest, NumbersWithDecimals) {
+  Lexer lexer("19.5");
+  Token t = lexer.Next();
+  EXPECT_EQ(t.kind, TokenKind::kNumber);
+  EXPECT_EQ(t.number, 19.5);
+}
+
+}  // namespace
+}  // namespace quickview::xquery

@@ -1,0 +1,215 @@
+// quickview command-line interface.
+//
+//   quickview_cli index <xml-file>... --out <db-dir>
+//       Parse the XML files, build path + inverted indices, persist both.
+//   quickview_cli search <db-dir> --view <file> --keywords k1,k2 [--top N]
+//       [--any]
+//       Ranked keyword search over the virtual view (conjunctive by
+//       default; --any = disjunctive).
+//   quickview_cli basesearch <db-dir> --keywords k1,k2 [--top N] [--any]
+//       Keyword search directly over the base documents.
+//   quickview_cli demo
+//       Generate the paper's books/reviews example and run its Fig 2
+//       query end to end.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "engine/base_search.h"
+#include "engine/view_search_engine.h"
+#include "index/index_builder.h"
+#include "storage/document_store.h"
+#include "storage/persistence.h"
+#include "workload/bookrev_generator.h"
+#include "xml/parser.h"
+
+namespace {
+
+using namespace quickview;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  quickview_cli index <xml-file>... --out <db-dir>\n"
+               "  quickview_cli search <db-dir> --view <file> "
+               "--keywords k1,k2 [--top N] [--any]\n"
+               "  quickview_cli basesearch <db-dir> --keywords k1,k2 "
+               "[--top N] [--any]\n"
+               "  quickview_cli demo\n");
+  return 2;
+}
+
+struct Flags {
+  std::vector<std::string> positional;
+  std::string out;
+  std::string view;
+  std::vector<std::string> keywords;
+  size_t top_k = 10;
+  bool any = false;
+};
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      flags->out = v;
+    } else if (arg == "--view") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      flags->view = v;
+    } else if (arg == "--keywords") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      for (std::string_view piece : SplitString(v, ',')) {
+        if (!piece.empty()) {
+          flags->keywords.push_back(AsciiToLower(piece));
+        }
+      }
+    } else if (arg == "--top") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      flags->top_k = static_cast<size_t>(std::stoul(v));
+    } else if (arg == "--any") {
+      flags->any = true;
+    } else {
+      flags->positional.push_back(std::move(arg));
+    }
+  }
+  return true;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+std::string BaseName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+int CmdIndex(const Flags& flags) {
+  if (flags.positional.empty() || flags.out.empty()) return Usage();
+  xml::Database db;
+  for (const std::string& file : flags.positional) {
+    auto content = ReadFile(file);
+    if (!content.ok()) return Fail(content.status());
+    auto doc = xml::ParseXml(*content, db.NextRootComponent());
+    if (!doc.ok()) return Fail(doc.status());
+    db.AddDocument(BaseName(file), *doc);
+    std::printf("loaded %s (%zu elements)\n", file.c_str(), (*doc)->size());
+  }
+  auto indexes = index::BuildDatabaseIndexes(db);
+  Status s = storage::SaveDatabase(db, flags.out);
+  if (s.ok()) s = storage::SaveIndexes(db, *indexes, flags.out);
+  if (!s.ok()) return Fail(s);
+  std::printf("database + indices written to %s\n", flags.out.c_str());
+  return 0;
+}
+
+int CmdSearch(const Flags& flags) {
+  if (flags.positional.size() != 1 || flags.view.empty() ||
+      flags.keywords.empty()) {
+    return Usage();
+  }
+  auto db = storage::LoadDatabase(flags.positional[0]);
+  if (!db.ok()) return Fail(db.status());
+  auto indexes = storage::LoadIndexes(**db, flags.positional[0]);
+  std::unique_ptr<index::DatabaseIndexes> built;
+  if (!indexes.ok()) {
+    std::printf("no serialized indices, rebuilding...\n");
+    built = index::BuildDatabaseIndexes(**db);
+  }
+  index::DatabaseIndexes* idx = indexes.ok() ? indexes->get() : built.get();
+  auto view_text = ReadFile(flags.view);
+  if (!view_text.ok()) return Fail(view_text.status());
+  storage::DocumentStore store(**db);
+  engine::ViewSearchEngine engine(db->get(), idx, &store);
+  engine::SearchOptions options;
+  options.top_k = flags.top_k;
+  options.conjunctive = !flags.any;
+  auto response = engine.SearchView(*view_text, flags.keywords, options);
+  if (!response.ok()) return Fail(response.status());
+  std::printf("%zu of %zu view results match; module times "
+              "qpt=%.2fms pdt=%.2fms eval=%.2fms post=%.2fms\n",
+              response->stats.matching_results,
+              response->stats.view_results, response->timings.qpt_ms,
+              response->timings.pdt_ms, response->timings.eval_ms,
+              response->timings.post_ms);
+  for (size_t i = 0; i < response->hits.size(); ++i) {
+    std::printf("#%zu score=%.4f\n%s\n", i + 1, response->hits[i].score,
+                response->hits[i].xml.c_str());
+  }
+  return 0;
+}
+
+int CmdBaseSearch(const Flags& flags) {
+  if (flags.positional.size() != 1 || flags.keywords.empty()) {
+    return Usage();
+  }
+  auto db = storage::LoadDatabase(flags.positional[0]);
+  if (!db.ok()) return Fail(db.status());
+  auto indexes = storage::LoadIndexes(**db, flags.positional[0]);
+  std::unique_ptr<index::DatabaseIndexes> built;
+  if (!indexes.ok()) built = index::BuildDatabaseIndexes(**db);
+  index::DatabaseIndexes* idx = indexes.ok() ? indexes->get() : built.get();
+  engine::BaseSearchOptions options;
+  options.top_k = flags.top_k;
+  options.conjunctive = !flags.any;
+  auto hits = engine::SearchBaseDocuments(**db, *idx, flags.keywords,
+                                          options);
+  if (!hits.ok()) return Fail(hits.status());
+  for (size_t i = 0; i < hits->size(); ++i) {
+    std::printf("#%zu score=%.4f %s %s\n%s\n", i + 1, (*hits)[i].score,
+                (*hits)[i].document.c_str(),
+                (*hits)[i].id.ToString().c_str(), (*hits)[i].xml.c_str());
+  }
+  return 0;
+}
+
+int CmdDemo() {
+  auto db = workload::GenerateBookRevDatabase(workload::BookRevOptions{});
+  auto indexes = index::BuildDatabaseIndexes(*db);
+  storage::DocumentStore store(*db);
+  engine::ViewSearchEngine engine(db.get(), indexes.get(), &store);
+  std::printf("query:\n%s\n\n", workload::BookRevKeywordQuery().c_str());
+  auto response = engine.Search(workload::BookRevKeywordQuery(),
+                                engine::SearchOptions{});
+  if (!response.ok()) return Fail(response.status());
+  for (size_t i = 0; i < response->hits.size() && i < 3; ++i) {
+    std::printf("#%zu score=%.4f\n%s\n\n", i + 1, response->hits[i].score,
+                response->hits[i].xml.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return Usage();
+  std::string command = argv[1];
+  if (command == "index") return CmdIndex(flags);
+  if (command == "search") return CmdSearch(flags);
+  if (command == "basesearch") return CmdBaseSearch(flags);
+  if (command == "demo") return CmdDemo();
+  return Usage();
+}
