@@ -57,7 +57,7 @@ Status CheckMonotoneShape(const xquery::Query& query,
 }  // namespace
 
 Result<SearchResponse> RankedSelectionSearch(
-    const xml::Database& database, const index::DatabaseIndexes& indexes,
+    const xml::Database& /*database*/, const index::DatabaseIndexes& indexes,
     storage::DocumentStore* store, const std::string& view_text,
     const std::vector<std::string>& keywords,
     const SearchOptions& options) {

@@ -93,8 +93,16 @@ class PdtGenerator {
         std::vector<CtNode*> lmp = ct_.LeftMostPath();
         const xml::DeweyId bottom_id = lmp.back()->id;
         for (CtNode* node : lmp) {
+          // Snapshot the qnode ids: Pull() may add entries to this very
+          // node, reallocating `qentries` and invalidating any reference
+          // held across the call. (CtNode objects themselves are stable —
+          // they are owned by unique_ptr — only the vector moves.)
+          qnode_snapshot_.clear();
           for (const CtQEntry& entry : node->qentries) {
-            int list = list_for_qnode_[entry.qnode];
+            qnode_snapshot_.push_back(entry.qnode);
+          }
+          for (int qnode : qnode_snapshot_) {
+            int list = list_for_qnode_[qnode];
             if (list < 0) continue;
             if (PeekNext(list) == nullptr) continue;
             if (ct_.ListCount(list) < 2 ||
@@ -316,6 +324,9 @@ class PdtGenerator {
   PdtBuildStats* stats_;
   std::vector<size_t> cursors_;
   std::vector<int> list_for_qnode_;
+  /// Scratch buffer for the pull loop's per-node qnode snapshot (member to
+  /// avoid reallocating once per node per round).
+  std::vector<int> qnode_snapshot_;
   std::map<xml::DeweyId, PdtElement> output_;
 };
 

@@ -35,7 +35,7 @@ TEST(BTreeTest, IterationInKeyOrderAcrossSplits) {
   BTree tree;
   std::vector<std::string> keys;
   for (int i = 999; i >= 0; --i) {
-    char buf[8];
+    char buf[16];
     std::snprintf(buf, sizeof(buf), "k%04d", i);
     keys.push_back(buf);
     tree.Insert(buf, "v");
@@ -121,7 +121,9 @@ TEST(BTreeTest, RandomizedAgainstStdMap) {
         bool found = tree.Get(key, &value);
         auto it = reference.find(key);
         EXPECT_EQ(found, it != reference.end()) << key;
-        if (found && it != reference.end()) EXPECT_EQ(value, it->second);
+        if (found && it != reference.end()) {
+          EXPECT_EQ(value, it->second);
+        }
         break;
       }
     }

@@ -1,0 +1,99 @@
+// Regression tests for the pull-loop re-entry hazard in PDT generation:
+// GeneratePdt's step-1 loop iterates a CT node's qentries while Pull() can
+// route a new id through CandidateTree::AddId, which may push_back another
+// entry onto that very node (repeated tag names make one id match several
+// QPT nodes) and reallocate the vector under the iterator. A three-step
+// descendant query over a spine of at least five repeated tags triggers
+// the reallocation deterministically (a spine of four does not); run these
+// under the Sanitize build — ASan flagged the original defect as a
+// heap-use-after-free at generate_pdt.cc:97.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "index/index_builder.h"
+#include "pdt/generate_pdt.h"
+#include "qpt/generate_qpt.h"
+#include "xml/dom.h"
+#include "xml/parser.h"
+#include "xquery/parser.h"
+
+namespace quickview::pdt {
+namespace {
+
+std::vector<qpt::Qpt> QptsFor(const std::string& view) {
+  auto query = xquery::ParseQuery(view);
+  EXPECT_TRUE(query.ok()) << query.status();
+  auto qpts = qpt::GenerateQpts(&*query);
+  EXPECT_TRUE(qpts.ok()) << qpts.status();
+  return std::move(*qpts);
+}
+
+int CountTag(const xml::Document& doc, const std::string& tag) {
+  int count = 0;
+  for (xml::NodeIndex i = 0; i < doc.size(); ++i) {
+    if (doc.node(i).tag == tag) ++count;
+  }
+  return count;
+}
+
+std::string Spine(int depth, const std::string& payload) {
+  std::string text;
+  for (int i = 0; i < depth; ++i) text += "<a>";
+  text += payload;
+  for (int i = 0; i < depth; ++i) text += "</a>";
+  return text;
+}
+
+// The minimal trigger: each spine node matches all three QPT steps, so the
+// second and third steps' pulls append entries to CT nodes the first
+// step's pull already created — while the pull loop holds an iterator into
+// those nodes' qentries (the vector grows 1 -> 2 and reallocates).
+TEST(PdtPullReentryTest, MinimalRepeatedTagSpine) {
+  auto doc = xml::ParseXml(Spine(5, "<leaf>x</leaf>"), 1);
+  ASSERT_TRUE(doc.ok());
+  xml::Database db;
+  db.AddDocument("deep.xml", *doc);
+  auto indexes = index::BuildDatabaseIndexes(db);
+  auto qpts = QptsFor("for $x in fn:doc(deep.xml)//a//a//a return $x");
+  auto pdt = GeneratePdt(qpts[0], *indexes->Get("deep.xml"), {}, nullptr);
+  ASSERT_TRUE(pdt.ok()) << pdt.status();
+  EXPECT_EQ(CountTag(**pdt, "a"), 5);
+}
+
+// A deeper spine drives the same vectors across further capacity
+// boundaries (2 -> 4) and keeps every list non-exhausted for many rounds,
+// so the pull loop revisits growing nodes on every left-most-path walk.
+TEST(PdtPullReentryTest, DeepSpineCrossesCapacityBoundaries) {
+  auto doc = xml::ParseXml(Spine(16, "<leaf>x</leaf>"), 1);
+  ASSERT_TRUE(doc.ok());
+  xml::Database db;
+  db.AddDocument("deep.xml", *doc);
+  auto indexes = index::BuildDatabaseIndexes(db);
+  auto qpts = QptsFor("for $x in fn:doc(deep.xml)//a//a//a return $x");
+  auto pdt = GeneratePdt(qpts[0], *indexes->Get("deep.xml"), {}, nullptr);
+  ASSERT_TRUE(pdt.ok()) << pdt.status();
+  EXPECT_EQ(CountTag(**pdt, "a"), 16);
+}
+
+// Same hazard with keyword inverted lists in play: the skewed sibling run
+// keeps the "at most two ids per list" rule pulling while the spine nodes'
+// entry vectors are still growing.
+TEST(PdtPullReentryTest, KeywordListsInterleaveWithStructuralPulls) {
+  std::string payload = "<p>needle</p>";
+  for (int i = 0; i < 64; ++i) payload += "<p>hay</p>";
+  auto doc = xml::ParseXml(Spine(8, payload), 1);
+  ASSERT_TRUE(doc.ok());
+  xml::Database db;
+  db.AddDocument("kw.xml", *doc);
+  auto indexes = index::BuildDatabaseIndexes(db);
+  auto qpts = QptsFor("for $x in fn:doc(kw.xml)//a//a//a return $x");
+  auto pdt =
+      GeneratePdt(qpts[0], *indexes->Get("kw.xml"), {"needle"}, nullptr);
+  ASSERT_TRUE(pdt.ok()) << pdt.status();
+  EXPECT_EQ(CountTag(**pdt, "a"), 8);
+}
+
+}  // namespace
+}  // namespace quickview::pdt
