@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate for CI.
+
+Compares one or more Google Benchmark JSON result files against the
+checked-in baseline (bench/baseline.json) and fails when any benchmark
+present in both is slower than baseline by more than the threshold.
+
+Usage:
+  check_regression.py --baseline bench/baseline.json \
+      --current bt.json bf.json [--threshold 0.25] [--merged-out BENCH_PR.json]
+
+Notes:
+  - The comparison metric is real_time for */real_time benchmarks (wall
+    clock is what multithreaded throughput runs measure) and cpu_time
+    otherwise; time units are normalized.
+  - Benchmarks new in the PR (absent from the baseline) pass with a
+    note; refresh the baseline by committing the uploaded BENCH_PR.json
+    as bench/baseline.json.
+  - The baseline is machine-dependent. It must have been generated on
+    the same runner class as CI; after a runner upgrade, re-seed it.
+"""
+
+import argparse
+import json
+import sys
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    with open(path) as fh:
+        data = json.load(fh)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        metric = "real_time" if name.endswith("/real_time") else "cpu_time"
+        unit = _UNIT_NS[bench.get("time_unit", "ns")]
+        out[name] = {
+            "metric": metric,
+            "time_ns": bench[metric] * unit,
+            "raw": bench,
+        }
+    return data, out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True, nargs="+")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="maximum tolerated slowdown (0.25 = +25%%)")
+    parser.add_argument("--merged-out",
+                        help="write the merged current results here")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="do not fail when baseline benchmarks were "
+                             "not run (renames/removals need a baseline "
+                             "refresh in the same PR)")
+    args = parser.parse_args()
+
+    _, baseline = load_benchmarks(args.baseline)
+
+    merged = None
+    current = {}
+    for path in args.current:
+        data, benches = load_benchmarks(path)
+        current.update(benches)
+        if merged is None:
+            merged = data
+        else:
+            merged.setdefault("benchmarks", []).extend(
+                data.get("benchmarks", []))
+    if args.merged_out:
+        with open(args.merged_out, "w") as fh:
+            json.dump(merged, fh, indent=2)
+
+    failures = []
+    rows = []
+    for name in sorted(current):
+        if name not in baseline:
+            rows.append((name, None, current[name]["time_ns"], "NEW"))
+            continue
+        base_ns = baseline[name]["time_ns"]
+        cur_ns = current[name]["time_ns"]
+        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        verdict = "OK"
+        if ratio > 1.0 + args.threshold:
+            verdict = "REGRESSION"
+            failures.append((name, ratio))
+        rows.append((name, base_ns, cur_ns, verdict))
+
+    missing = sorted(set(baseline) - set(current))
+
+    width = max((len(r[0]) for r in rows), default=20)
+    print(f"{'benchmark'.ljust(width)}  {'base':>12}  {'current':>12}  "
+          f"{'ratio':>7}  verdict")
+    for name, base_ns, cur_ns, verdict in rows:
+        base = f"{base_ns / 1e6:.2f}ms" if base_ns is not None else "-"
+        ratio = (f"{cur_ns / base_ns:7.2f}"
+                 if base_ns else f"{'-':>7}")
+        print(f"{name.ljust(width)}  {base:>12}  {cur_ns / 1e6:>10.2f}ms  "
+              f"{ratio}  {verdict}")
+    for name in missing:
+        print(f"{name.ljust(width)}  (in baseline but not run)")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}:")
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x baseline")
+        return 1
+    if missing and not args.allow_missing:
+        # A rename or removal must not silently drop regression coverage:
+        # refresh bench/baseline.json in the same PR (or pass
+        # --allow-missing deliberately).
+        print(f"\nFAIL: {len(missing)} baseline benchmark(s) were not "
+              f"run: {', '.join(missing)}")
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.threshold:.0%} "
+          f"({len(rows)} checked, {len(missing)} missing)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

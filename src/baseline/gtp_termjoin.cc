@@ -95,7 +95,9 @@ std::vector<GtpEntry> HasAncestor(const std::vector<GtpEntry>& children,
 
 Result<std::shared_ptr<xml::Document>> BuildGtpPrunedDocument(
     const qpt::Qpt& qpt, const index::DocumentIndexes& indexes,
-    storage::DocumentStore* store, const std::vector<std::string>& keywords) {
+    const storage::DocumentStore* store,
+    const std::vector<std::string>& keywords,
+    storage::DocumentStore::Stats* fetch_stats) {
   const size_t n = qpt.nodes.size();
   std::vector<std::vector<GtpEntry>> streams(n);
 
@@ -112,7 +114,7 @@ Result<std::shared_ptr<xml::Document>> BuildGtpPrunedDocument(
       for (GtpEntry& e : streams[i]) {
         std::string value;
         QV_RETURN_IF_ERROR(
-            store->GetValue(e.id.component(0), e.id, &value));
+            store->GetValue(e.id.component(0), e.id, &value, fetch_stats));
         bool passes = true;
         for (const qpt::QptPredicate& pred : node.preds) {
           if (!pred.Matches(value)) {
@@ -169,8 +171,8 @@ Result<std::shared_ptr<xml::Document>> BuildGtpPrunedDocument(
       if (e.value.has_value()) out.value = std::move(e.value);
       out.content = out.content || node.c_ann;
       if (node.c_ann && out.byte_length == 0) {
-        QV_RETURN_IF_ERROR(store->GetSubtreeLength(e.id.component(0), e.id,
-                                                   &out.byte_length));
+        QV_RETURN_IF_ERROR(store->GetSubtreeLength(
+            e.id.component(0), e.id, &out.byte_length, fetch_stats));
       }
     }
   }
@@ -196,8 +198,7 @@ Result<engine::SearchResponse> GtpTermJoinEngine::Search(
   response.timings.qpt_ms = MsSince(start);
 
   start = Clock::now();
-  uint64_t fetches_before = store_->stats().fetch_calls;
-  uint64_t bytes_before = store_->stats().bytes_fetched;
+  storage::DocumentStore::Stats fetches;
   std::vector<std::shared_ptr<xml::Document>> pruned;
   for (const qpt::Qpt& q : qpts) {
     const index::DocumentIndexes* doc_indexes = indexes_->Get(q.source_doc);
@@ -207,7 +208,8 @@ Result<engine::SearchResponse> GtpTermJoinEngine::Search(
     }
     QV_ASSIGN_OR_RETURN(
         std::shared_ptr<xml::Document> doc,
-        BuildGtpPrunedDocument(q, *doc_indexes, store_, kq.keywords));
+        BuildGtpPrunedDocument(q, *doc_indexes, store_, kq.keywords,
+                               &fetches));
     pruned.push_back(std::move(doc));
   }
   response.timings.pdt_ms = MsSince(start);
@@ -234,11 +236,12 @@ Result<engine::SearchResponse> GtpTermJoinEngine::Search(
     hit.score = r.score;
     hit.tf = r.tf;
     hit.byte_length = r.byte_length;
-    QV_ASSIGN_OR_RETURN(hit.xml, scoring::MaterializeToXml(r.result, store_));
+    QV_ASSIGN_OR_RETURN(
+        hit.xml, scoring::MaterializeToXml(r.result, store_, &fetches));
     response.hits.push_back(std::move(hit));
   }
-  response.stats.store_fetches = store_->stats().fetch_calls - fetches_before;
-  response.stats.store_bytes = store_->stats().bytes_fetched - bytes_before;
+  response.stats.store_fetches = fetches.fetch_calls;
+  response.stats.store_bytes = fetches.bytes_fetched;
   response.timings.post_ms = MsSince(start);
   return response;
 }

@@ -34,13 +34,15 @@ namespace quickview::baseline {
 /// directly.
 Result<std::shared_ptr<xml::Document>> BuildGtpPrunedDocument(
     const qpt::Qpt& qpt, const index::DocumentIndexes& indexes,
-    storage::DocumentStore* store, const std::vector<std::string>& keywords);
+    const storage::DocumentStore* store,
+    const std::vector<std::string>& keywords,
+    storage::DocumentStore::Stats* fetch_stats = nullptr);
 
 class GtpTermJoinEngine {
  public:
   GtpTermJoinEngine(const xml::Database* database,
                     const index::DatabaseIndexes* indexes,
-                    storage::DocumentStore* store)
+                    const storage::DocumentStore* store)
       : database_(database), indexes_(indexes), store_(store) {}
 
   Result<engine::SearchResponse> Search(
@@ -53,7 +55,7 @@ class GtpTermJoinEngine {
  private:
   const xml::Database* database_;
   const index::DatabaseIndexes* indexes_;
-  storage::DocumentStore* store_;
+  const storage::DocumentStore* store_;
 };
 
 }  // namespace quickview::baseline

@@ -58,7 +58,7 @@ Status CheckMonotoneShape(const xquery::Query& query,
 
 Result<SearchResponse> RankedSelectionSearch(
     const xml::Database& /*database*/, const index::DatabaseIndexes& indexes,
-    storage::DocumentStore* store, const std::string& view_text,
+    const storage::DocumentStore* store, const std::string& view_text,
     const std::vector<std::string>& keywords,
     const SearchOptions& options) {
   SearchResponse response;
@@ -145,8 +145,7 @@ Result<SearchResponse> RankedSelectionSearch(
                    });
   if (ranked.size() > options.top_k) ranked.resize(options.top_k);
 
-  uint64_t fetches_before = store->stats().fetch_calls;
-  uint64_t bytes_before = store->stats().bytes_fetched;
+  storage::DocumentStore::Stats fetches;
   for (const auto& [score, index] : ranked) {
     const Candidate& candidate = matching[index];
     SearchHit hit;
@@ -156,12 +155,12 @@ Result<SearchResponse> RankedSelectionSearch(
     QV_ASSIGN_OR_RETURN(
         hit.xml,
         scoring::MaterializeToXml(
-            xquery::NodeHandle{pdt.get(), candidate.node}, store));
+            xquery::NodeHandle{pdt.get(), candidate.node}, store,
+            &fetches));
     response.hits.push_back(std::move(hit));
   }
-  response.stats.store_fetches =
-      store->stats().fetch_calls - fetches_before;
-  response.stats.store_bytes = store->stats().bytes_fetched - bytes_before;
+  response.stats.store_fetches = fetches.fetch_calls;
+  response.stats.store_bytes = fetches.bytes_fetched;
   response.timings.post_ms = MsSince(start);
   return response;
 }

@@ -31,7 +31,7 @@ namespace quickview::engine {
 /// the view is outside the monotone sub-class.
 Result<SearchResponse> RankedSelectionSearch(
     const xml::Database& database, const index::DatabaseIndexes& indexes,
-    storage::DocumentStore* store, const std::string& view_text,
+    const storage::DocumentStore* store, const std::string& view_text,
     const std::vector<std::string>& keywords, const SearchOptions& options);
 
 }  // namespace quickview::engine

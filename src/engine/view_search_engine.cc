@@ -21,29 +21,86 @@ double MsSince(Clock::time_point start) {
       .count();
 }
 
+// Variable-length components are length-prefixed so the signature is
+// injective: no keyword or tag content (delimiters included) can make
+// two different plans collide on one cache key.
+void AppendSized(const std::string& text, std::string* out) {
+  out->append(std::to_string(text.size()));
+  out->push_back(':');
+  out->append(text);
+}
+
+void AppendQptSignature(const qpt::Qpt& qpt, std::string* out) {
+  AppendSized(qpt.source_doc, out);
+  for (const qpt::QptNode& node : qpt.nodes) {
+    out->push_back('|');
+    out->append(std::to_string(node.parent));
+    out->push_back(node.parent_descendant ? 'd' : 'c');
+    out->push_back(node.parent_mandatory ? 'm' : 'o');
+    AppendSized(node.tag, out);
+    if (node.v_ann) out->push_back('v');
+    if (node.c_ann) out->push_back('c');
+    for (const qpt::QptPredicate& pred : node.preds) {
+      out->push_back('[');
+      out->append(std::to_string(static_cast<int>(pred.op)));
+      out->push_back(':');
+      AppendSized(pred.literal, out);
+      out->push_back(']');
+    }
+  }
+}
+
 }  // namespace
 
-Result<SearchResponse> ViewSearchEngine::Search(
-    const std::string& query, const SearchOptions& options) const {
-  QV_ASSIGN_OR_RETURN(xquery::KeywordQuery kq,
-                      xquery::ParseKeywordQuery(query));
-  SearchOptions effective = options;
-  effective.conjunctive = kq.conjunctive;
-  // Re-serialize is unnecessary: run the already-parsed view through the
-  // pipeline below by temporarily taking ownership.
-  SearchResponse response;
+std::string PlanSignature(const std::vector<qpt::Qpt>& qpts,
+                          const std::vector<std::string>& keywords,
+                          bool conjunctive) {
+  std::string signature;
+  for (const qpt::Qpt& qpt : qpts) {
+    AppendQptSignature(qpt, &signature);
+    signature.push_back('\x1e');
+  }
+  signature.push_back(conjunctive ? '&' : '!');
+  for (const std::string& keyword : keywords) {
+    signature.push_back('\x1f');
+    AppendSized(keyword, &signature);
+  }
+  return signature;
+}
+
+std::string ComposeKeywordQuery(const std::string& view_text,
+                                const std::vector<std::string>& keywords,
+                                bool conjunctive) {
+  std::string query = "let $view := " + view_text + "\nfor $qv in $view\n";
+  query += "where $qv ftcontains(";
+  for (size_t i = 0; i < keywords.size(); ++i) {
+    if (i > 0) query += conjunctive ? " & " : " | ";
+    query += "'" + AsciiToLower(keywords[i]) + "'";
+  }
+  query += ")\nreturn $qv";
+  return query;
+}
+
+Result<QueryPlan> ViewSearchEngine::PlanQuery(const std::string& query) const {
   Clock::time_point start = Clock::now();
+  QueryPlan plan;
+  QV_ASSIGN_OR_RETURN(plan.kq, xquery::ParseKeywordQuery(query));
+  // QPT generation rewrites doc names in kq.view to the PDT occurrence
+  // names; after this the plan's view only makes sense over the PDTs.
+  QV_ASSIGN_OR_RETURN(plan.qpts, qpt::GenerateQpts(&plan.kq.view));
+  plan.signature =
+      PlanSignature(plan.qpts, plan.kq.keywords, plan.kq.conjunctive);
+  plan.qpt_ms = MsSince(start);
+  return plan;
+}
 
-  // --- QPT generation (rewrites doc names in kq.view) ---
-  QV_ASSIGN_OR_RETURN(std::vector<qpt::Qpt> qpts,
-                      qpt::GenerateQpts(&kq.view));
-  response.timings.qpt_ms = MsSince(start);
-
-  // --- PDT generation: indices only ---
-  start = Clock::now();
-  std::vector<std::shared_ptr<xml::Document>> pdts;
-  pdts.reserve(qpts.size());
-  for (const qpt::Qpt& q : qpts) {
+Result<std::shared_ptr<const PreparedQuery>> ViewSearchEngine::BuildPdts(
+    QueryPlan plan) const {
+  Clock::time_point start = Clock::now();
+  auto prepared = std::make_shared<PreparedQuery>();
+  prepared->plan = std::move(plan);
+  prepared->pdts.reserve(prepared->plan.qpts.size());
+  for (const qpt::Qpt& q : prepared->plan.qpts) {
     const index::DocumentIndexes* doc_indexes = indexes_->Get(q.source_doc);
     if (doc_indexes == nullptr) {
       return Status::NotFound("no indexes for document '" + q.source_doc +
@@ -52,65 +109,82 @@ Result<SearchResponse> ViewSearchEngine::Search(
     pdt::PdtBuildStats build_stats;
     QV_ASSIGN_OR_RETURN(
         std::shared_ptr<xml::Document> pdt,
-        pdt::GeneratePdt(q, *doc_indexes, kq.keywords, &build_stats));
-    response.stats.pdt.ids_processed += build_stats.ids_processed;
-    response.stats.pdt.nodes_emitted += build_stats.nodes_emitted;
-    response.stats.pdt.peak_ct_nodes += build_stats.peak_ct_nodes;
-    response.stats.pdt.index_probes += build_stats.index_probes;
-    response.stats.pdt.pdt_bytes += build_stats.pdt_bytes;
-    pdts.push_back(std::move(pdt));
+        pdt::GeneratePdt(q, *doc_indexes, prepared->plan.kq.keywords,
+                         &build_stats));
+    prepared->pdt_stats.ids_processed += build_stats.ids_processed;
+    prepared->pdt_stats.nodes_emitted += build_stats.nodes_emitted;
+    prepared->pdt_stats.peak_ct_nodes += build_stats.peak_ct_nodes;
+    prepared->pdt_stats.index_probes += build_stats.index_probes;
+    prepared->pdt_stats.pdt_bytes += build_stats.pdt_bytes;
+    prepared->memory_bytes +=
+        build_stats.pdt_bytes + pdt->size() * sizeof(xml::Node);
+    prepared->pdts.push_back(std::move(pdt));
   }
-  response.timings.pdt_ms = MsSince(start);
+  prepared->pdt_ms = MsSince(start);
+  return std::shared_ptr<const PreparedQuery>(std::move(prepared));
+}
+
+Result<SearchResponse> ViewSearchEngine::ExecutePrepared(
+    const PreparedQuery& prepared, const SearchOptions& options) const {
+  const QueryPlan& plan = prepared.plan;
+  SearchOptions effective = options;
+  effective.conjunctive = plan.kq.conjunctive;
+
+  SearchResponse response;
+  response.timings.qpt_ms = plan.qpt_ms;
+  response.timings.pdt_ms = prepared.pdt_ms;
+  response.stats.pdt = prepared.pdt_stats;
 
   // --- Evaluate the rewritten query over the PDTs ---
-  start = Clock::now();
+  Clock::time_point start = Clock::now();
   xquery::Evaluator evaluator(database_);
-  for (size_t i = 0; i < qpts.size(); ++i) {
-    evaluator.OverrideDocument(qpts[i].occurrence_name, pdts[i].get());
+  for (size_t i = 0; i < plan.qpts.size(); ++i) {
+    evaluator.OverrideDocument(plan.qpts[i].occurrence_name,
+                               prepared.pdts[i].get());
   }
   QV_ASSIGN_OR_RETURN(xquery::Sequence view_results,
-                      evaluator.Evaluate(kq.view));
+                      evaluator.Evaluate(plan.kq.view));
   response.timings.eval_ms = MsSince(start);
 
   // --- Score, select top-k, materialize ---
   start = Clock::now();
   scoring::ScoringOutcome outcome = scoring::ScoreResults(
-      view_results, kq.keywords, effective.conjunctive);
+      view_results, plan.kq.keywords, effective.conjunctive);
   std::vector<scoring::ScoredResult>& scored = outcome.ranked;
   response.stats.view_results = view_results.size();
   response.stats.matching_results = scored.size();
   response.stats.view_bytes = outcome.view_bytes;
   scoring::TakeTopK(&scored, effective.top_k);
 
-  uint64_t fetches_before = store_->stats().fetch_calls;
-  uint64_t bytes_before = store_->stats().bytes_fetched;
+  storage::DocumentStore::Stats fetches;
   for (const scoring::ScoredResult& r : scored) {
     SearchHit hit;
     hit.score = r.score;
     hit.tf = r.tf;
     hit.byte_length = r.byte_length;
     QV_ASSIGN_OR_RETURN(hit.xml,
-                        scoring::MaterializeToXml(r.result, store_));
+                        scoring::MaterializeToXml(r.result, store_, &fetches));
     response.hits.push_back(std::move(hit));
   }
-  response.stats.store_fetches = store_->stats().fetch_calls - fetches_before;
-  response.stats.store_bytes = store_->stats().bytes_fetched - bytes_before;
+  response.stats.store_fetches = fetches.fetch_calls;
+  response.stats.store_bytes = fetches.bytes_fetched;
   response.timings.post_ms = MsSince(start);
   return response;
+}
+
+Result<SearchResponse> ViewSearchEngine::Search(
+    const std::string& query, const SearchOptions& options) const {
+  QV_ASSIGN_OR_RETURN(QueryPlan plan, PlanQuery(query));
+  QV_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedQuery> prepared,
+                      BuildPdts(std::move(plan)));
+  return ExecutePrepared(*prepared, options);
 }
 
 Result<SearchResponse> ViewSearchEngine::SearchView(
     const std::string& view_text, const std::vector<std::string>& keywords,
     const SearchOptions& options) const {
-  // Assemble the canonical Fig-2 form and reuse Search().
-  std::string query = "let $view := " + view_text + "\nfor $qv in $view\n";
-  query += "where $qv ftcontains(";
-  for (size_t i = 0; i < keywords.size(); ++i) {
-    if (i > 0) query += options.conjunctive ? " & " : " | ";
-    query += "'" + AsciiToLower(keywords[i]) + "'";
-  }
-  query += ")\nreturn $qv";
-  return Search(query, options);
+  return Search(ComposeKeywordQuery(view_text, keywords, options.conjunctive),
+                options);
 }
 
 }  // namespace quickview::engine

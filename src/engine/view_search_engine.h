@@ -3,10 +3,24 @@
 //   parse -> QPT generation -> PDT generation (indices only)
 //         -> unmodified evaluation over PDTs -> scoring -> top-k
 //         -> materialization (the only base-data access).
+//
+// The pipeline is split into three stages so a service layer can cache
+// the expensive middle stage across queries:
+//   PlanQuery       parse + QPT generation + canonical plan signature
+//                   (cost proportional to the query, never the data);
+//   BuildPdts       PrepareLists + GeneratePdt per QPT (the data-
+//                   dependent stage; its PreparedQuery output is
+//                   immutable and shareable across threads);
+//   ExecutePrepared evaluation over the PDTs + scoring + top-k
+//                   materialization (per-query state only; const and
+//                   safe to run concurrently against one PreparedQuery).
+// Search() composes the three and preserves the original single-query
+// behavior.
 #ifndef QUICKVIEW_ENGINE_VIEW_SEARCH_ENGINE_H_
 #define QUICKVIEW_ENGINE_VIEW_SEARCH_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +29,7 @@
 #include "pdt/generate_pdt.h"
 #include "storage/document_store.h"
 #include "xml/dom.h"
+#include "xquery/ast.h"
 
 namespace quickview::engine {
 
@@ -59,12 +74,50 @@ struct SearchResponse {
   SearchStats stats;
 };
 
+/// A planned query: the parsed keyword query with its view rewritten over
+/// PDT occurrence names, the generated QPTs, and a canonical signature of
+/// (QPT structure, keywords, semantics) that identifies which PDTs the
+/// plan needs — the cache key material of the service layer.
+struct QueryPlan {
+  xquery::KeywordQuery kq;
+  std::vector<qpt::Qpt> qpts;
+  std::string signature;
+  double qpt_ms = 0;
+};
+
+/// A plan plus its generated PDTs. Immutable after BuildPdts returns;
+/// any number of threads may ExecutePrepared against one instance.
+struct PreparedQuery {
+  QueryPlan plan;
+  std::vector<std::shared_ptr<xml::Document>> pdts;
+  pdt::PdtBuildStats pdt_stats;  // aggregated over all QPTs
+  double pdt_ms = 0;
+  /// Approximate resident footprint of the PDTs, for cache budgets.
+  uint64_t memory_bytes = 0;
+};
+
+/// Canonical signature of the PDT inputs: QPT shapes (tags, axes,
+/// annotations, predicates) plus keywords and conjunctive flag. Two
+/// queries with equal signatures need byte-identical PDTs.
+std::string PlanSignature(const std::vector<qpt::Qpt>& qpts,
+                          const std::vector<std::string>& keywords,
+                          bool conjunctive);
+
+/// Renders the canonical Fig-2 keyword query for a view text and keyword
+/// list (keywords are lowercased). Shared by SearchView and the service
+/// layer so cache keys and executed queries cannot drift apart.
+std::string ComposeKeywordQuery(const std::string& view_text,
+                                const std::vector<std::string>& keywords,
+                                bool conjunctive);
+
 class ViewSearchEngine {
  public:
-  /// All three structures must outlive the engine.
+  /// All three structures must outlive the engine. They are treated as
+  /// immutable; the engine itself is stateless beyond these pointers, so
+  /// one engine may serve queries from many threads at once.
   ViewSearchEngine(const xml::Database* database,
                    const index::DatabaseIndexes* indexes,
-                   storage::DocumentStore* store)
+                   const storage::DocumentStore* store)
       : database_(database), indexes_(indexes), store_(store) {}
 
   /// Full Fig-2-style query: "let $view := ... for $v in $view where $v
@@ -78,10 +131,25 @@ class ViewSearchEngine {
                                     const std::vector<std::string>& keywords,
                                     const SearchOptions& options) const;
 
+  /// Stage 1: parse + QPT generation + signature.
+  Result<QueryPlan> PlanQuery(const std::string& query) const;
+
+  /// Stage 2: PDT generation for every QPT of the plan.
+  Result<std::shared_ptr<const PreparedQuery>> BuildPdts(
+      QueryPlan plan) const;
+
+  /// Stage 3: evaluation + scoring + materialization. Fills the response's
+  /// qpt/pdt timings and PDT stats from `prepared` (the cost of building
+  /// what was executed; a caching caller may have paid it on an earlier
+  /// query). `options.conjunctive` is overridden by the query's own
+  /// connective, as in Search().
+  Result<SearchResponse> ExecutePrepared(const PreparedQuery& prepared,
+                                         const SearchOptions& options) const;
+
  private:
   const xml::Database* database_;
   const index::DatabaseIndexes* indexes_;
-  storage::DocumentStore* store_;
+  const storage::DocumentStore* store_;
 };
 
 }  // namespace quickview::engine

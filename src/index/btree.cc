@@ -57,12 +57,13 @@ int ChildIndex(const std::vector<std::string>& keys, std::string_view key) {
 
 BTree::Leaf* BTree::FindLeaf(std::string_view key) const {
   Node* node = root_;
-  ++stats_.nodes_visited;
+  uint64_t visited = 1;
   while (!node->is_leaf) {
     Interior* interior = static_cast<Interior*>(node);
     node = interior->children[ChildIndex(interior->keys, key)];
-    ++stats_.nodes_visited;
+    ++visited;
   }
+  CountNodeVisits(visited);
   return static_cast<Leaf*>(node);
 }
 
@@ -136,7 +137,7 @@ bool BTree::Get(std::string_view key, std::string* value) const {
                                return std::string_view(a) < b;
                              });
   if (it == leaf->keys.end() || *it != key) return false;
-  ++stats_.entries_scanned;
+  CountEntriesScanned(1);
   if (value != nullptr) {
     *value = leaf->values[it - leaf->keys.begin()];
   }
@@ -173,13 +174,21 @@ const std::string& BTree::Iterator::value() const {
 
 void BTree::Iterator::Next() {
   assert(Valid());
-  ++tree_->stats_.entries_scanned;
+  ++pending_entries_;
   ++pos_;
   while (leaf_ != nullptr && pos_ >= static_cast<int>(leaf_->keys.size())) {
     leaf_ = leaf_->next;
     pos_ = 0;
-    if (leaf_ != nullptr) ++tree_->stats_.nodes_visited;
+    if (leaf_ != nullptr) ++pending_nodes_;
   }
+}
+
+void BTree::Iterator::Flush() {
+  if (tree_ == nullptr) return;
+  if (pending_entries_ != 0) tree_->CountEntriesScanned(pending_entries_);
+  if (pending_nodes_ != 0) tree_->CountNodeVisits(pending_nodes_);
+  pending_entries_ = 0;
+  pending_nodes_ = 0;
 }
 
 BTree::Iterator BTree::Seek(std::string_view key) const {

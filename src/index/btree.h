@@ -7,6 +7,7 @@
 #ifndef QUICKVIEW_INDEX_BTREE_H_
 #define QUICKVIEW_INDEX_BTREE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -24,6 +25,10 @@ class BTree {
   struct Interior;
 
  public:
+  /// Snapshot of the node-visit counters. The live counters are relaxed
+  /// atomics so concurrent readers (lookups and scans are logically const)
+  /// can count without data races; a snapshot is not an atomic pair, which
+  /// is fine for the cost model the benchmarks build from it.
   struct Stats {
     uint64_t nodes_visited = 0;  // interior + leaf nodes touched
     uint64_t entries_scanned = 0;
@@ -48,12 +53,37 @@ class BTree {
   size_t size() const { return size_; }
   int height() const { return height_; }
 
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  Stats stats() const {
+    return Stats{nodes_visited_.load(std::memory_order_relaxed),
+                 entries_scanned_.load(std::memory_order_relaxed)};
+  }
+  void ResetStats() {
+    nodes_visited_.store(0, std::memory_order_relaxed);
+    entries_scanned_.store(0, std::memory_order_relaxed);
+  }
 
-  /// Forward iterator over (key, value) pairs in key order.
+  /// Forward iterator over (key, value) pairs in key order. Scan
+  /// counters accumulate locally and flush to the tree's shared atomic
+  /// stats once, on destruction — one contended write per scan instead
+  /// of one per entry (matters when many query threads share an index).
+  /// Copying copies the position only; pending counts stay with the
+  /// original.
   class Iterator {
    public:
+    Iterator() = default;
+    Iterator(const Iterator& other)
+        : leaf_(other.leaf_), pos_(other.pos_), tree_(other.tree_) {}
+    Iterator& operator=(const Iterator& other) {
+      if (this != &other) {
+        Flush();
+        leaf_ = other.leaf_;
+        pos_ = other.pos_;
+        tree_ = other.tree_;
+      }
+      return *this;
+    }
+    ~Iterator() { Flush(); }
+
     bool Valid() const;
     const std::string& key() const;
     const std::string& value() const;
@@ -61,9 +91,13 @@ class BTree {
 
    private:
     friend class BTree;
+    void Flush();
+
     Leaf* leaf_ = nullptr;
     int pos_ = 0;
     const BTree* tree_ = nullptr;
+    uint64_t pending_entries_ = 0;
+    uint64_t pending_nodes_ = 0;
   };
 
   /// Iterator positioned at the first key >= `key`.
@@ -82,10 +116,18 @@ class BTree {
   void SplitChild(Interior* parent, int child_pos);
   static void FreeNode(Node* node);
 
+  void CountNodeVisits(uint64_t n) const {
+    nodes_visited_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void CountEntriesScanned(uint64_t n) const {
+    entries_scanned_.fetch_add(n, std::memory_order_relaxed);
+  }
+
   Node* root_;
   size_t size_ = 0;
   int height_ = 1;
-  mutable Stats stats_;
+  mutable std::atomic<uint64_t> nodes_visited_{0};
+  mutable std::atomic<uint64_t> entries_scanned_{0};
 };
 
 }  // namespace quickview::index

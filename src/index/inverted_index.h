@@ -54,7 +54,7 @@ class InvertedIndex {
       const;
 
   size_t size() const { return tree_.size(); }
-  const BTree::Stats& stats() const { return tree_.stats(); }
+  BTree::Stats stats() const { return tree_.stats(); }
   void ResetStats() { tree_.ResetStats(); }
 
  private:

@@ -102,7 +102,7 @@ class PathIndex {
 
   size_t distinct_paths() const { return paths_.size(); }
   size_t rows() const { return tree_.size(); }
-  const BTree::Stats& stats() const { return tree_.stats(); }
+  BTree::Stats stats() const { return tree_.stats(); }
   void ResetStats() { tree_.ResetStats(); }
 
  private:

@@ -12,6 +12,13 @@ CtQEntry* CtNode::FindEntry(int qnode) {
   return nullptr;
 }
 
+const CtQEntry* CtNode::FindEntry(int qnode) const {
+  for (const CtQEntry& entry : qentries) {
+    if (entry.qnode == qnode) return &entry;
+  }
+  return nullptr;
+}
+
 int CtNode::FindEntryIndex(int qnode) const {
   for (size_t i = 0; i < qentries.size(); ++i) {
     if (qentries[i].qnode == qnode) return static_cast<int>(i);

@@ -11,6 +11,10 @@
 // Nodes whose descendant constraints hold but whose ancestor constraints
 // are still open are parked in their tree parent's PdtCache and re-judged
 // as ancestors are resolved bottom-up.
+//
+// A CandidateTree is per-query scratch state: it is created inside one
+// GeneratePdt call and never shared. Accessors that only inspect the
+// tree are const so read-side code cannot grow mutation paths.
 #ifndef QUICKVIEW_PDT_CANDIDATE_TREE_H_
 #define QUICKVIEW_PDT_CANDIDATE_TREE_H_
 
@@ -77,6 +81,7 @@ class CtNode {
 
   /// Entry for `qnode`, or nullptr.
   CtQEntry* FindEntry(int qnode);
+  const CtQEntry* FindEntry(int qnode) const;
   int FindEntryIndex(int qnode) const;
 };
 
@@ -100,6 +105,7 @@ class CandidateTree {
   }
 
   CtNode* root() { return root_.get(); }
+  const CtNode* root() const { return root_.get(); }
   bool HasNodes() const { return !root_->children.empty(); }
 
   /// Inserts `id` (and its QPT-matching prefixes) into the tree.

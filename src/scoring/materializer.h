@@ -3,6 +3,11 @@
 // these results retrieved from the document storage system." Pruned nodes
 // in a result tree are replaced by their full subtrees fetched from the
 // DocumentStore; everything else is copied as-is.
+//
+// Thread safety: materialization only reads the store (which is immutable
+// after construction) and writes to the caller-owned target document, so
+// concurrent queries may materialize against the same store. Per-query
+// fetch accounting goes through the optional `fetch_stats` accumulator.
 #ifndef QUICKVIEW_SCORING_MATERIALIZER_H_
 #define QUICKVIEW_SCORING_MATERIALIZER_H_
 
@@ -18,14 +23,17 @@ namespace quickview::scoring {
 /// Expands one (possibly pruned) result tree into `target` under
 /// `target_parent` (kInvalidNode = as the root), fetching pruned subtrees
 /// from `store`. For already-full results this is a plain copy and
-/// touches no storage.
+/// touches no storage. When `fetch_stats` is non-null, every store fetch
+/// is also accumulated into it (per-query accounting).
 Status MaterializeResult(const xquery::NodeHandle& result,
-                         storage::DocumentStore* store, xml::Document* target,
-                         xml::NodeIndex target_parent);
+                         const storage::DocumentStore* store,
+                         xml::Document* target, xml::NodeIndex target_parent,
+                         storage::DocumentStore::Stats* fetch_stats = nullptr);
 
 /// Convenience: materializes into a fresh document and serializes it.
-Result<std::string> MaterializeToXml(const xquery::NodeHandle& result,
-                                     storage::DocumentStore* store);
+Result<std::string> MaterializeToXml(
+    const xquery::NodeHandle& result, const storage::DocumentStore* store,
+    storage::DocumentStore::Stats* fetch_stats = nullptr);
 
 }  // namespace quickview::scoring
 

@@ -1,0 +1,107 @@
+#include "service/prepared_query_cache.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+namespace quickview::service {
+
+PreparedQueryCache::PreparedQueryCache(const Options& options) {
+  size_t shard_count = std::max<size_t>(1, options.shards);
+  if (options.capacity == 0) {
+    // Disabled: one empty shard with zero capacity.
+    shard_count = 1;
+    per_shard_capacity_ = 0;
+    per_shard_max_bytes_ = 0;
+  } else {
+    shard_count = std::min(shard_count, options.capacity);
+    per_shard_capacity_ =
+        (options.capacity + shard_count - 1) / shard_count;
+    per_shard_max_bytes_ =
+        options.max_bytes == 0
+            ? 0
+            : std::max<uint64_t>(1, options.max_bytes / shard_count);
+  }
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+PreparedQueryCache::Shard& PreparedQueryCache::ShardFor(
+    const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const engine::PreparedQuery> PreparedQueryCache::Get(
+    const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->prepared;
+}
+
+void PreparedQueryCache::Put(
+    const std::string& key,
+    std::shared_ptr<const engine::PreparedQuery> prepared) {
+  if (per_shard_capacity_ == 0 || prepared == nullptr) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Concurrent builders racing on the same key: keep the incumbent
+    // (identical by construction), just refresh recency.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.bytes += prepared->memory_bytes;
+  shard.lru.push_front(Entry{key, std::move(prepared)});
+  shard.index.emplace(key, shard.lru.begin());
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  EvictLocked(&shard);
+}
+
+void PreparedQueryCache::EvictLocked(Shard* shard) {
+  while (shard->lru.size() > per_shard_capacity_ ||
+         (per_shard_max_bytes_ != 0 && shard->bytes > per_shard_max_bytes_ &&
+          shard->lru.size() > 1)) {
+    const Entry& victim = shard->lru.back();
+    shard->bytes -= victim.prepared->memory_bytes;
+    shard->index.erase(victim.key);
+    shard->lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void PreparedQueryCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+PreparedQueryCache::Stats PreparedQueryCache::stats() const {
+  return Stats{hits_.load(std::memory_order_relaxed),
+               misses_.load(std::memory_order_relaxed),
+               insertions_.load(std::memory_order_relaxed),
+               evictions_.load(std::memory_order_relaxed)};
+}
+
+size_t PreparedQueryCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace quickview::service

@@ -1,0 +1,90 @@
+// Sharded LRU cache of PreparedQuery bundles (QPTs + generated PDTs),
+// keyed by (view id, plan signature). PDT generation is the data-
+// dependent stage of the pipeline; reusing PDTs across queries is what
+// turns the engine from one-shot into a multi-query service (EMBANKS-
+// style intermediate-structure reuse). Entries are shared_ptr<const>, so
+// an entry evicted while queries still execute against it stays alive
+// until the last query drops its reference.
+//
+// Sharding: keys hash to one of N independently locked shards, so
+// concurrent lookups from the service thread pool contend only when they
+// collide on a shard, not on one global mutex.
+#ifndef QUICKVIEW_SERVICE_PREPARED_QUERY_CACHE_H_
+#define QUICKVIEW_SERVICE_PREPARED_QUERY_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/view_search_engine.h"
+
+namespace quickview::service {
+
+class PreparedQueryCache {
+ public:
+  struct Options {
+    /// Maximum total entries across all shards (rounded up to give every
+    /// shard at least one slot). 0 disables caching entirely.
+    size_t capacity = 128;
+    size_t shards = 8;
+    /// Optional PDT-memory budget across all shards (0 = entries-only
+    /// eviction). A shard evicts LRU-first while over either limit.
+    uint64_t max_bytes = 0;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  explicit PreparedQueryCache(const Options& options);
+
+  /// Returns the cached entry and promotes it to most-recently-used, or
+  /// nullptr (counting a miss).
+  std::shared_ptr<const engine::PreparedQuery> Get(const std::string& key);
+
+  /// Inserts (or refreshes) `prepared` under `key`, evicting LRU entries
+  /// while the shard exceeds its budgets.
+  void Put(const std::string& key,
+           std::shared_ptr<const engine::PreparedQuery> prepared);
+
+  /// Drops every entry (in-flight queries keep their references alive).
+  void Clear();
+
+  Stats stats() const;
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const engine::PreparedQuery> prepared;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    uint64_t bytes = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  void EvictLocked(Shard* shard);
+
+  size_t per_shard_capacity_;
+  uint64_t per_shard_max_bytes_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  mutable std::atomic<uint64_t> insertions_{0};
+  mutable std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace quickview::service
+
+#endif  // QUICKVIEW_SERVICE_PREPARED_QUERY_CACHE_H_

@@ -1,0 +1,133 @@
+#include "service/query_service.h"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "xquery/parser.h"
+
+namespace quickview::service {
+
+namespace {
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+QueryService::QueryService(const xml::Database* database,
+                           const index::DatabaseIndexes* indexes,
+                           const storage::DocumentStore* store,
+                           const QueryServiceOptions& options)
+    : engine_(database, indexes, store),
+      cache_(options.cache),
+      pool_(ResolveThreads(options.threads)) {}
+
+Status QueryService::RegisterView(const std::string& name,
+                                  const std::string& view_text) {
+  // Validate eagerly so a bad view fails registration, not every query.
+  auto parsed = xquery::ParseQuery(view_text);
+  if (!parsed.ok()) return parsed.status();
+  std::unique_lock<std::shared_mutex> lock(views_mu_);
+  RegisteredView& view = views_[name];
+  ++view.version;
+  view.text = view_text;
+  return Status::OK();
+}
+
+Result<engine::SearchResponse> QueryService::SearchOne(
+    const BatchQuery& query) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  // Keywords are spliced into single-quoted XQuery string literals; a
+  // quote would break out of the literal and rewrite the query shape
+  // (the serve CLI feeds keywords straight from stdin). The grammar has
+  // no escape for quotes inside literals, so reject rather than mangle.
+  for (const std::string& keyword : query.keywords) {
+    if (keyword.find('\'') != std::string::npos) {
+      return Status::InvalidArgument("keyword must not contain \"'\": " +
+                                     keyword);
+    }
+  }
+  std::string view_text;
+  uint64_t view_version = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(views_mu_);
+    auto it = views_.find(query.view);
+    if (it == views_.end()) {
+      return Status::NotFound("no view registered as '" + query.view + "'");
+    }
+    view_text = it->second.text;
+    view_version = it->second.version;
+  }
+
+  // The hit path deliberately re-plans (parse + QPT generation; cost
+  // proportional to the query text, never the data) so the cache stays
+  // keyed by the canonical plan signature rather than raw input text.
+  // If planning ever shows up in warm-path profiles, add a first-level
+  // key on (view#version, keywords, connective) in front of this.
+  std::string full_query = engine::ComposeKeywordQuery(
+      view_text, query.keywords, query.options.conjunctive);
+  QV_ASSIGN_OR_RETURN(engine::QueryPlan plan, engine_.PlanQuery(full_query));
+
+  // Length-prefix the view name so no name can collide with another
+  // name + version suffix; the plan signature is injective on its own.
+  std::string key = std::to_string(query.view.size());
+  key.push_back(':');
+  key.append(query.view);
+  key.push_back('#');
+  key.append(std::to_string(view_version));
+  key.push_back('\x1f');
+  key.append(plan.signature);
+
+  std::shared_ptr<const engine::PreparedQuery> prepared = cache_.Get(key);
+  if (prepared == nullptr) {
+    QV_ASSIGN_OR_RETURN(prepared, engine_.BuildPdts(std::move(plan)));
+    cache_.Put(key, prepared);
+  }
+  return engine_.ExecutePrepared(*prepared, query.options);
+}
+
+std::vector<Result<engine::SearchResponse>> QueryService::SearchBatch(
+    const std::vector<BatchQuery>& queries) {
+  std::vector<Result<engine::SearchResponse>> responses(
+      queries.size(), Status::Internal("query not executed"));
+  if (queries.empty()) return responses;
+
+  // Per-batch completion barrier, so concurrent batches from different
+  // client threads don't wait on each other's tasks.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t done = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    pool_.Submit([this, &queries, &responses, &done_mu, &done_cv, &done, i] {
+      // Exceptions (e.g. bad_alloc from a huge PDT build) become this
+      // slot's error; the completion count must advance regardless, or
+      // the batch barrier below would wait forever.
+      try {
+        responses[i] = SearchOne(queries[i]);
+      } catch (const std::exception& e) {
+        responses[i] = Status::Internal(std::string("query threw: ") +
+                                        e.what());
+      } catch (...) {
+        responses[i] = Status::Internal("query threw a non-std exception");
+      }
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (++done == queries.size()) done_cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return done == queries.size(); });
+  return responses;
+}
+
+QueryService::Stats QueryService::stats() const {
+  return Stats{queries_.load(std::memory_order_relaxed), cache_.stats()};
+}
+
+}  // namespace quickview::service

@@ -1,0 +1,101 @@
+// QueryService: the multi-query front end over ViewSearchEngine. Views
+// are registered once by name; batches of keyword queries against those
+// views execute concurrently on a fixed thread pool, sharing one
+// PreparedQueryCache so identical plans (same view, same QPT signature,
+// same keywords) reuse already-generated PDTs instead of rebuilding them.
+//
+// Threading model:
+//  - the database, indices and document store are immutable after
+//    construction and shared by every worker;
+//  - per-query state (evaluator, scoring, materialization target) lives
+//    on the worker's stack;
+//  - cached PreparedQuery bundles are immutable and reference-counted,
+//    so eviction never invalidates an executing query.
+// Results are deterministic: a batch returns, per query, exactly the
+// response a serial ViewSearchEngine::SearchView call would produce
+// (timings aside).
+#ifndef QUICKVIEW_SERVICE_QUERY_SERVICE_H_
+#define QUICKVIEW_SERVICE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/view_search_engine.h"
+#include "index/index_builder.h"
+#include "service/prepared_query_cache.h"
+#include "service/thread_pool.h"
+#include "storage/document_store.h"
+#include "xml/dom.h"
+
+namespace quickview::service {
+
+struct QueryServiceOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  int threads = 0;
+  PreparedQueryCache::Options cache;
+};
+
+/// One keyword query of a batch, against a registered view.
+struct BatchQuery {
+  std::string view;  // registered view name
+  std::vector<std::string> keywords;
+  engine::SearchOptions options;
+};
+
+class QueryService {
+ public:
+  struct Stats {
+    uint64_t queries = 0;
+    PreparedQueryCache::Stats cache;
+  };
+
+  /// All three structures must outlive the service and are treated as
+  /// immutable (see the threading model above).
+  QueryService(const xml::Database* database,
+               const index::DatabaseIndexes* indexes,
+               const storage::DocumentStore* store,
+               const QueryServiceOptions& options = {});
+
+  /// Registers (or replaces) a view under `name`. Replacing a view bumps
+  /// its cache-key version, so stale PDTs can never serve the new text.
+  /// Not intended to race with in-flight batches against the same name.
+  Status RegisterView(const std::string& name, const std::string& view_text);
+
+  /// Executes the whole batch on the pool; response i answers query i.
+  /// Individual failures are per-slot errors, not batch failures.
+  std::vector<Result<engine::SearchResponse>> SearchBatch(
+      const std::vector<BatchQuery>& queries);
+
+  /// Executes one query on the calling thread (used by the batch workers;
+  /// public so callers can bypass the pool).
+  Result<engine::SearchResponse> SearchOne(const BatchQuery& query);
+
+  /// Drops all cached PDTs (cold-cache measurements, corpus swaps).
+  void ClearCache() { cache_.Clear(); }
+
+  Stats stats() const;
+  int threads() const { return pool_.thread_count(); }
+
+ private:
+  struct RegisteredView {
+    std::string text;
+    uint64_t version = 0;  // part of the cache key
+  };
+
+  engine::ViewSearchEngine engine_;
+  mutable std::shared_mutex views_mu_;
+  std::map<std::string, RegisteredView> views_;
+  PreparedQueryCache cache_;
+  std::atomic<uint64_t> queries_{0};
+  ThreadPool pool_;  // last: workers must stop before members above die
+};
+
+}  // namespace quickview::service
+
+#endif  // QUICKVIEW_SERVICE_QUERY_SERVICE_H_

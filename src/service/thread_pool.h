@@ -1,0 +1,53 @@
+// A fixed-size thread pool: N workers draining one FIFO task queue. The
+// service layer sizes it once at startup (paper-scale serving wants a
+// bounded number of executors, not a thread per request) and submits
+// closures; Drain() gives batch callers a completion barrier without
+// per-task futures.
+#ifndef QUICKVIEW_SERVICE_THREAD_POOL_H_
+#define QUICKVIEW_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace quickview::service {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to at least 1).
+  explicit ThreadPool(int threads);
+
+  /// Completes queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker. Safe from any thread,
+  /// including from within a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle. Tasks
+  /// submitted while draining are waited for too.
+  void Drain();
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks / stop
+  std::condition_variable idle_cv_;   // Drain waits for quiescence
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;  // tasks currently executing
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace quickview::service
+
+#endif  // QUICKVIEW_SERVICE_THREAD_POOL_H_

@@ -37,7 +37,8 @@ void CopyRecursive(const Document& source, NodeIndex source_index,
 Status DocumentStore::CopySubtree(uint32_t root_component,
                                   const xml::DeweyId& id,
                                   xml::Document* target,
-                                  xml::NodeIndex target_parent) {
+                                  xml::NodeIndex target_parent,
+                                  Stats* accounting) const {
   const Document* doc = Resolve(root_component);
   if (doc == nullptr) {
     return Status::NotFound("no document with root component " +
@@ -48,13 +49,13 @@ Status DocumentStore::CopySubtree(uint32_t root_component,
     return Status::NotFound("no element " + id.ToString());
   }
   CopyRecursive(*doc, source, target, target_parent);
-  ++stats_.fetch_calls;
-  stats_.bytes_fetched += xml::SubtreeByteLength(*doc, source);
+  CountFetch(xml::SubtreeByteLength(*doc, source), accounting);
   return Status::OK();
 }
 
 Status DocumentStore::GetValue(uint32_t root_component,
-                               const xml::DeweyId& id, std::string* out) {
+                               const xml::DeweyId& id, std::string* out,
+                               Stats* accounting) const {
   const Document* doc = Resolve(root_component);
   if (doc == nullptr) {
     return Status::NotFound("no document with root component " +
@@ -65,14 +66,14 @@ Status DocumentStore::GetValue(uint32_t root_component,
     return Status::NotFound("no element " + id.ToString());
   }
   *out = doc->node(source).text;
-  ++stats_.fetch_calls;
-  stats_.bytes_fetched += doc->node(source).text.size();
+  CountFetch(out->size(), accounting);
   return Status::OK();
 }
 
 Status DocumentStore::GetSubtreeLength(uint32_t root_component,
                                        const xml::DeweyId& id,
-                                       uint64_t* out) {
+                                       uint64_t* out,
+                                       Stats* accounting) const {
   const Document* doc = Resolve(root_component);
   if (doc == nullptr) {
     return Status::NotFound("no document with root component " +
@@ -83,8 +84,7 @@ Status DocumentStore::GetSubtreeLength(uint32_t root_component,
     return Status::NotFound("no element " + id.ToString());
   }
   *out = xml::SubtreeByteLength(*doc, source);
-  ++stats_.fetch_calls;
-  stats_.bytes_fetched += *out;
+  CountFetch(*out, accounting);
   return Status::OK();
 }
 

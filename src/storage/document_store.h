@@ -2,10 +2,19 @@
 // Materialization module fetches full element subtrees from here for the
 // top-k results only; access statistics let benchmarks verify that the
 // Efficient path touches base data solely during final materialization.
+//
+// Thread safety: the store is immutable after construction; every fetch
+// method is const and safe to call concurrently. The global access
+// counters are relaxed atomics; callers that need per-query accounting
+// (meaningless to derive from deltas of a shared counter under
+// concurrency) pass a local `Stats* accounting` that each fetch also
+// accumulates into.
 #ifndef QUICKVIEW_STORAGE_DOCUMENT_STORE_H_
 #define QUICKVIEW_STORAGE_DOCUMENT_STORE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -18,6 +27,7 @@ namespace quickview::storage {
 /// (document root component, Dewey id).
 class DocumentStore {
  public:
+  /// A snapshot of (or a local accumulator for) access counters.
   struct Stats {
     uint64_t fetch_calls = 0;
     uint64_t bytes_fetched = 0;
@@ -31,25 +41,42 @@ class DocumentStore {
   /// `target` as a child of `target_parent` (or as the root when `target`
   /// is empty and `target_parent` is kInvalidNode). Counts fetch stats.
   Status CopySubtree(uint32_t root_component, const xml::DeweyId& id,
-                     xml::Document* target, xml::NodeIndex target_parent);
+                     xml::Document* target, xml::NodeIndex target_parent,
+                     Stats* accounting = nullptr) const;
 
   /// Returns the atomic text value of the element, or NotFound.
   Status GetValue(uint32_t root_component, const xml::DeweyId& id,
-                  std::string* out);
+                  std::string* out, Stats* accounting = nullptr) const;
 
   /// Serialized byte length of the element's subtree (a base-data access;
   /// used by baselines that cannot get lengths from indices).
   Status GetSubtreeLength(uint32_t root_component, const xml::DeweyId& id,
-                          uint64_t* out);
+                          uint64_t* out, Stats* accounting = nullptr) const;
 
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  Stats stats() const {
+    return Stats{fetch_calls_.load(std::memory_order_relaxed),
+                 bytes_fetched_.load(std::memory_order_relaxed)};
+  }
+  void ResetStats() {
+    fetch_calls_.store(0, std::memory_order_relaxed);
+    bytes_fetched_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   const xml::Document* Resolve(uint32_t root_component) const;
 
+  void CountFetch(uint64_t bytes, Stats* accounting) const {
+    fetch_calls_.fetch_add(1, std::memory_order_relaxed);
+    bytes_fetched_.fetch_add(bytes, std::memory_order_relaxed);
+    if (accounting != nullptr) {
+      ++accounting->fetch_calls;
+      accounting->bytes_fetched += bytes;
+    }
+  }
+
   std::map<uint32_t, std::shared_ptr<const xml::Document>> docs_;
-  Stats stats_;
+  mutable std::atomic<uint64_t> fetch_calls_{0};
+  mutable std::atomic<uint64_t> bytes_fetched_{0};
 };
 
 }  // namespace quickview::storage

@@ -1,0 +1,214 @@
+// QueryService: concurrent batches must produce results byte-identical to
+// serial ViewSearchEngine runs, with the PDT cache counting hits and
+// misses deterministically once warmed. Runs under the TSan CI leg.
+#include "service/query_service.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/view_search_engine.h"
+#include "index/index_builder.h"
+#include "service/thread_pool.h"
+#include "storage/document_store.h"
+#include "workload/bookrev_generator.h"
+
+namespace quickview::service {
+namespace {
+
+class QueryServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = workload::GenerateBookRevDatabase(workload::BookRevOptions{});
+    indexes_ = index::BuildDatabaseIndexes(*db_);
+    store_ = std::make_unique<storage::DocumentStore>(*db_);
+    engine_ = std::make_unique<engine::ViewSearchEngine>(
+        db_.get(), indexes_.get(), store_.get());
+  }
+
+  std::unique_ptr<QueryService> MakeService(int threads,
+                                            size_t cache_capacity = 128,
+                                            size_t cache_shards = 8) {
+    QueryServiceOptions options;
+    options.threads = threads;
+    options.cache.capacity = cache_capacity;
+    options.cache.shards = cache_shards;
+    auto service = std::make_unique<QueryService>(db_.get(), indexes_.get(),
+                                                  store_.get(), options);
+    EXPECT_TRUE(
+        service->RegisterView("bookrev", workload::BookRevView()).ok());
+    return service;
+  }
+
+  static void ExpectSameResponse(const engine::SearchResponse& expected,
+                                 const engine::SearchResponse& actual) {
+    ASSERT_EQ(expected.hits.size(), actual.hits.size());
+    for (size_t i = 0; i < expected.hits.size(); ++i) {
+      EXPECT_EQ(expected.hits[i].xml, actual.hits[i].xml) << "hit " << i;
+      EXPECT_EQ(expected.hits[i].score, actual.hits[i].score) << "hit " << i;
+      EXPECT_EQ(expected.hits[i].tf, actual.hits[i].tf) << "hit " << i;
+      EXPECT_EQ(expected.hits[i].byte_length, actual.hits[i].byte_length);
+    }
+    EXPECT_EQ(expected.stats.view_results, actual.stats.view_results);
+    EXPECT_EQ(expected.stats.matching_results, actual.stats.matching_results);
+    EXPECT_EQ(expected.stats.view_bytes, actual.stats.view_bytes);
+    EXPECT_EQ(expected.stats.store_fetches, actual.stats.store_fetches);
+    EXPECT_EQ(expected.stats.store_bytes, actual.stats.store_bytes);
+    EXPECT_EQ(expected.stats.pdt.nodes_emitted, actual.stats.pdt.nodes_emitted);
+    EXPECT_EQ(expected.stats.pdt.pdt_bytes, actual.stats.pdt.pdt_bytes);
+  }
+
+  std::shared_ptr<xml::Database> db_;
+  std::unique_ptr<index::DatabaseIndexes> indexes_;
+  std::unique_ptr<storage::DocumentStore> store_;
+  std::unique_ptr<engine::ViewSearchEngine> engine_;
+};
+
+const std::vector<std::vector<std::string>>& KeywordSets() {
+  static const auto* kSets = new std::vector<std::vector<std::string>>{
+      {"xml", "search"}, {"database"}, {"web", "xml"},
+      {"search"},        {"xml"},      {"database", "web"}};
+  return *kSets;
+}
+
+TEST_F(QueryServiceTest, ConcurrentIdenticalBatchMatchesSerial) {
+  auto service = MakeService(/*threads=*/4);
+  BatchQuery query{"bookrev", {"xml", "search"}, engine::SearchOptions{}};
+  auto expected = engine_->SearchView(workload::BookRevView(), query.keywords,
+                                      query.options);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_FALSE(expected->hits.empty());
+
+  // Warm the cache with one serial call so the batch counters below are
+  // deterministic (no warm-up race between workers).
+  ASSERT_TRUE(service->SearchOne(query).ok());
+  EXPECT_EQ(service->stats().cache.misses, 1u);
+
+  constexpr size_t kBatch = 32;
+  std::vector<BatchQuery> batch(kBatch, query);
+  auto responses = service->SearchBatch(batch);
+  ASSERT_EQ(responses.size(), kBatch);
+  for (const auto& response : responses) {
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ExpectSameResponse(*expected, *response);
+  }
+  EXPECT_EQ(service->stats().cache.hits, kBatch);
+  EXPECT_EQ(service->stats().cache.misses, 1u);
+  EXPECT_EQ(service->stats().queries, kBatch + 1);
+}
+
+TEST_F(QueryServiceTest, ConcurrentDistinctBatchMatchesSerial) {
+  auto service = MakeService(/*threads=*/8);
+  std::vector<BatchQuery> batch;
+  std::vector<engine::SearchResponse> expected;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    for (const auto& keywords : KeywordSets()) {
+      BatchQuery query{"bookrev", keywords, engine::SearchOptions{}};
+      query.options.conjunctive = keywords.size() % 2 == 1;
+      auto serial = engine_->SearchView(workload::BookRevView(), keywords,
+                                        query.options);
+      ASSERT_TRUE(serial.ok());
+      expected.push_back(std::move(*serial));
+      batch.push_back(std::move(query));
+    }
+  }
+  auto responses = service->SearchBatch(batch);
+  ASSERT_EQ(responses.size(), batch.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].ok()) << responses[i].status().ToString();
+    ExpectSameResponse(expected[i], *responses[i]);
+  }
+  // Every distinct plan was built at least once; the second service pass
+  // over the same batch is all hits.
+  auto stats_after_first = service->stats().cache;
+  EXPECT_GE(stats_after_first.misses, KeywordSets().size());
+  auto second = service->SearchBatch(batch);
+  for (const auto& response : second) ASSERT_TRUE(response.ok());
+  auto stats_after_second = service->stats().cache;
+  EXPECT_EQ(stats_after_second.misses, stats_after_first.misses);
+  EXPECT_EQ(stats_after_second.hits, stats_after_first.hits + batch.size());
+}
+
+TEST_F(QueryServiceTest, CacheEvictsLruAtCapacity) {
+  auto service = MakeService(/*threads=*/2, /*cache_capacity=*/2,
+                             /*cache_shards=*/1);
+  for (const auto& keywords : KeywordSets()) {
+    BatchQuery query{"bookrev", keywords, engine::SearchOptions{}};
+    ASSERT_TRUE(service->SearchOne(query).ok());
+  }
+  EXPECT_GE(service->stats().cache.evictions,
+            KeywordSets().size() - 2);
+  EXPECT_EQ(service->stats().cache.hits, 0u);
+}
+
+TEST_F(QueryServiceTest, ReplacingViewInvalidatesCachedPdts) {
+  auto service = MakeService(/*threads=*/2);
+  BatchQuery query{"bookrev", {"xml"}, engine::SearchOptions{}};
+  auto before = service->SearchOne(query);
+  ASSERT_TRUE(before.ok());
+
+  // Re-register the same name with a selection-only view; cached PDTs for
+  // the old text must not answer for the new one.
+  const std::string new_view =
+      "for $b in fn:doc(books.xml)/books//book return $b";
+  ASSERT_TRUE(service->RegisterView("bookrev", new_view).ok());
+  auto after = service->SearchOne(query);
+  ASSERT_TRUE(after.ok());
+  auto expected = engine_->SearchView(new_view, query.keywords,
+                                      query.options);
+  ASSERT_TRUE(expected.ok());
+  ExpectSameResponse(*expected, *after);
+  EXPECT_NE(before->stats.view_results, after->stats.view_results);
+}
+
+TEST_F(QueryServiceTest, UnknownViewIsPerSlotError) {
+  auto service = MakeService(/*threads=*/2);
+  std::vector<BatchQuery> batch{
+      BatchQuery{"bookrev", {"xml"}, engine::SearchOptions{}},
+      BatchQuery{"nope", {"xml"}, engine::SearchOptions{}}};
+  auto responses = service->SearchBatch(batch);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_TRUE(responses[0].ok());
+  EXPECT_FALSE(responses[1].ok());
+  EXPECT_EQ(responses[1].status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(QueryServiceTest, RegisterRejectsUnparsableView) {
+  auto service = MakeService(/*threads=*/1);
+  EXPECT_FALSE(service->RegisterView("bad", "for $x in ((((").ok());
+}
+
+TEST_F(QueryServiceTest, RejectsQuoteBearingKeyword) {
+  // A quote would escape the single-quoted ftcontains literal and
+  // rewrite the composed query; the service must refuse it up front.
+  auto service = MakeService(/*threads=*/1);
+  BatchQuery query{"bookrev",
+                   {"x') return $qv"},
+                   engine::SearchOptions{}};
+  auto response = service->SearchOne(query);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Drain();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, DrainFromEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.Drain();
+  ThreadPool clamped(0);
+  EXPECT_EQ(clamped.thread_count(), 1);
+}
+
+}  // namespace
+}  // namespace quickview::service

@@ -11,9 +11,18 @@
 //   quickview_cli demo
 //       Generate the paper's books/reviews example and run its Fig 2
 //       query end to end.
+//   quickview_cli serve <db-dir> --view <file> [--threads N] [--top N]
+//       [--any] [--repeat R]   (or: quickview_cli serve --demo ...)
+//       Batch mode: read one keyword query per stdin line (comma-
+//       separated keywords), execute the whole batch concurrently on a
+//       QueryService thread pool with PDT caching, print ranked matches
+//       plus throughput and cache statistics.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -22,6 +31,7 @@
 #include "engine/base_search.h"
 #include "engine/view_search_engine.h"
 #include "index/index_builder.h"
+#include "service/query_service.h"
 #include "storage/document_store.h"
 #include "storage/persistence.h"
 #include "workload/bookrev_generator.h"
@@ -44,7 +54,11 @@ int Usage() {
                "--keywords k1,k2 [--top N] [--any]\n"
                "  quickview_cli basesearch <db-dir> --keywords k1,k2 "
                "[--top N] [--any]\n"
-               "  quickview_cli demo\n");
+               "  quickview_cli demo\n"
+               "  quickview_cli serve <db-dir>|--demo --view <file> "
+               "[--threads N] [--top N] [--any] [--repeat R]\n"
+               "    (keyword queries on stdin, one comma-separated "
+               "list per line)\n");
   return 2;
 }
 
@@ -55,7 +69,24 @@ struct Flags {
   std::vector<std::string> keywords;
   size_t top_k = 10;
   bool any = false;
+  bool demo = false;
+  int threads = 0;  // 0 = hardware concurrency
+  int repeat = 1;   // serve: replicate the stdin batch N times
 };
+
+/// Strict non-negative integer parse; false on junk or overflow (flag
+/// values must not crash the process via std::stoi exceptions).
+bool ParseCount(const char* text, long long max_value, long long* out) {
+  if (text == nullptr || *text == '\0') return false;
+  long long value = 0;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    value = value * 10 + (*p - '0');
+    if (value > max_value) return false;
+  }
+  *out = value;
+  return true;
+}
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
   for (int i = 2; i < argc; ++i) {
@@ -81,10 +112,23 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       }
     } else if (arg == "--top") {
       const char* v = next();
-      if (v == nullptr) return false;
-      flags->top_k = static_cast<size_t>(std::stoul(v));
+      long long value = 0;
+      if (!ParseCount(v, 1000000, &value)) return false;
+      flags->top_k = static_cast<size_t>(value);
     } else if (arg == "--any") {
       flags->any = true;
+    } else if (arg == "--demo") {
+      flags->demo = true;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      long long value = 0;
+      if (!ParseCount(v, 4096, &value)) return false;
+      flags->threads = static_cast<int>(value);
+    } else if (arg == "--repeat") {
+      const char* v = next();
+      long long value = 0;
+      if (!ParseCount(v, 1000000, &value)) return false;
+      flags->repeat = std::max(1, static_cast<int>(value));
     } else {
       flags->positional.push_back(std::move(arg));
     }
@@ -200,6 +244,108 @@ int CmdDemo() {
   return 0;
 }
 
+int CmdServe(const Flags& flags) {
+  if (!flags.demo && flags.positional.size() != 1) return Usage();
+  if (!flags.demo && flags.view.empty()) return Usage();
+
+  // Corpus: either a persisted database directory or the built-in
+  // books/reviews demo corpus.
+  std::shared_ptr<xml::Database> db;
+  std::unique_ptr<index::DatabaseIndexes> indexes;
+  std::string view_text;
+  if (flags.demo) {
+    db = workload::GenerateBookRevDatabase(workload::BookRevOptions{});
+    indexes = index::BuildDatabaseIndexes(*db);
+    view_text = workload::BookRevView();
+  } else {
+    auto loaded = storage::LoadDatabase(flags.positional[0]);
+    if (!loaded.ok()) return Fail(loaded.status());
+    db = std::move(*loaded);
+    auto persisted = storage::LoadIndexes(*db, flags.positional[0]);
+    if (persisted.ok()) {
+      indexes = std::move(*persisted);
+    } else {
+      std::printf("no serialized indices, rebuilding...\n");
+      indexes = index::BuildDatabaseIndexes(*db);
+    }
+  }
+  if (!flags.view.empty()) {
+    auto view_file = ReadFile(flags.view);
+    if (!view_file.ok()) return Fail(view_file.status());
+    view_text = std::move(*view_file);
+  }
+
+  storage::DocumentStore store(*db);
+  service::QueryServiceOptions options;
+  options.threads = flags.threads;
+  service::QueryService query_service(db.get(), indexes.get(), &store,
+                                      options);
+  Status registered = query_service.RegisterView("default", view_text);
+  if (!registered.ok()) return Fail(registered);
+
+  // One query per stdin line: comma-separated keywords.
+  std::vector<service::BatchQuery> batch;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    service::BatchQuery query;
+    query.view = "default";
+    for (std::string_view piece : SplitString(line, ',')) {
+      if (!piece.empty()) query.keywords.push_back(AsciiToLower(piece));
+    }
+    if (query.keywords.empty()) continue;
+    query.options.top_k = flags.top_k;
+    query.options.conjunctive = !flags.any;
+    batch.push_back(std::move(query));
+  }
+  if (batch.empty()) {
+    std::fprintf(stderr, "serve: no queries on stdin\n");
+    return 2;
+  }
+  const size_t unique_queries = batch.size();
+  batch.reserve(unique_queries * static_cast<size_t>(flags.repeat));
+  for (int r = 1; r < flags.repeat; ++r) {
+    for (size_t i = 0; i < unique_queries; ++i) batch.push_back(batch[i]);
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  auto responses = query_service.SearchBatch(batch);
+  double wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+
+  int failures = 0;
+  for (size_t i = 0; i < unique_queries; ++i) {
+    std::string joined;
+    for (const std::string& k : batch[i].keywords) {
+      if (!joined.empty()) joined += ",";
+      joined += k;
+    }
+    if (!responses[i].ok()) {
+      ++failures;
+      std::printf("[%s] error: %s\n", joined.c_str(),
+                  responses[i].status().ToString().c_str());
+      continue;
+    }
+    const engine::SearchResponse& r = *responses[i];
+    std::printf("[%s] %zu/%zu results, top score %.4f\n", joined.c_str(),
+                r.stats.matching_results, r.stats.view_results,
+                r.hits.empty() ? 0.0 : r.hits[0].score);
+  }
+  for (size_t i = unique_queries; i < responses.size(); ++i) {
+    if (!responses[i].ok()) ++failures;
+  }
+  service::QueryService::Stats stats = query_service.stats();
+  std::printf(
+      "served %zu queries on %d threads in %.1f ms (%.0f q/s); "
+      "cache hits %llu misses %llu\n",
+      responses.size(), query_service.threads(), wall_ms,
+      wall_ms > 0 ? 1000.0 * static_cast<double>(responses.size()) / wall_ms
+                  : 0.0,
+      static_cast<unsigned long long>(stats.cache.hits),
+      static_cast<unsigned long long>(stats.cache.misses));
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -211,5 +357,6 @@ int main(int argc, char** argv) {
   if (command == "search") return CmdSearch(flags);
   if (command == "basesearch") return CmdBaseSearch(flags);
   if (command == "demo") return CmdDemo();
+  if (command == "serve") return CmdServe(flags);
   return Usage();
 }
