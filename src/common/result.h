@@ -50,17 +50,41 @@ class Result {
   std::variant<T, Status> repr_;
 };
 
-/// Evaluates a Result-returning expression; on error returns the Status,
-/// otherwise assigns the value to `lhs`.
-#define QV_ASSIGN_OR_RETURN(lhs, expr)                   \
-  QV_ASSIGN_OR_RETURN_IMPL_(                             \
-      QV_CONCAT_(_qv_result_, __LINE__), lhs, expr)
+namespace internal {
+/// Uniform error extraction for the propagation macros below: a Status is
+/// its own error, a Result yields its Status.
+inline const Status& ToStatus(const Status& status) { return status; }
+template <typename T>
+const Status& ToStatus(const Result<T>& result) {
+  return result.status();
+}
+}  // namespace internal
+
 #define QV_CONCAT_INNER_(a, b) a##b
 #define QV_CONCAT_(a, b) QV_CONCAT_INNER_(a, b)
+
+/// Evaluates a Status- or Result-returning expression; on error returns
+/// the Status (a Result's value, if any, is discarded).
+#define QUICKVIEW_RETURN_IF_ERROR(expr)                         \
+  do {                                                          \
+    auto&& _qv_propagate = (expr);                              \
+    if (!_qv_propagate.ok()) {                                  \
+      return ::quickview::internal::ToStatus(_qv_propagate);    \
+    }                                                           \
+  } while (false)
+
+/// Evaluates a Result-returning expression; on error returns the Status,
+/// otherwise assigns the value to `lhs`.
+#define QUICKVIEW_ASSIGN_OR_RETURN(lhs, expr)            \
+  QV_ASSIGN_OR_RETURN_IMPL_(                             \
+      QV_CONCAT_(_qv_result_, __LINE__), lhs, expr)
 #define QV_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
   auto tmp = (expr);                              \
   if (!tmp.ok()) return tmp.status();             \
   lhs = std::move(tmp).value()
+
+/// Short-form alias, kept for existing call sites.
+#define QV_ASSIGN_OR_RETURN(lhs, expr) QUICKVIEW_ASSIGN_OR_RETURN(lhs, expr)
 
 }  // namespace quickview
 

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <map>
 #include <set>
+#include <utility>
 
+#include "engine/ranked_stream.h"
 #include "pdt/prepare_lists.h"
 #include "xml/serializer.h"
 
@@ -35,6 +37,10 @@ Result<std::vector<BaseSearchHit>> SearchBaseDocuments(
     const BaseSearchOptions& options) {
   if (keywords.empty()) {
     return Status::InvalidArgument("base search requires keywords");
+  }
+  if (options.top_k == 0) {
+    return Status::InvalidArgument(
+        "top_k must be at least 1 (a zero-result search is a caller bug)");
   }
   std::vector<BaseSearchHit> qualifying;
   for (const auto& [name, doc] : database.documents()) {
@@ -88,7 +94,12 @@ Result<std::vector<BaseSearchHit>> SearchBaseDocuments(
     }
     idf[k] = df == 0 ? 0.0 : total / static_cast<double>(df);
   }
-  for (BaseSearchHit& hit : qualifying) {
+  // Incremental ranked selection over the shared top-k core; only the
+  // popped hits are serialized.
+  RankedStream stream;
+  stream.Reserve(qualifying.size());
+  for (size_t i = 0; i < qualifying.size(); ++i) {
+    BaseSearchHit& hit = qualifying[i];
     const xml::Document* doc = database.GetDocument(hit.document);
     xml::NodeIndex node = doc->FindByDewey(hit.id);
     hit.byte_length = xml::SubtreeByteLength(*doc, node);
@@ -97,20 +108,19 @@ Result<std::vector<BaseSearchHit>> SearchBaseDocuments(
       raw += static_cast<double>(hit.tf[k]) * idf[k];
     }
     hit.score = raw / std::sqrt(static_cast<double>(hit.byte_length) + 1.0);
+    stream.Push(hit.score, i);
   }
-  std::stable_sort(qualifying.begin(), qualifying.end(),
-                   [](const BaseSearchHit& a, const BaseSearchHit& b) {
-                     return a.score > b.score;
-                   });
-  if (qualifying.size() > options.top_k) {
-    qualifying.resize(options.top_k);
-  }
-  // Materialize only the returned hits.
-  for (BaseSearchHit& hit : qualifying) {
+  std::vector<BaseSearchHit> top;
+  size_t take = std::min(options.top_k, stream.Size());
+  top.reserve(take);
+  for (size_t n = 0; n < take; ++n) {
+    BaseSearchHit hit = std::move(qualifying[stream.Pop().position]);
+    // Materialize only the returned hits.
     const xml::Document* doc = database.GetDocument(hit.document);
     hit.xml = xml::Serialize(*doc, doc->FindByDewey(hit.id));
+    top.push_back(std::move(hit));
   }
-  return qualifying;
+  return top;
 }
 
 }  // namespace quickview::engine

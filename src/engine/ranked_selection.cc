@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "engine/ranked_stream.h"
 #include "pdt/generate_pdt.h"
 #include "qpt/generate_qpt.h"
 #include "scoring/materializer.h"
@@ -61,12 +62,18 @@ Result<SearchResponse> RankedSelectionSearch(
     const storage::DocumentStore* store, const std::string& view_text,
     const std::vector<std::string>& keywords,
     const SearchOptions& options) {
+  QUICKVIEW_RETURN_IF_ERROR(ValidateSearchOptions(options));
+  if (keywords.empty()) {
+    return Status::InvalidArgument(
+        "ranked selection requires a non-empty keyword list");
+  }
   SearchResponse response;
   Clock::time_point start = Clock::now();
-  QV_ASSIGN_OR_RETURN(xquery::Query query, xquery::ParseQuery(view_text));
-  QV_ASSIGN_OR_RETURN(std::vector<qpt::Qpt> qpts,
-                      qpt::GenerateQpts(&query));
-  QV_RETURN_IF_ERROR(CheckMonotoneShape(query, qpts));
+  QUICKVIEW_ASSIGN_OR_RETURN(xquery::Query query,
+                             xquery::ParseQuery(view_text));
+  QUICKVIEW_ASSIGN_OR_RETURN(std::vector<qpt::Qpt> qpts,
+                             qpt::GenerateQpts(&query));
+  QUICKVIEW_RETURN_IF_ERROR(CheckMonotoneShape(query, qpts));
   std::vector<std::string> lower;
   for (const std::string& keyword : keywords) {
     lower.push_back(AsciiToLower(keyword));
@@ -81,7 +88,7 @@ Result<SearchResponse> RankedSelectionSearch(
                             qpts[0].source_doc + "'");
   }
   pdt::PdtBuildStats build_stats;
-  QV_ASSIGN_OR_RETURN(
+  QUICKVIEW_ASSIGN_OR_RETURN(
       std::shared_ptr<xml::Document> pdt,
       pdt::GeneratePdt(qpts[0], *doc_indexes, lower, &build_stats));
   response.stats.pdt = build_stats;
@@ -129,30 +136,30 @@ Result<SearchResponse> RankedSelectionSearch(
                  : static_cast<double>(view_results) /
                        static_cast<double>(df[k]);
   }
-  std::vector<std::pair<double, size_t>> ranked;  // (score, index)
+  // Incremental ranked selection over the shared top-k core: only the
+  // popped (returned) candidates are ever materialized.
+  RankedStream stream;
+  stream.Reserve(matching.size());
   for (size_t i = 0; i < matching.size(); ++i) {
     double raw = 0;
     for (size_t k = 0; k < lower.size(); ++k) {
       raw += static_cast<double>(matching[i].tf[k]) * idf[k];
     }
-    double score =
-        raw / std::sqrt(static_cast<double>(matching[i].byte_length) + 1.0);
-    ranked.emplace_back(score, i);
+    stream.Push(
+        raw / std::sqrt(static_cast<double>(matching[i].byte_length) + 1.0),
+        i);
   }
-  std::stable_sort(ranked.begin(), ranked.end(),
-                   [](const auto& a, const auto& b) {
-                     return a.first > b.first;
-                   });
-  if (ranked.size() > options.top_k) ranked.resize(options.top_k);
 
   storage::DocumentStore::Stats fetches;
-  for (const auto& [score, index] : ranked) {
-    const Candidate& candidate = matching[index];
+  size_t take = std::min(options.top_k, stream.Size());
+  for (size_t n = 0; n < take; ++n) {
+    RankedStream::Entry best = stream.Pop();
+    const Candidate& candidate = matching[best.position];
     SearchHit hit;
-    hit.score = score;
+    hit.score = best.score;
     hit.tf = candidate.tf;
     hit.byte_length = candidate.byte_length;
-    QV_ASSIGN_OR_RETURN(
+    QUICKVIEW_ASSIGN_OR_RETURN(
         hit.xml,
         scoring::MaterializeToXml(
             xquery::NodeHandle{pdt.get(), candidate.node}, store,

@@ -1,0 +1,56 @@
+#include "engine/result_cursor.h"
+
+#include <chrono>
+#include <utility>
+
+#include "scoring/materializer.h"
+
+namespace quickview::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Result<std::vector<SearchHit>> ResultCursor::FetchNext(size_t n) {
+  Clock::time_point start = Clock::now();
+  std::vector<SearchHit> page;
+  size_t want = std::min(n, pending());
+  page.reserve(want);
+  while (page.size() < want) {
+    RankedStream::Entry best = stream_.Pop();
+    const scoring::ScoredResult& candidate = candidates_[best.position];
+    SearchHit hit;
+    hit.score = candidate.score;
+    hit.tf = candidate.tf;
+    hit.byte_length = candidate.byte_length;
+    // The fetch: the pipeline's only base-data access, accounted per hit.
+    storage::DocumentStore::Stats fetches;
+    QUICKVIEW_ASSIGN_OR_RETURN(
+        hit.xml, scoring::MaterializeToXml(candidate.result, store_,
+                                           &fetches));
+    stats_.store_fetches += fetches.fetch_calls;
+    stats_.store_bytes += fetches.bytes_fetched;
+    page.push_back(std::move(hit));
+    ++fetched_;
+  }
+  timings_.post_ms += MsSince(start);
+  return page;
+}
+
+Result<SearchResponse> DrainToResponse(ResultCursor* cursor) {
+  SearchResponse response;
+  QUICKVIEW_ASSIGN_OR_RETURN(response.hits,
+                             cursor->FetchNext(cursor->pending()));
+  response.timings = cursor->timings();
+  response.stats = cursor->stats();
+  return response;
+}
+
+}  // namespace quickview::engine

@@ -1,0 +1,99 @@
+// ResultCursor: the pull-based result surface of the engine (paper
+// §4.2.2.2 taken to its API conclusion). ViewSearchEngine::Open runs the
+// cheap whole-stream stages once — evaluation over the PDTs, scoring,
+// ranked-candidate heap — and hands back a cursor; each FetchNext(n) pops
+// the next n candidates in score order and materializes exactly those
+// from the document store. Materialization is the ONLY base-data access
+// of the pipeline, so a hit that is never fetched costs zero store
+// fetches — observable in stats().store_fetches, which grows with the
+// cursor instead of being paid up front. This is what makes "10 more"
+// pagination incremental: the ranked stream is computed once, and each
+// page touches base data only for its own hits.
+//
+// Lifetime: the cursor pins the PreparedQuery (PDTs) via shared_ptr and
+// the evaluator's result arena via shared_ptr, so it stays valid after
+// the PreparedQueryCache evicts the entry or the engine's caller moves
+// on. The Database, indexes and DocumentStore the engine was built over
+// must still outlive the cursor (they are immutable, service-lifetime
+// structures).
+//
+// Error handling: a failed FetchNext returns the error and leaves the
+// cursor in an unspecified (but destructible) state; discard it.
+#ifndef QUICKVIEW_ENGINE_RESULT_CURSOR_H_
+#define QUICKVIEW_ENGINE_RESULT_CURSOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/ranked_stream.h"
+#include "engine/view_search_engine.h"
+#include "scoring/scorer.h"
+#include "storage/document_store.h"
+#include "xml/dom.h"
+
+namespace quickview::engine {
+
+class ResultCursor {
+ public:
+  ResultCursor(const ResultCursor&) = delete;
+  ResultCursor& operator=(const ResultCursor&) = delete;
+
+  /// Returns the next (up to) `n` hits in descending score order,
+  /// materializing each from the document store as it is returned.
+  /// Returns fewer than `n` — possibly zero — once the ranked stream or
+  /// the cursor's top_k budget is exhausted. Splitting one fetch into
+  /// several smaller ones yields the identical hit sequence.
+  Result<std::vector<SearchHit>> FetchNext(size_t n);
+
+  /// True once every hit the cursor will ever yield has been fetched.
+  bool Done() const { return pending() == 0; }
+
+  /// Hits returned so far.
+  size_t fetched() const { return fetched_; }
+
+  /// Hits still fetchable: min(top_k budget left, candidates left).
+  size_t pending() const {
+    size_t budget = limit_ - fetched_;
+    return std::min(budget, stream_.Size());
+  }
+
+  /// Cumulative module timings: qpt/pdt from the PreparedQuery, eval from
+  /// Open, post growing with every fetch (scoring + materialization) —
+  /// drained, they match the batch pipeline's Fig-14 breakdown.
+  const ModuleTimings& timings() const { return timings_; }
+
+  /// Cumulative stats. view_results / matching_results / view_bytes / pdt
+  /// are final at Open; store_fetches / store_bytes count only the hits
+  /// fetched so far (the lazy-materialization guarantee).
+  const SearchStats& stats() const { return stats_; }
+
+  /// The prepared query this cursor executes (the cursor keeps it alive).
+  const PreparedQuery& prepared() const { return *prepared_; }
+
+ private:
+  friend class ViewSearchEngine;
+  ResultCursor() = default;
+
+  std::shared_ptr<const PreparedQuery> prepared_;  // pins the PDTs
+  std::shared_ptr<const xml::Document> result_arena_;  // constructed nodes
+  const storage::DocumentStore* store_ = nullptr;
+  std::vector<scoring::ScoredResult> candidates_;  // view order, unsorted
+  RankedStream stream_;  // positions into candidates_
+  size_t limit_ = 0;     // total hit budget (SearchOptions::top_k)
+  size_t fetched_ = 0;
+  ModuleTimings timings_;
+  SearchStats stats_;
+};
+
+/// Drains `cursor` into the batch response shape: every remaining hit,
+/// plus the cursor's cumulative timings and stats. On a fresh cursor this
+/// reproduces the pre-cursor ExecutePrepared output byte for byte — it is
+/// the compatibility path under Search / SearchView / SearchBatch.
+Result<SearchResponse> DrainToResponse(ResultCursor* cursor);
+
+}  // namespace quickview::engine
+
+#endif  // QUICKVIEW_ENGINE_RESULT_CURSOR_H_

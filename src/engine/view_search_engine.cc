@@ -1,12 +1,12 @@
 #include "engine/view_search_engine.h"
 
 #include <chrono>
+#include <utility>
 
 #include "common/strings.h"
+#include "engine/result_cursor.h"
 #include "qpt/generate_qpt.h"
-#include "scoring/materializer.h"
 #include "scoring/scorer.h"
-#include "xml/serializer.h"
 #include "xquery/evaluator.h"
 #include "xquery/parser.h"
 
@@ -52,6 +52,14 @@ void AppendQptSignature(const qpt::Qpt& qpt, std::string* out) {
 
 }  // namespace
 
+Status ValidateSearchOptions(const SearchOptions& options) {
+  if (options.top_k == 0) {
+    return Status::InvalidArgument(
+        "top_k must be at least 1 (a zero-result search is a caller bug)");
+  }
+  return Status::OK();
+}
+
 std::string PlanSignature(const std::vector<qpt::Qpt>& qpts,
                           const std::vector<std::string>& keywords,
                           bool conjunctive) {
@@ -84,10 +92,18 @@ std::string ComposeKeywordQuery(const std::string& view_text,
 Result<QueryPlan> ViewSearchEngine::PlanQuery(const std::string& query) const {
   Clock::time_point start = Clock::now();
   QueryPlan plan;
-  QV_ASSIGN_OR_RETURN(plan.kq, xquery::ParseKeywordQuery(query));
+  QUICKVIEW_ASSIGN_OR_RETURN(plan.kq, xquery::ParseKeywordQuery(query));
+  // The grammar admits ftcontains() as a trivially-true filter, but a
+  // keyword search without keywords has no scores, no idf and no ranking
+  // — reject it here, where every engine and service entry point passes.
+  if (plan.kq.keywords.empty()) {
+    return Status::InvalidArgument(
+        "keyword query has an empty keyword list: ftcontains() needs at "
+        "least one keyword to rank by");
+  }
   // QPT generation rewrites doc names in kq.view to the PDT occurrence
   // names; after this the plan's view only makes sense over the PDTs.
-  QV_ASSIGN_OR_RETURN(plan.qpts, qpt::GenerateQpts(&plan.kq.view));
+  QUICKVIEW_ASSIGN_OR_RETURN(plan.qpts, qpt::GenerateQpts(&plan.kq.view));
   plan.signature =
       PlanSignature(plan.qpts, plan.kq.keywords, plan.kq.conjunctive);
   plan.qpt_ms = MsSince(start);
@@ -107,7 +123,7 @@ Result<std::shared_ptr<const PreparedQuery>> ViewSearchEngine::BuildPdts(
                               "'");
     }
     pdt::PdtBuildStats build_stats;
-    QV_ASSIGN_OR_RETURN(
+    QUICKVIEW_ASSIGN_OR_RETURN(
         std::shared_ptr<xml::Document> pdt,
         pdt::GeneratePdt(q, *doc_indexes, prepared->plan.kq.keywords,
                          &build_stats));
@@ -124,65 +140,77 @@ Result<std::shared_ptr<const PreparedQuery>> ViewSearchEngine::BuildPdts(
   return std::shared_ptr<const PreparedQuery>(std::move(prepared));
 }
 
-Result<SearchResponse> ViewSearchEngine::ExecutePrepared(
-    const PreparedQuery& prepared, const SearchOptions& options) const {
-  const QueryPlan& plan = prepared.plan;
-  SearchOptions effective = options;
-  effective.conjunctive = plan.kq.conjunctive;
+Result<std::unique_ptr<ResultCursor>> ViewSearchEngine::Open(
+    std::shared_ptr<const PreparedQuery> prepared,
+    const SearchOptions& options) const {
+  if (prepared == nullptr) {
+    return Status::InvalidArgument("Open requires a prepared query");
+  }
+  QUICKVIEW_RETURN_IF_ERROR(ValidateSearchOptions(options));
 
-  SearchResponse response;
-  response.timings.qpt_ms = plan.qpt_ms;
-  response.timings.pdt_ms = prepared.pdt_ms;
-  response.stats.pdt = prepared.pdt_stats;
+  auto cursor = std::unique_ptr<ResultCursor>(new ResultCursor());
+  cursor->prepared_ = std::move(prepared);
+  cursor->store_ = store_;
+  cursor->limit_ = options.top_k;
+  const QueryPlan& plan = cursor->prepared_->plan;
+  cursor->timings_.qpt_ms = plan.qpt_ms;
+  cursor->timings_.pdt_ms = cursor->prepared_->pdt_ms;
+  cursor->stats_.pdt = cursor->prepared_->pdt_stats;
 
   // --- Evaluate the rewritten query over the PDTs ---
   Clock::time_point start = Clock::now();
   xquery::Evaluator evaluator(database_);
   for (size_t i = 0; i < plan.qpts.size(); ++i) {
     evaluator.OverrideDocument(plan.qpts[i].occurrence_name,
-                               prepared.pdts[i].get());
+                               cursor->prepared_->pdts[i].get());
   }
-  QV_ASSIGN_OR_RETURN(xquery::Sequence view_results,
-                      evaluator.Evaluate(plan.kq.view));
-  response.timings.eval_ms = MsSince(start);
+  QUICKVIEW_ASSIGN_OR_RETURN(xquery::Sequence view_results,
+                             evaluator.Evaluate(plan.kq.view));
+  // Constructed elements live in the evaluator's arena; the candidates
+  // reference it, so the cursor takes shared ownership.
+  cursor->result_arena_ = evaluator.result_doc_shared();
+  cursor->timings_.eval_ms = MsSince(start);
 
-  // --- Score, select top-k, materialize ---
+  // --- Score everything, rank nothing: candidates go into the heap and
+  // leave it (already materialization-free) only when fetched ---
   start = Clock::now();
-  scoring::ScoringOutcome outcome = scoring::ScoreResults(
-      view_results, plan.kq.keywords, effective.conjunctive);
-  std::vector<scoring::ScoredResult>& scored = outcome.ranked;
-  response.stats.view_results = view_results.size();
-  response.stats.matching_results = scored.size();
-  response.stats.view_bytes = outcome.view_bytes;
-  scoring::TakeTopK(&scored, effective.top_k);
-
-  storage::DocumentStore::Stats fetches;
-  for (const scoring::ScoredResult& r : scored) {
-    SearchHit hit;
-    hit.score = r.score;
-    hit.tf = r.tf;
-    hit.byte_length = r.byte_length;
-    QV_ASSIGN_OR_RETURN(hit.xml,
-                        scoring::MaterializeToXml(r.result, store_, &fetches));
-    response.hits.push_back(std::move(hit));
+  scoring::ScoringOutcome outcome = scoring::ScoreCandidates(
+      view_results, plan.kq.keywords, plan.kq.conjunctive);
+  cursor->stats_.view_results = view_results.size();
+  cursor->stats_.matching_results = outcome.ranked.size();
+  cursor->stats_.view_bytes = outcome.view_bytes;
+  cursor->candidates_ = std::move(outcome.ranked);
+  cursor->stream_.Reserve(cursor->candidates_.size());
+  for (size_t i = 0; i < cursor->candidates_.size(); ++i) {
+    cursor->stream_.Push(cursor->candidates_[i].score, i);
   }
-  response.stats.store_fetches = fetches.fetch_calls;
-  response.stats.store_bytes = fetches.bytes_fetched;
-  response.timings.post_ms = MsSince(start);
-  return response;
+  cursor->timings_.post_ms += MsSince(start);
+  return cursor;
+}
+
+Result<SearchResponse> ViewSearchEngine::ExecutePrepared(
+    std::shared_ptr<const PreparedQuery> prepared,
+    const SearchOptions& options) const {
+  QUICKVIEW_ASSIGN_OR_RETURN(std::unique_ptr<ResultCursor> cursor,
+                             Open(std::move(prepared), options));
+  return DrainToResponse(cursor.get());
 }
 
 Result<SearchResponse> ViewSearchEngine::Search(
     const std::string& query, const SearchOptions& options) const {
-  QV_ASSIGN_OR_RETURN(QueryPlan plan, PlanQuery(query));
-  QV_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedQuery> prepared,
-                      BuildPdts(std::move(plan)));
-  return ExecutePrepared(*prepared, options);
+  QUICKVIEW_ASSIGN_OR_RETURN(QueryPlan plan, PlanQuery(query));
+  QUICKVIEW_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedQuery> prepared,
+                             BuildPdts(std::move(plan)));
+  return ExecutePrepared(std::move(prepared), options);
 }
 
 Result<SearchResponse> ViewSearchEngine::SearchView(
     const std::string& view_text, const std::vector<std::string>& keywords,
     const SearchOptions& options) const {
+  if (keywords.empty()) {
+    return Status::InvalidArgument(
+        "SearchView requires a non-empty keyword list");
+  }
   return Search(ComposeKeywordQuery(view_text, keywords, options.conjunctive),
                 options);
 }

@@ -11,11 +11,13 @@
 //   BuildPdts       PrepareLists + GeneratePdt per QPT (the data-
 //                   dependent stage; its PreparedQuery output is
 //                   immutable and shareable across threads);
-//   ExecutePrepared evaluation over the PDTs + scoring + top-k
-//                   materialization (per-query state only; const and
-//                   safe to run concurrently against one PreparedQuery).
-// Search() composes the three and preserves the original single-query
-// behavior.
+//   Open            evaluation over the PDTs + scoring + ranked-candidate
+//                   heap, returning a ResultCursor (per-query state only;
+//                   const and safe to run concurrently against one
+//                   PreparedQuery). Hits are materialized lazily, per
+//                   ResultCursor::FetchNext call.
+// ExecutePrepared = Open + drain; Search() composes the stages and
+// preserves the original single-query behavior byte for byte.
 #ifndef QUICKVIEW_ENGINE_VIEW_SEARCH_ENGINE_H_
 #define QUICKVIEW_ENGINE_VIEW_SEARCH_ENGINE_H_
 
@@ -34,9 +36,14 @@
 namespace quickview::engine {
 
 struct SearchOptions {
-  size_t top_k = 10;
+  size_t top_k = 10;        // must be >= 1 (see ValidateSearchOptions)
   bool conjunctive = true;  // all keywords vs any keyword
 };
+
+/// API-boundary validation shared by every search entry point (engine and
+/// service): InvalidArgument for top_k == 0 — a request for zero results
+/// is a caller bug, not a query to run.
+Status ValidateSearchOptions(const SearchOptions& options);
 
 /// One ranked, fully materialized result.
 struct SearchHit {
@@ -110,6 +117,8 @@ std::string ComposeKeywordQuery(const std::string& view_text,
                                 const std::vector<std::string>& keywords,
                                 bool conjunctive);
 
+class ResultCursor;  // engine/result_cursor.h
+
 class ViewSearchEngine {
  public:
   /// All three structures must outlive the engine. They are treated as
@@ -121,12 +130,15 @@ class ViewSearchEngine {
       : database_(database), indexes_(indexes), store_(store) {}
 
   /// Full Fig-2-style query: "let $view := ... for $v in $view where $v
-  /// ftcontains('k1' & 'k2') return $v".
+  /// ftcontains('k1' & 'k2') return $v". A thin compatibility wrapper:
+  /// plans, builds PDTs, opens a cursor and drains it to a batch
+  /// response.
   Result<SearchResponse> Search(const std::string& query,
                                 const SearchOptions& options) const;
 
   /// View text + keywords given separately (keywords are lowercased
-  /// internally).
+  /// internally; the list must be non-empty). Same wrapper semantics as
+  /// Search().
   Result<SearchResponse> SearchView(const std::string& view_text,
                                     const std::vector<std::string>& keywords,
                                     const SearchOptions& options) const;
@@ -138,13 +150,23 @@ class ViewSearchEngine {
   Result<std::shared_ptr<const PreparedQuery>> BuildPdts(
       QueryPlan plan) const;
 
-  /// Stage 3: evaluation + scoring + materialization. Fills the response's
-  /// qpt/pdt timings and PDT stats from `prepared` (the cost of building
-  /// what was executed; a caching caller may have paid it on an earlier
-  /// query). `options.conjunctive` is overridden by the query's own
-  /// connective, as in Search().
-  Result<SearchResponse> ExecutePrepared(const PreparedQuery& prepared,
-                                         const SearchOptions& options) const;
+  /// Stage 3, cursor form: evaluates the plan over its PDTs, scores every
+  /// view result, and returns a cursor over the ranked stream. No hit is
+  /// materialized (no base data is touched) until FetchNext asks for it.
+  /// The cursor yields at most `options.top_k` hits in total and keeps
+  /// the PreparedQuery alive for its own lifetime, so it survives cache
+  /// eviction on the caller's side. `options.conjunctive` is overridden
+  /// by the query's own connective, as in Search().
+  Result<std::unique_ptr<ResultCursor>> Open(
+      std::shared_ptr<const PreparedQuery> prepared,
+      const SearchOptions& options) const;
+
+  /// Stage 3, batch form: Open + drain. Fills the response's qpt/pdt
+  /// timings and PDT stats from `prepared` (the cost of building what was
+  /// executed; a caching caller may have paid it on an earlier query).
+  Result<SearchResponse> ExecutePrepared(
+      std::shared_ptr<const PreparedQuery> prepared,
+      const SearchOptions& options) const;
 
  private:
   const xml::Database* database_;

@@ -68,9 +68,9 @@ void ComputeResultStatistics(const xquery::NodeHandle& result,
   Walk(*result.doc, result.effective_index(), keywords, tf, byte_length);
 }
 
-ScoringOutcome ScoreResults(const xquery::Sequence& view_results,
-                            const std::vector<std::string>& keywords,
-                            bool conjunctive) {
+ScoringOutcome ScoreCandidates(const xquery::Sequence& view_results,
+                               const std::vector<std::string>& keywords,
+                               bool conjunctive) {
   ScoringOutcome outcome;
   std::vector<ScoredResult> all;
   all.reserve(view_results.size());
@@ -118,12 +118,20 @@ ScoringOutcome ScoreResults(const xquery::Sequence& view_results,
     r.score = raw / std::sqrt(static_cast<double>(r.byte_length) + 1.0);
     kept.push_back(std::move(r));
   }
-  std::sort(kept.begin(), kept.end(),
+  outcome.ranked = std::move(kept);
+  return outcome;
+}
+
+ScoringOutcome ScoreResults(const xquery::Sequence& view_results,
+                            const std::vector<std::string>& keywords,
+                            bool conjunctive) {
+  ScoringOutcome outcome =
+      ScoreCandidates(view_results, keywords, conjunctive);
+  std::sort(outcome.ranked.begin(), outcome.ranked.end(),
             [](const ScoredResult& a, const ScoredResult& b) {
               if (a.score != b.score) return a.score > b.score;
               return a.view_position < b.view_position;
             });
-  outcome.ranked = std::move(kept);
   return outcome;
 }
 

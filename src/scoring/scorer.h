@@ -35,7 +35,9 @@ void ComputeResultStatistics(const xquery::NodeHandle& result,
                              uint64_t* byte_length);
 
 struct ScoringOutcome {
-  std::vector<ScoredResult> ranked;  // sorted, keyword-semantics applied
+  /// Keyword-semantics applied. Sorted by ScoreResults; left in view
+  /// order by ScoreCandidates (for incremental ranked selection).
+  std::vector<ScoredResult> ranked;
   /// Total byte length over ALL view results — the volume a
   /// materialize-first engine has to produce and tokenize.
   uint64_t view_bytes = 0;
@@ -56,6 +58,15 @@ struct ScoringOutcome {
 ScoringOutcome ScoreResults(const xquery::Sequence& view_results,
                             const std::vector<std::string>& keywords,
                             bool conjunctive);
+
+/// ScoreResults without the final sort: scores and filters every view
+/// result but leaves `ranked` in view order. Feed the scores into an
+/// engine::RankedStream to pop them incrementally — the stream's
+/// (score desc, position asc) order reproduces ScoreResults exactly,
+/// without paying O(n log n) when only a few results are fetched.
+ScoringOutcome ScoreCandidates(const xquery::Sequence& view_results,
+                               const std::vector<std::string>& keywords,
+                               bool conjunctive);
 
 /// Truncates a scored list to the top k (list is already sorted).
 void TakeTopK(std::vector<ScoredResult>* results, size_t k);

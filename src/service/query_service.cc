@@ -32,8 +32,7 @@ QueryService::QueryService(const xml::Database* database,
 Status QueryService::RegisterView(const std::string& name,
                                   const std::string& view_text) {
   // Validate eagerly so a bad view fails registration, not every query.
-  auto parsed = xquery::ParseQuery(view_text);
-  if (!parsed.ok()) return parsed.status();
+  QUICKVIEW_RETURN_IF_ERROR(xquery::ParseQuery(view_text));
   std::unique_lock<std::shared_mutex> lock(views_mu_);
   RegisteredView& view = views_[name];
   ++view.version;
@@ -41,9 +40,16 @@ Status QueryService::RegisterView(const std::string& name,
   return Status::OK();
 }
 
-Result<engine::SearchResponse> QueryService::SearchOne(
+Result<std::unique_ptr<engine::ResultCursor>> QueryService::OpenSearch(
     const BatchQuery& query) {
   queries_.fetch_add(1, std::memory_order_relaxed);
+  // Boundary validation: a search with no keywords or a zero top_k is a
+  // caller bug — reject it with a clear message before any planning.
+  QUICKVIEW_RETURN_IF_ERROR(engine::ValidateSearchOptions(query.options));
+  if (query.keywords.empty()) {
+    return Status::InvalidArgument("query against view '" + query.view +
+                                   "' has an empty keyword list");
+  }
   // Keywords are spliced into single-quoted XQuery string literals; a
   // quote would break out of the literal and rewrite the query shape
   // (the serve CLI feeds keywords straight from stdin). The grammar has
@@ -73,7 +79,8 @@ Result<engine::SearchResponse> QueryService::SearchOne(
   // key on (view#version, keywords, connective) in front of this.
   std::string full_query = engine::ComposeKeywordQuery(
       view_text, query.keywords, query.options.conjunctive);
-  QV_ASSIGN_OR_RETURN(engine::QueryPlan plan, engine_.PlanQuery(full_query));
+  QUICKVIEW_ASSIGN_OR_RETURN(engine::QueryPlan plan,
+                             engine_.PlanQuery(full_query));
 
   // Length-prefix the view name so no name can collide with another
   // name + version suffix; the plan signature is injective on its own.
@@ -87,10 +94,19 @@ Result<engine::SearchResponse> QueryService::SearchOne(
 
   std::shared_ptr<const engine::PreparedQuery> prepared = cache_.Get(key);
   if (prepared == nullptr) {
-    QV_ASSIGN_OR_RETURN(prepared, engine_.BuildPdts(std::move(plan)));
+    QUICKVIEW_ASSIGN_OR_RETURN(prepared, engine_.BuildPdts(std::move(plan)));
     cache_.Put(key, prepared);
   }
-  return engine_.ExecutePrepared(*prepared, query.options);
+  // The cursor co-owns `prepared`: eviction (or view replacement) only
+  // drops the cache's reference, never the open cursor's.
+  return engine_.Open(std::move(prepared), query.options);
+}
+
+Result<engine::SearchResponse> QueryService::SearchOne(
+    const BatchQuery& query) {
+  QUICKVIEW_ASSIGN_OR_RETURN(std::unique_ptr<engine::ResultCursor> cursor,
+                             OpenSearch(query));
+  return engine::DrainToResponse(cursor.get());
 }
 
 std::vector<Result<engine::SearchResponse>> QueryService::SearchBatch(

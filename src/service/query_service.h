@@ -4,6 +4,13 @@
 // PreparedQueryCache so identical plans (same view, same QPT signature,
 // same keywords) reuse already-generated PDTs instead of rebuilding them.
 //
+// The result surface is pull-based: OpenSearch returns a session-handle
+// ResultCursor whose FetchNext(n) materializes hits lazily (pagination
+// without re-running the pipeline). The cursor pins its PreparedQuery
+// via shared_ptr, so cache eviction and view re-registration cannot
+// invalidate an open cursor. SearchOne / SearchBatch are thin wrappers
+// that drain a cursor into the classic SearchResponse.
+//
 // Threading model:
 //  - the database, indices and document store are immutable after
 //    construction and shared by every worker;
@@ -26,6 +33,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "engine/result_cursor.h"
 #include "engine/view_search_engine.h"
 #include "index/index_builder.h"
 #include "service/prepared_query_cache.h"
@@ -67,13 +75,25 @@ class QueryService {
   /// Not intended to race with in-flight batches against the same name.
   Status RegisterView(const std::string& name, const std::string& view_text);
 
+  /// Opens a cursor over the query's ranked result stream on the calling
+  /// thread: plan -> cached (or fresh) PDTs -> evaluate + score. No hit
+  /// is materialized until the caller's first FetchNext. The cursor is a
+  /// self-contained session handle — it keeps the underlying
+  /// PreparedQuery alive, so it stays valid across cache eviction, view
+  /// re-registration, and other queries; the service itself (and its
+  /// database/index/store) must merely outlive it. The cursor yields at
+  /// most query.options.top_k hits.
+  Result<std::unique_ptr<engine::ResultCursor>> OpenSearch(
+      const BatchQuery& query);
+
   /// Executes the whole batch on the pool; response i answers query i.
   /// Individual failures are per-slot errors, not batch failures.
+  /// Implemented as one drained cursor per query.
   std::vector<Result<engine::SearchResponse>> SearchBatch(
       const std::vector<BatchQuery>& queries);
 
   /// Executes one query on the calling thread (used by the batch workers;
-  /// public so callers can bypass the pool).
+  /// public so callers can bypass the pool): OpenSearch + drain.
   Result<engine::SearchResponse> SearchOne(const BatchQuery& query);
 
   /// Drops all cached PDTs (cold-cache measurements, corpus swaps).

@@ -144,17 +144,17 @@ TEST_F(InjectionFixture, ViewsOutsideTheGrammarAreRejectedUpfront) {
   EXPECT_EQ(response.status().code(), StatusCode::kUnsupported);
 }
 
-TEST_F(InjectionFixture, EmptyKeywordListIsHarmless) {
+TEST_F(InjectionFixture, EmptyKeywordListIsRejected) {
+  // ftcontains() still parses (a trivially-true filter at the grammar
+  // level), but a keyword search without keywords has nothing to rank by
+  // — the engine boundary rejects it instead of silently returning the
+  // whole view.
   engine::ViewSearchEngine engine(db_.get(), indexes_.get(), store_.get());
   engine::SearchOptions options;
   options.top_k = 3;
-  auto response =
-      engine.SearchView(workload::BookRevView(), {}, options);
-  ASSERT_TRUE(response.ok()) << response.status();
-  // Conjunctive over zero keywords keeps every view result.
-  EXPECT_EQ(response->stats.matching_results,
-            response->stats.view_results);
-  EXPECT_LE(response->hits.size(), 3u);
+  auto response = engine.SearchView(workload::BookRevView(), {}, options);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(InjectionFixture, EmptyDatabase) {

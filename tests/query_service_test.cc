@@ -181,6 +181,84 @@ TEST_F(QueryServiceTest, RegisterRejectsUnparsableView) {
   EXPECT_FALSE(service->RegisterView("bad", "for $x in ((((").ok());
 }
 
+TEST_F(QueryServiceTest, OpenCursorSurvivesCacheEviction) {
+  // A 2-entry single-shard cache: the queries issued while the cursor is
+  // half-drained are guaranteed to evict its PreparedQuery entry. The
+  // cursor co-owns the bundle, so its remaining pages must still match a
+  // serial engine run.
+  auto service = MakeService(/*threads=*/2, /*cache_capacity=*/2,
+                             /*cache_shards=*/1);
+  BatchQuery query{"bookrev", {"xml", "search"}, engine::SearchOptions{}};
+  query.options.conjunctive = false;
+  auto expected = engine_->SearchView(workload::BookRevView(), query.keywords,
+                                      query.options);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_GE(expected->hits.size(), 4u);
+
+  auto cursor = service->OpenSearch(query);
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  auto first = (*cursor)->FetchNext(2);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  uint64_t evictions_before = service->stats().cache.evictions;
+  for (const auto& keywords : KeywordSets()) {
+    ASSERT_TRUE(
+        service->SearchOne(BatchQuery{"bookrev", keywords,
+                                      engine::SearchOptions{}})
+            .ok());
+  }
+  EXPECT_GT(service->stats().cache.evictions, evictions_before);
+
+  auto rest = (*cursor)->FetchNext((*cursor)->pending());
+  ASSERT_TRUE(rest.ok()) << rest.status().ToString();
+  std::vector<engine::SearchHit> collected = std::move(*first);
+  for (engine::SearchHit& hit : *rest) collected.push_back(std::move(hit));
+  ASSERT_EQ(collected.size(), expected->hits.size());
+  for (size_t i = 0; i < collected.size(); ++i) {
+    EXPECT_EQ(collected[i].xml, expected->hits[i].xml) << "hit " << i;
+    EXPECT_EQ(collected[i].score, expected->hits[i].score) << "hit " << i;
+  }
+}
+
+TEST_F(QueryServiceTest, OpenCursorSurvivesViewReplacement) {
+  auto service = MakeService(/*threads=*/2);
+  BatchQuery query{"bookrev", {"xml"}, engine::SearchOptions{}};
+  auto expected = engine_->SearchView(workload::BookRevView(), query.keywords,
+                                      query.options);
+  ASSERT_TRUE(expected.ok());
+
+  auto cursor = service->OpenSearch(query);
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  // Replace the view mid-cursor: the version bump orphans the cached
+  // entry, but the open cursor keeps answering for the text it was
+  // opened against.
+  ASSERT_TRUE(service
+                  ->RegisterView(
+                      "bookrev",
+                      "for $b in fn:doc(books.xml)/books//book return $b")
+                  .ok());
+  auto hits = (*cursor)->FetchNext((*cursor)->pending());
+  ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+  ASSERT_EQ(hits->size(), expected->hits.size());
+  for (size_t i = 0; i < hits->size(); ++i) {
+    EXPECT_EQ((*hits)[i].xml, expected->hits[i].xml) << "hit " << i;
+  }
+}
+
+TEST_F(QueryServiceTest, OpenSearchValidatesAtTheBoundary) {
+  auto service = MakeService(/*threads=*/1);
+  BatchQuery no_keywords{"bookrev", {}, engine::SearchOptions{}};
+  auto cursor = service->OpenSearch(no_keywords);
+  ASSERT_FALSE(cursor.ok());
+  EXPECT_EQ(cursor.status().code(), StatusCode::kInvalidArgument);
+
+  BatchQuery zero_k{"bookrev", {"xml"}, engine::SearchOptions{}};
+  zero_k.options.top_k = 0;
+  auto response = service->SearchOne(zero_k);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST_F(QueryServiceTest, RejectsQuoteBearingKeyword) {
   // A quote would escape the single-quoted ftcontains literal and
   // rewrite the composed query; the service must refuse it up front.

@@ -12,11 +12,17 @@
 //       Generate the paper's books/reviews example and run its Fig 2
 //       query end to end.
 //   quickview_cli serve <db-dir> --view <file> [--threads N] [--top N]
-//       [--any] [--repeat R]   (or: quickview_cli serve --demo ...)
+//       [--any] [--repeat R] [--page N]   (or: quickview_cli serve --demo)
 //       Batch mode: read one keyword query per stdin line (comma-
 //       separated keywords), execute the whole batch concurrently on a
 //       QueryService thread pool with PDT caching, print ranked matches
-//       plus throughput and cache statistics.
+//       plus throughput and cache statistics. With --page N each query
+//       instead streams its hits through a ResultCursor in pages of N,
+//       printing per-page store-fetch counts.
+//   quickview_cli page [--keywords k1,k2] [--page N] [--top N] [--any]
+//       Cursor-lifecycle demo on the built-in corpus: Open -> FetchNext
+//       page by page, showing that store fetches (the only base-data
+//       access) accrue per page instead of up front.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -29,6 +35,7 @@
 
 #include "common/strings.h"
 #include "engine/base_search.h"
+#include "engine/result_cursor.h"
 #include "engine/view_search_engine.h"
 #include "index/index_builder.h"
 #include "service/query_service.h"
@@ -56,9 +63,11 @@ int Usage() {
                "[--top N] [--any]\n"
                "  quickview_cli demo\n"
                "  quickview_cli serve <db-dir>|--demo --view <file> "
-               "[--threads N] [--top N] [--any] [--repeat R]\n"
+               "[--threads N] [--top N] [--any] [--repeat R] [--page N]\n"
                "    (keyword queries on stdin, one comma-separated "
-               "list per line)\n");
+               "list per line)\n"
+               "  quickview_cli page [--keywords k1,k2] [--page N] "
+               "[--top N] [--any]\n");
   return 2;
 }
 
@@ -72,6 +81,7 @@ struct Flags {
   bool demo = false;
   int threads = 0;  // 0 = hardware concurrency
   int repeat = 1;   // serve: replicate the stdin batch N times
+  size_t page = 0;  // cursor page size; 0 = whole-batch responses
 };
 
 /// Strict non-negative integer parse; false on junk or overflow (flag
@@ -129,6 +139,11 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       long long value = 0;
       if (!ParseCount(v, 1000000, &value)) return false;
       flags->repeat = std::max(1, static_cast<int>(value));
+    } else if (arg == "--page") {
+      const char* v = next();
+      long long value = 0;
+      if (!ParseCount(v, 1000000, &value)) return false;
+      flags->page = static_cast<size_t>(value);
     } else {
       flags->positional.push_back(std::move(arg));
     }
@@ -301,6 +316,60 @@ int CmdServe(const Flags& flags) {
     std::fprintf(stderr, "serve: no queries on stdin\n");
     return 2;
   }
+
+  // Cursor mode: stream each query's hits through a ResultCursor in
+  // pages of --page on the calling thread. Store fetches accrue per
+  // page — unfetched pages never touch base data — while repeated plan
+  // signatures still hit the PDT cache.
+  if (flags.page > 0) {
+    if (flags.threads != 0 || flags.repeat != 1) {
+      std::fprintf(stderr,
+                   "serve --page: streaming serially on the calling "
+                   "thread; --threads/--repeat are ignored\n");
+    }
+    int failures = 0;
+    for (const service::BatchQuery& query : batch) {
+      const std::string joined = JoinStrings(query.keywords, ",");
+      auto cursor = query_service.OpenSearch(query);
+      if (!cursor.ok()) {
+        ++failures;
+        std::printf("[%s] error: %s\n", joined.c_str(),
+                    cursor.status().ToString().c_str());
+        continue;
+      }
+      size_t page_no = 0;
+      while (!(*cursor)->Done()) {
+        auto page = (*cursor)->FetchNext(flags.page);
+        if (!page.ok()) {
+          ++failures;
+          std::printf("[%s] error: %s\n", joined.c_str(),
+                      page.status().ToString().c_str());
+          break;
+        }
+        ++page_no;
+        std::printf(
+            "[%s] page %zu: %zu hits, top score %.4f, "
+            "%llu store fetches so far\n",
+            joined.c_str(), page_no, page->size(),
+            page->empty() ? 0.0 : (*page)[0].score,
+            static_cast<unsigned long long>(
+                (*cursor)->stats().store_fetches));
+      }
+      const engine::SearchStats& s = (*cursor)->stats();
+      std::printf(
+          "[%s] done: fetched %zu of %zu matches in %zu pages, "
+          "%llu store fetches\n",
+          joined.c_str(), (*cursor)->fetched(), s.matching_results,
+          page_no, static_cast<unsigned long long>(s.store_fetches));
+    }
+    service::QueryService::Stats stats = query_service.stats();
+    std::printf("streamed %zu queries; cache hits %llu misses %llu\n",
+                batch.size(),
+                static_cast<unsigned long long>(stats.cache.hits),
+                static_cast<unsigned long long>(stats.cache.misses));
+    return failures == 0 ? 0 : 1;
+  }
+
   const size_t unique_queries = batch.size();
   batch.reserve(unique_queries * static_cast<size_t>(flags.repeat));
   for (int r = 1; r < flags.repeat; ++r) {
@@ -315,11 +384,7 @@ int CmdServe(const Flags& flags) {
 
   int failures = 0;
   for (size_t i = 0; i < unique_queries; ++i) {
-    std::string joined;
-    for (const std::string& k : batch[i].keywords) {
-      if (!joined.empty()) joined += ",";
-      joined += k;
-    }
+    const std::string joined = JoinStrings(batch[i].keywords, ",");
     if (!responses[i].ok()) {
       ++failures;
       std::printf("[%s] error: %s\n", joined.c_str(),
@@ -346,6 +411,57 @@ int CmdServe(const Flags& flags) {
   return failures == 0 ? 0 : 1;
 }
 
+/// Cursor-lifecycle walkthrough on the built-in books/reviews corpus:
+/// Open once, FetchNext page by page, and print the store-fetch counter
+/// after every page — the visible form of the lazy-materialization
+/// guarantee (hits never fetched never touch base data).
+int CmdPage(const Flags& flags) {
+  auto db = workload::GenerateBookRevDatabase(workload::BookRevOptions{});
+  auto indexes = index::BuildDatabaseIndexes(*db);
+  storage::DocumentStore store(*db);
+  engine::ViewSearchEngine engine(db.get(), indexes.get(), &store);
+
+  std::vector<std::string> keywords = flags.keywords;
+  if (keywords.empty()) keywords = {"xml", "search"};
+  const size_t page_size = flags.page > 0 ? flags.page : 3;
+  engine::SearchOptions options;
+  options.top_k = flags.top_k;
+  options.conjunctive = !flags.any;
+
+  auto plan = engine.PlanQuery(engine::ComposeKeywordQuery(
+      workload::BookRevView(), keywords, options.conjunctive));
+  if (!plan.ok()) return Fail(plan.status());
+  auto prepared = engine.BuildPdts(std::move(*plan));
+  if (!prepared.ok()) return Fail(prepared.status());
+  auto cursor = engine.Open(*prepared, options);
+  if (!cursor.ok()) return Fail(cursor.status());
+
+  std::printf(
+      "cursor open: %zu matches ranked, %zu materialized, "
+      "%llu store fetches\n",
+      (*cursor)->stats().matching_results, (*cursor)->fetched(),
+      static_cast<unsigned long long>((*cursor)->stats().store_fetches));
+  size_t page_no = 0;
+  while (!(*cursor)->Done()) {
+    auto page = (*cursor)->FetchNext(page_size);
+    if (!page.ok()) return Fail(page.status());
+    ++page_no;
+    std::printf("-- page %zu --\n", page_no);
+    const size_t first_rank = (*cursor)->fetched() - page->size() + 1;
+    for (size_t i = 0; i < page->size(); ++i) {
+      std::printf("#%zu score=%.4f\n", first_rank + i, (*page)[i].score);
+    }
+    std::printf("   %llu store fetches so far (%llu bytes)\n",
+                static_cast<unsigned long long>(
+                    (*cursor)->stats().store_fetches),
+                static_cast<unsigned long long>(
+                    (*cursor)->stats().store_bytes));
+  }
+  std::printf("cursor drained: %zu hits in %zu pages\n",
+              (*cursor)->fetched(), page_no);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -358,5 +474,6 @@ int main(int argc, char** argv) {
   if (command == "basesearch") return CmdBaseSearch(flags);
   if (command == "demo") return CmdDemo();
   if (command == "serve") return CmdServe(flags);
+  if (command == "page") return CmdPage(flags);
   return Usage();
 }
