@@ -37,6 +37,8 @@ Result<std::vector<SearchHit>> ResultCursor::FetchNext(size_t n) {
                                            &fetches));
     stats_.store_fetches += fetches.fetch_calls;
     stats_.store_bytes += fetches.bytes_fetched;
+    stats_.pages_read += fetches.pages_read;
+    stats_.buffer_hits += fetches.buffer_hits;
     page.push_back(std::move(hit));
     ++fetched_;
   }

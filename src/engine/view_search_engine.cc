@@ -117,8 +117,9 @@ Result<std::shared_ptr<const PreparedQuery>> ViewSearchEngine::BuildPdts(
   prepared->plan = std::move(plan);
   prepared->pdts.reserve(prepared->plan.qpts.size());
   for (const qpt::Qpt& q : prepared->plan.qpts) {
-    const index::DocumentIndexes* doc_indexes = indexes_->Get(q.source_doc);
-    if (doc_indexes == nullptr) {
+    std::optional<index::DocumentIndexView> doc_indexes =
+        indexes_->GetView(q.source_doc);
+    if (!doc_indexes.has_value()) {
       return Status::NotFound("no indexes for document '" + q.source_doc +
                               "'");
     }

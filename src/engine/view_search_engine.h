@@ -69,6 +69,12 @@ struct SearchStats {
   pdt::PdtBuildStats pdt;       // aggregated over all QPTs
   uint64_t store_fetches = 0;   // base-data accesses
   uint64_t store_bytes = 0;
+  /// Disk-backed execution only (zero over in-memory stores): node-record
+  /// pages pulled from the packed file for this query's materialized hits,
+  /// and buffer-pool hits those fetches scored. Grows lazily with the
+  /// cursor, like store_fetches.
+  uint64_t pages_read = 0;
+  uint64_t buffer_hits = 0;
   /// Total bytes of the fully materialized view V(D) — what a
   /// materialize-first engine must produce; the Efficient engine's
   /// actual footprint is pdt.pdt_bytes + store_bytes instead.
@@ -123,9 +129,13 @@ class ViewSearchEngine {
  public:
   /// All three structures must outlive the engine. They are treated as
   /// immutable; the engine itself is stateless beyond these pointers, so
-  /// one engine may serve queries from many threads at once.
+  /// one engine may serve queries from many threads at once. `indexes` is
+  /// any IndexSource — the in-memory DatabaseIndexes or a packed on-disk
+  /// database (pagestore::PackedDb). `database` may be nullptr when every
+  /// queried document is rewritten over PDTs (the packed path, where base
+  /// documents exist only as node-record pages).
   ViewSearchEngine(const xml::Database* database,
-                   const index::DatabaseIndexes* indexes,
+                   const index::IndexSource* indexes,
                    const storage::DocumentStore* store)
       : database_(database), indexes_(indexes), store_(store) {}
 
@@ -170,7 +180,7 @@ class ViewSearchEngine {
 
  private:
   const xml::Database* database_;
-  const index::DatabaseIndexes* indexes_;
+  const index::IndexSource* indexes_;
   const storage::DocumentStore* store_;
 };
 

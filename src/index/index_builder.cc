@@ -22,6 +22,13 @@ void DatabaseIndexes::Put(const std::string& doc_name,
   indexes_[doc_name] = std::move(idx);
 }
 
+std::optional<DocumentIndexView> DatabaseIndexes::GetView(
+    const std::string& doc_name) const {
+  const DocumentIndexes* doc_indexes = Get(doc_name);
+  if (doc_indexes == nullptr) return std::nullopt;
+  return doc_indexes->View();
+}
+
 namespace {
 
 void IndexSubtree(const xml::Document& doc, xml::NodeIndex index,

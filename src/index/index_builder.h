@@ -6,27 +6,48 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
+#include "index/index_view.h"
 #include "index/inverted_index.h"
 #include "index/path_index.h"
 #include "xml/dom.h"
 
 namespace quickview::index {
 
-/// The indices for one document.
+/// The indices for one document. Always heap-allocated and pinned (the
+/// views below point back into this object), hence neither copyable nor
+/// movable.
 struct DocumentIndexes {
   PathIndex path_index;
   InvertedIndex inverted_index;
+
+  DocumentIndexes() = default;
+  DocumentIndexes(const DocumentIndexes&) = delete;
+  DocumentIndexes& operator=(const DocumentIndexes&) = delete;
+
+  /// The PageSource-style view the PDT pipeline consumes; valid while
+  /// this object lives.
+  DocumentIndexView View() const { return {&path_view_, &term_view_}; }
+
+ private:
+  InMemoryPathIndexView path_view_{&path_index};
+  InMemoryTermIndexView term_view_{&inverted_index};
 };
 
 /// Indices for every document in a database, keyed by document name (the
-/// name used in fn:doc()).
-class DatabaseIndexes {
+/// name used in fn:doc()). Implements IndexSource so the engine can run
+/// the identical pipeline over this in-memory backing or over a packed
+/// on-disk database.
+class DatabaseIndexes : public IndexSource {
  public:
   const DocumentIndexes* Get(const std::string& doc_name) const;
   DocumentIndexes* GetMutable(const std::string& doc_name);
   void Put(const std::string& doc_name, std::unique_ptr<DocumentIndexes> idx);
+
+  std::optional<DocumentIndexView> GetView(
+      const std::string& doc_name) const override;
 
   const std::map<std::string, std::unique_ptr<DocumentIndexes>>& all() const {
     return indexes_;

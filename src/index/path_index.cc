@@ -13,13 +13,6 @@ namespace {
 // below any tag or value character we produce.
 constexpr char kKeySep = '\x01';
 
-std::string MakeKey(const std::string& path, const std::string& value) {
-  std::string key = path;
-  key.push_back(kKeySep);
-  key.append(value);
-  return key;
-}
-
 void AppendU32(std::string* out, uint32_t v) {
   for (int shift = 24; shift >= 0; shift -= 8) {
     out->push_back(static_cast<char>((v >> shift) & 0xff));
@@ -48,7 +41,17 @@ uint64_t ReadU64(const std::string& in, size_t* pos) {
   return v;
 }
 
-std::string EncodeIdList(
+}  // namespace
+
+std::string MakePathValueKey(const std::string& path,
+                             const std::string& value) {
+  std::string key = path;
+  key.push_back(kKeySep);
+  key.append(value);
+  return key;
+}
+
+std::string EncodePathEntryList(
     const std::vector<std::pair<xml::DeweyId, uint64_t>>& entries) {
   std::string out;
   AppendU32(&out, static_cast<uint32_t>(entries.size()));
@@ -61,9 +64,9 @@ std::string EncodeIdList(
   return out;
 }
 
-void DecodeIdListInto(const std::string& encoded,
-                      const std::optional<std::string>& value,
-                      std::vector<PathEntry>* out) {
+void DecodePathEntryListInto(const std::string& encoded,
+                             const std::optional<std::string>& value,
+                             std::vector<PathEntry>* out) {
   size_t pos = 0;
   uint32_t count = ReadU32(encoded, &pos);
   for (uint32_t i = 0; i < count; ++i) {
@@ -74,8 +77,6 @@ void DecodeIdListInto(const std::string& encoded,
     out->push_back(PathEntry{std::move(id), byte_length, value});
   }
 }
-
-}  // namespace
 
 std::string PatternToString(const PathPattern& pattern) {
   std::string out;
@@ -127,7 +128,7 @@ void PathIndex::Finalize() {
       paths_.push_back(path);
       last_path = path;
     }
-    tree_.Insert(MakeKey(path, value), EncodeIdList(entries));
+    tree_.Insert(MakePathValueKey(path, value), EncodePathEntryList(entries));
   }
   pending_.clear();
 }
@@ -153,7 +154,7 @@ std::vector<PathEntry> PathIndex::Collect(const PathPattern& pattern,
       if (it.key().compare(0, prefix.size(), prefix) != 0) break;
       std::optional<std::string> value;
       if (with_values) value = it.key().substr(prefix.size());
-      DecodeIdListInto(it.value(), value, &out);
+      DecodePathEntryListInto(it.value(), value, &out);
     }
   }
   // Merge the per-row Dewey-ordered lists into one ordered list.
@@ -170,8 +171,16 @@ void PathIndex::ForEachRow(
     std::string path = it.key().substr(0, sep);
     std::string value = it.key().substr(sep + 1);
     std::vector<PathEntry> entries;
-    DecodeIdListInto(it.value(), std::nullopt, &entries);
+    DecodePathEntryListInto(it.value(), std::nullopt, &entries);
     fn(path, value, entries);
+  }
+}
+
+void PathIndex::ForEachRaw(
+    const std::function<void(const std::string&, const std::string&)>& fn)
+    const {
+  for (BTree::Iterator it = tree_.Begin(); it.Valid(); it.Next()) {
+    fn(it.key(), it.value());
   }
 }
 
@@ -187,7 +196,7 @@ std::vector<PathIndex::PathRows> PathIndex::LookUpPerPath(
       if (it.key().compare(0, prefix.size(), prefix) != 0) break;
       std::optional<std::string> value;
       if (with_values) value = it.key().substr(prefix.size());
-      DecodeIdListInto(it.value(), value, &rows.entries);
+      DecodePathEntryListInto(it.value(), value, &rows.entries);
     }
     std::sort(
         rows.entries.begin(), rows.entries.end(),
@@ -211,8 +220,8 @@ std::vector<PathEntry> PathIndex::LookUpValue(const PathPattern& pattern,
   std::vector<PathEntry> out;
   for (const std::string& path : ExpandPattern(pattern)) {
     std::string encoded;
-    if (tree_.Get(MakeKey(path, value), &encoded)) {
-      DecodeIdListInto(encoded, value, &out);
+    if (tree_.Get(MakePathValueKey(path, value), &encoded)) {
+      DecodePathEntryListInto(encoded, value, &out);
     }
   }
   std::sort(out.begin(), out.end(),

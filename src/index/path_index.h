@@ -45,6 +45,31 @@ struct PathEntry {
   std::optional<std::string> value;
 };
 
+/// One (data path, Dewey-ordered entries) group per distinct full data
+/// path matching a pattern. PDT generation needs the per-path grouping
+/// to map each id's ancestors back to QPT nodes.
+struct PathRows {
+  std::string path;
+  std::vector<PathEntry> entries;
+};
+
+/// Composite (Path, Value) B+-tree key: path, '\x01' separator (below any
+/// tag or value character we produce), value. Shared with the on-disk
+/// path index so both backings scan identical key spaces.
+std::string MakePathValueKey(const std::string& path,
+                             const std::string& value);
+
+/// Serialized row payload: count-prefixed (Dewey id, byte length) pairs.
+/// The same bytes live in the in-memory B+-tree values and in packed
+/// B-tree-node pages on disk.
+std::string EncodePathEntryList(
+    const std::vector<std::pair<xml::DeweyId, uint64_t>>& entries);
+
+/// Appends the row's entries to `out`, each carrying `value` (or nullopt).
+void DecodePathEntryListInto(const std::string& encoded,
+                             const std::optional<std::string>& value,
+                             std::vector<PathEntry>* out);
+
 class PathIndex {
  public:
   PathIndex() = default;
@@ -81,13 +106,9 @@ class PathIndex {
   std::vector<PathEntry> LookUpValue(const PathPattern& pattern,
                                      const std::string& value) const;
 
-  /// One (data path, Dewey-ordered entries) group per distinct full data
-  /// path matching `pattern`. PDT generation needs the per-path grouping
-  /// to map each id's ancestors back to QPT nodes.
-  struct PathRows {
-    std::string path;
-    std::vector<PathEntry> entries;
-  };
+  /// Compatibility alias: PathRows now lives at namespace scope so the
+  /// on-disk path index can return the same row type.
+  using PathRows = ::quickview::index::PathRows;
   std::vector<PathRows> LookUpPerPath(const PathPattern& pattern,
                                       bool with_values) const;
 
@@ -99,6 +120,18 @@ class PathIndex {
                                const std::string& value,
                                const std::vector<PathEntry>& entries)>& fn)
       const;
+
+  /// Iterates every raw (composite key, encoded row) pair in key order —
+  /// the exact bytes a packed database stores in its B-tree-node pages.
+  void ForEachRaw(const std::function<void(const std::string& key,
+                                           const std::string& value)>& fn)
+      const;
+
+  /// Sorted distinct full data paths (the dictionary ExpandPattern
+  /// matches against; a packed database persists it in its directory).
+  const std::vector<std::string>& distinct_path_list() const {
+    return paths_;
+  }
 
   size_t distinct_paths() const { return paths_.size(); }
   size_t rows() const { return tree_.size(); }

@@ -1,0 +1,61 @@
+#include "pagestore/buffer_pool.h"
+
+#include <memory>
+#include <utility>
+
+namespace quickview::pagestore {
+
+BufferPool::BufferPool(const PagedFile* file, const BufferPoolOptions& options)
+    : file_(file), budget_(options.frames == 0 ? 1 : options.frames) {}
+
+Result<PagePin> BufferPool::Fetch(PageId id, PageAccounting* acct) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    ++hits_;
+    if (acct != nullptr) ++acct->buffer_hits;
+    return it->second.page;
+  }
+
+  // Miss. The read happens under the lock: the pool is the concurrency
+  // bottleneck by design (one file, one frame table); a per-page loading
+  // latch would only matter once the workload outgrows this engine.
+  QUICKVIEW_ASSIGN_OR_RETURN(CachedPage raw, file_->ReadPage(id));
+  PagePin pin = std::make_shared<const CachedPage>(std::move(raw));
+  ++misses_;
+  if (acct != nullptr) {
+    ++acct->pages_read;
+    acct->bytes_read += kPageSize;
+  }
+
+  // Reclaim from the cold end; a frame whose pin is still held outside
+  // the pool (use_count > 1) is skipped — its holder keeps the bytes
+  // alive, and reclaiming it would just thrash the pin.
+  auto victim = lru_.end();
+  while (frames_.size() >= budget_ && victim != lru_.begin()) {
+    --victim;
+    auto vit = frames_.find(*victim);
+    if (vit->second.page.use_count() > 1) continue;
+    victim = lru_.erase(victim);
+    frames_.erase(vit);
+    ++evictions_;
+  }
+
+  lru_.push_front(id);
+  frames_.emplace(id, Frame{pin, lru_.begin()});
+  return pin;
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  BufferPoolStats out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.evictions = evictions_;
+  out.bytes_read = misses_ * kPageSize;
+  out.frames_in_use = frames_.size();
+  return out;
+}
+
+}  // namespace quickview::pagestore

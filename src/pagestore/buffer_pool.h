@@ -1,0 +1,69 @@
+// BufferPool: a fixed budget of resident page frames over a PagedFile,
+// with LRU replacement. Fetch returns a pin (shared_ptr): pinned frames
+// are never reclaimed from under a reader — eviction only drops the
+// pool's own reference, so a page being consumed stays valid while the
+// frame table moves on. Thread safe; one pool is shared by every query
+// of a QueryService batch, which is what makes cross-query locality
+// (buffer hits) observable.
+#ifndef QUICKVIEW_PAGESTORE_BUFFER_POOL_H_
+#define QUICKVIEW_PAGESTORE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "pagestore/page.h"
+#include "pagestore/paged_file.h"
+
+namespace quickview::pagestore {
+
+struct BufferPoolOptions {
+  /// Frame budget. With 4 KiB pages the default caps residency at 1 MiB —
+  /// deliberately far below even modest databases, so eviction is the
+  /// normal regime, as in the paper's disk-resident setting.
+  size_t frames = 256;
+};
+
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;       // == pages read from the file
+  uint64_t evictions = 0;
+  uint64_t bytes_read = 0;   // misses * page size
+  uint64_t frames_in_use = 0;
+};
+
+class BufferPool final : public PageSource {
+ public:
+  BufferPool(const PagedFile* file, const BufferPoolOptions& options = {});
+
+  /// Returns a pin on the page, reading it from the file on a miss (and
+  /// evicting the least-recently-used unpinned frame when over budget).
+  /// `acct`, when non-null, receives this call's hit/miss accounting on
+  /// top of the pool-global counters.
+  Result<PagePin> Fetch(PageId id, PageAccounting* acct) const override;
+
+  BufferPoolStats stats() const;
+  size_t frame_budget() const { return budget_; }
+
+ private:
+  struct Frame {
+    PagePin page;
+    std::list<PageId>::iterator lru_it;
+  };
+
+  const PagedFile* file_;
+  size_t budget_;
+
+  mutable std::mutex mu_;
+  mutable std::list<PageId> lru_;  // front = most recently used
+  mutable std::unordered_map<PageId, Frame> frames_;
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+  mutable uint64_t evictions_ = 0;
+};
+
+}  // namespace quickview::pagestore
+
+#endif  // QUICKVIEW_PAGESTORE_BUFFER_POOL_H_

@@ -1,0 +1,276 @@
+#include "pagestore/disk_btree.h"
+
+#include <utility>
+
+namespace quickview::pagestore {
+
+namespace {
+
+constexpr uint8_t kInlineFlag = 0;
+constexpr uint8_t kOverflowFlag = 1;
+
+struct LeafEntry {
+  std::string_view key;
+  uint8_t flag = kInlineFlag;
+  std::string_view inline_value;
+  PageId overflow_page = kInvalidPage;
+  uint64_t overflow_len = 0;
+};
+
+/// Parses the entry at `*pos`; false on malformed payload.
+bool ParseLeafEntry(std::string_view payload, size_t* pos, LeafEntry* out) {
+  uint16_t key_len = 0;
+  if (!ReadU16(payload, pos, &key_len)) return false;
+  if (payload.size() - *pos < key_len) return false;
+  out->key = payload.substr(*pos, key_len);
+  *pos += key_len;
+  if (*pos >= payload.size()) return false;
+  out->flag = static_cast<uint8_t>(payload[(*pos)++]);
+  if (out->flag == kInlineFlag) {
+    uint32_t len = 0;
+    if (!ReadU32(payload, pos, &len)) return false;
+    if (payload.size() - *pos < len) return false;
+    out->inline_value = payload.substr(*pos, len);
+    *pos += len;
+    return true;
+  }
+  if (out->flag != kOverflowFlag) return false;
+  uint32_t page = 0;
+  if (!ReadU32(payload, pos, &page) ||
+      !ReadU64(payload, pos, &out->overflow_len)) {
+    return false;
+  }
+  out->overflow_page = page;
+  return true;
+}
+
+bool ParseInteriorEntry(std::string_view payload, size_t* pos,
+                        std::string_view* key, PageId* child) {
+  uint16_t key_len = 0;
+  if (!ReadU16(payload, pos, &key_len)) return false;
+  if (payload.size() - *pos < key_len) return false;
+  *key = payload.substr(*pos, key_len);
+  *pos += key_len;
+  uint32_t page = 0;
+  if (!ReadU32(payload, pos, &page)) return false;
+  *child = page;
+  return true;
+}
+
+Status Corrupt(PageId page) {
+  return Status::Internal("corrupt B-tree page " + std::to_string(page));
+}
+
+}  // namespace
+
+Status DiskBTreeBuilder::Add(std::string_view key, std::string_view value) {
+  if (key.size() > 0xffff) {
+    return Status::InvalidArgument("index key too long for packed B-tree: " +
+                                   std::to_string(key.size()) + " bytes");
+  }
+  if (any_ && std::string_view(last_key_) >= key) {
+    return Status::InvalidArgument(
+        "DiskBTreeBuilder keys must be strictly increasing");
+  }
+
+  std::string entry;
+  AppendU16(&entry, static_cast<uint16_t>(key.size()));
+  entry.append(key);
+  if (value.size() <= kMaxInlineValue) {
+    entry.push_back(static_cast<char>(kInlineFlag));
+    AppendU32(&entry, static_cast<uint32_t>(value.size()));
+    entry.append(value);
+  } else {
+    // Spill to a posting-run chain; the leaf keeps a fixed-size ref.
+    ChainWriter overflow(writer_, PageType::kPostingRun);
+    QUICKVIEW_RETURN_IF_ERROR(overflow.Append(value));
+    QUICKVIEW_ASSIGN_OR_RETURN(PageId first, overflow.Finish());
+    entry.push_back(static_cast<char>(kOverflowFlag));
+    AppendU32(&entry, first);
+    AppendU64(&entry, static_cast<uint64_t>(value.size()));
+  }
+  if (4 + entry.size() > kPagePayloadSize) {
+    return Status::InvalidArgument("index entry too large for one page: " +
+                                   std::to_string(entry.size()) + " bytes");
+  }
+
+  if (leaf_page_ != kInvalidPage &&
+      4 + leaf_payload_.size() + entry.size() > kPagePayloadSize) {
+    PageId next = writer_->Allocate();
+    QUICKVIEW_RETURN_IF_ERROR(FlushLeaf(next));
+    leaf_page_ = next;
+    level_.emplace_back(std::string(key), leaf_page_);
+  } else if (leaf_page_ == kInvalidPage) {
+    leaf_page_ = writer_->Allocate();
+    level_.emplace_back(std::string(key), leaf_page_);
+  }
+  leaf_payload_.append(entry);
+  ++leaf_entries_;
+  last_key_.assign(key);
+  any_ = true;
+  return Status::OK();
+}
+
+Status DiskBTreeBuilder::FlushLeaf(PageId next_leaf) {
+  std::string payload;
+  AppendU32(&payload, leaf_entries_);
+  payload.append(leaf_payload_);
+  QUICKVIEW_RETURN_IF_ERROR(
+      writer_->WritePage(leaf_page_, PageType::kBTreeLeaf, payload,
+                         next_leaf));
+  leaf_payload_.clear();
+  leaf_entries_ = 0;
+  return Status::OK();
+}
+
+Result<PageId> DiskBTreeBuilder::Finish() {
+  if (!any_) {
+    // An empty index still gets a root so readers need no special case.
+    PageId page = writer_->Allocate();
+    std::string payload;
+    AppendU32(&payload, 0);
+    QUICKVIEW_RETURN_IF_ERROR(
+        writer_->WritePage(page, PageType::kBTreeLeaf, payload,
+                           kInvalidPage));
+    return page;
+  }
+  QUICKVIEW_RETURN_IF_ERROR(FlushLeaf(kInvalidPage));
+
+  // Interior levels, bottom-up, until one page covers everything.
+  while (level_.size() > 1) {
+    std::vector<std::pair<std::string, PageId>> next_level;
+    std::string payload;
+    uint32_t count = 0;
+    std::string first_key;
+    auto flush = [&]() -> Status {
+      PageId page = writer_->Allocate();
+      std::string full;
+      AppendU32(&full, count);
+      full.append(payload);
+      QUICKVIEW_RETURN_IF_ERROR(writer_->WritePage(
+          page, PageType::kBTreeInterior, full, kInvalidPage));
+      next_level.emplace_back(std::move(first_key), page);
+      payload.clear();
+      count = 0;
+      first_key.clear();
+      return Status::OK();
+    };
+    for (auto& [key, child] : level_) {
+      std::string entry;
+      AppendU16(&entry, static_cast<uint16_t>(key.size()));
+      entry.append(key);
+      AppendU32(&entry, child);
+      if (count > 0 && 4 + payload.size() + entry.size() > kPagePayloadSize) {
+        QUICKVIEW_RETURN_IF_ERROR(flush());
+      }
+      if (count == 0) first_key = key;
+      payload.append(entry);
+      ++count;
+    }
+    if (count > 0) QUICKVIEW_RETURN_IF_ERROR(flush());
+    level_ = std::move(next_level);
+  }
+  return level_[0].second;
+}
+
+Result<std::string> DiskBTree::ValueRef::Read() const {
+  if (overflow_page_ == kInvalidPage) return std::string(inline_value_);
+  std::string out;
+  out.reserve(overflow_len_);
+  ChainReader reader(source_, overflow_page_, 0, acct_);
+  QUICKVIEW_RETURN_IF_ERROR(reader.Read(overflow_len_, &out));
+  return out;
+}
+
+Result<PagePin> DiskBTree::DescendToLeaf(std::string_view key,
+                                         PageAccounting* acct) const {
+  PageId current = root_;
+  while (true) {
+    QUICKVIEW_ASSIGN_OR_RETURN(PagePin pin, source_->Fetch(current, acct));
+    if (pin->type == PageType::kBTreeLeaf) return pin;
+    if (pin->type != PageType::kBTreeInterior) return Corrupt(current);
+    std::string_view payload = pin->payload;
+    size_t pos = 0;
+    uint32_t count = 0;
+    if (!pagestore::ReadU32(payload, &pos, &count) || count == 0) {
+      return Corrupt(current);
+    }
+    PageId child = kInvalidPage;
+    for (uint32_t i = 0; i < count; ++i) {
+      std::string_view entry_key;
+      PageId entry_child = kInvalidPage;
+      if (!ParseInteriorEntry(payload, &pos, &entry_key, &entry_child)) {
+        return Corrupt(current);
+      }
+      // First child catches keys below every separator (scans start
+      // there; point lookups fall off the leaf's sorted entries).
+      if (i == 0 || entry_key <= key) {
+        child = entry_child;
+      } else {
+        break;
+      }
+    }
+    current = child;
+  }
+}
+
+Result<bool> DiskBTree::Get(std::string_view key, std::string* value,
+                            PageAccounting* acct) const {
+  QUICKVIEW_ASSIGN_OR_RETURN(PagePin pin, DescendToLeaf(key, acct));
+  std::string_view payload = pin->payload;
+  size_t pos = 0;
+  uint32_t count = 0;
+  if (!pagestore::ReadU32(payload, &pos, &count)) return Corrupt(root_);
+  for (uint32_t i = 0; i < count; ++i) {
+    LeafEntry entry;
+    if (!ParseLeafEntry(payload, &pos, &entry)) return Corrupt(root_);
+    if (entry.key < key) continue;
+    if (entry.key > key) return false;
+    ValueRef ref;
+    ref.source_ = source_;
+    ref.acct_ = acct;
+    ref.inline_value_ = entry.inline_value;
+    ref.overflow_page_ = entry.overflow_page;
+    ref.overflow_len_ = entry.overflow_len;
+    QUICKVIEW_ASSIGN_OR_RETURN(*value, ref.Read());
+    return true;
+  }
+  return false;
+}
+
+Status DiskBTree::ScanFrom(
+    std::string_view start,
+    const std::function<Result<bool>(std::string_view key,
+                                     const ValueRef& value)>& fn,
+    PageAccounting* acct) const {
+  QUICKVIEW_ASSIGN_OR_RETURN(PagePin pin, DescendToLeaf(start, acct));
+  bool started = false;
+  while (true) {
+    std::string_view payload = pin->payload;
+    size_t pos = 0;
+    uint32_t count = 0;
+    if (!pagestore::ReadU32(payload, &pos, &count)) return Corrupt(root_);
+    for (uint32_t i = 0; i < count; ++i) {
+      LeafEntry entry;
+      if (!ParseLeafEntry(payload, &pos, &entry)) return Corrupt(root_);
+      if (!started) {
+        if (entry.key < start) continue;
+        started = true;
+      }
+      ValueRef ref;
+      ref.source_ = source_;
+      ref.acct_ = acct;
+      ref.inline_value_ = entry.inline_value;
+      ref.overflow_page_ = entry.overflow_page;
+      ref.overflow_len_ = entry.overflow_len;
+      QUICKVIEW_ASSIGN_OR_RETURN(bool keep_going, fn(entry.key, ref));
+      if (!keep_going) return Status::OK();
+    }
+    PageId next = pin->next_page;
+    if (next == kInvalidPage) return Status::OK();
+    QUICKVIEW_ASSIGN_OR_RETURN(pin, source_->Fetch(next, acct));
+    if (pin->type != PageType::kBTreeLeaf) return Corrupt(next);
+  }
+}
+
+}  // namespace quickview::pagestore

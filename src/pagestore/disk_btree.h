@@ -1,0 +1,97 @@
+// DiskBTree: an immutable B+-tree laid out in .qvpack pages, bulk-built
+// bottom-up at pack time from key-sorted input (quickview indices are
+// built once per database load, so there is no insert path). Leaf pages
+// chain left-to-right for range scans; values too large to inline in a
+// leaf spill into posting-run page chains, which is how long inverted
+// lists and fat path-index rows live on disk. All node access goes
+// through a PageSource, so reads are buffered, checksummed and counted.
+#ifndef QUICKVIEW_PAGESTORE_DISK_BTREE_H_
+#define QUICKVIEW_PAGESTORE_DISK_BTREE_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "pagestore/page.h"
+#include "pagestore/paged_file.h"
+
+namespace quickview::pagestore {
+
+/// Values longer than this spill to overflow (posting-run) chains. A
+/// leaf entry is then a fixed 12-byte reference, so every leaf holds
+/// many keys even when rows are huge.
+inline constexpr size_t kMaxInlineValue = 1024;
+
+/// Bulk loader. Keys must arrive in strictly increasing byte order.
+class DiskBTreeBuilder {
+ public:
+  explicit DiskBTreeBuilder(PagedFileWriter* writer) : writer_(writer) {}
+
+  Status Add(std::string_view key, std::string_view value);
+
+  /// Writes remaining leaf + interior levels; returns the root page.
+  Result<PageId> Finish();
+
+ private:
+  Status FlushLeaf(PageId next_leaf);
+
+  PagedFileWriter* writer_;
+  std::string leaf_payload_;
+  uint32_t leaf_entries_ = 0;
+  PageId leaf_page_ = kInvalidPage;
+  std::string last_key_;
+  bool any_ = false;
+  /// (first key, page) per completed page of the level below.
+  std::vector<std::pair<std::string, PageId>> level_;
+};
+
+/// Reader over a bulk-built tree. Cheap value type: a PageSource plus a
+/// root id.
+class DiskBTree {
+ public:
+  DiskBTree() = default;
+  DiskBTree(const PageSource* source, PageId root)
+      : source_(source), root_(root) {}
+
+  /// A value sitting in a leaf: either inline bytes or an overflow
+  /// reference. Valid only during the Scan callback that produced it.
+  class ValueRef {
+   public:
+    Result<std::string> Read() const;
+
+   private:
+    friend class DiskBTree;
+    const PageSource* source_ = nullptr;
+    PageAccounting* acct_ = nullptr;
+    std::string_view inline_value_;
+    PageId overflow_page_ = kInvalidPage;
+    uint64_t overflow_len_ = 0;
+  };
+
+  /// Point lookup; false if the key is absent.
+  Result<bool> Get(std::string_view key, std::string* value,
+                   PageAccounting* acct = nullptr) const;
+
+  /// Visits entries with key >= start in key order until `fn` returns
+  /// false. The key passed to `fn` aliases the pinned page.
+  Status ScanFrom(
+      std::string_view start,
+      const std::function<Result<bool>(std::string_view key,
+                                       const ValueRef& value)>& fn,
+      PageAccounting* acct = nullptr) const;
+
+  PageId root() const { return root_; }
+
+ private:
+  Result<PagePin> DescendToLeaf(std::string_view key,
+                                PageAccounting* acct) const;
+
+  const PageSource* source_ = nullptr;
+  PageId root_ = kInvalidPage;
+};
+
+}  // namespace quickview::pagestore
+
+#endif  // QUICKVIEW_PAGESTORE_DISK_BTREE_H_

@@ -1,0 +1,31 @@
+// PackDatabase: serializes a database and its already-built indices into
+// a single .qvpack file of fixed-size pages — the offline "load time"
+// counterpart of PackedDb::Open. Layout (see README "Storage format"):
+//   page 0            file header
+//   per document      node-record chain (DocumentStore content, preorder)
+//                     node-locator B-tree   dewey -> record position
+//                     path-index B-tree     (path \x01 value) -> entry list
+//                     inverted B-tree       term -> posting run
+//                     (long rows/runs spill into posting-run page chains)
+//   directory chain   per-document names, root components, segment roots
+//                     and the distinct-path dictionaries
+#ifndef QUICKVIEW_PAGESTORE_PACK_H_
+#define QUICKVIEW_PAGESTORE_PACK_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "index/index_builder.h"
+#include "xml/dom.h"
+
+namespace quickview::pagestore {
+
+/// Writes `database` + `indexes` to `path` (overwritten if present).
+/// Every document must have indexes; fails with NotFound otherwise.
+Status PackDatabase(const xml::Database& database,
+                    const index::DatabaseIndexes& indexes,
+                    const std::string& path);
+
+}  // namespace quickview::pagestore
+
+#endif  // QUICKVIEW_PAGESTORE_PACK_H_

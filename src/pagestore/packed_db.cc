@@ -1,0 +1,412 @@
+#include "pagestore/packed_db.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "index/path_index.h"
+
+namespace quickview::pagestore {
+
+namespace {
+
+// Must match the separator MakePathValueKey appends (path_index.cc).
+constexpr char kPathKeySep = '\x01';
+
+struct NodeRecord {
+  uint32_t subtree_count = 0;
+  uint64_t subtree_bytes = 0;
+  uint16_t depth = 0;
+  std::string tag;
+  std::string text;
+};
+
+Status ReadNodeRecord(ChainReader* reader, NodeRecord* out) {
+  QUICKVIEW_RETURN_IF_ERROR(reader->ReadU32(&out->subtree_count));
+  QUICKVIEW_RETURN_IF_ERROR(reader->ReadU64(&out->subtree_bytes));
+  QUICKVIEW_RETURN_IF_ERROR(reader->ReadU16(&out->depth));
+  uint16_t tag_len = 0;
+  QUICKVIEW_RETURN_IF_ERROR(reader->ReadU16(&tag_len));
+  out->tag.clear();
+  QUICKVIEW_RETURN_IF_ERROR(reader->Read(tag_len, &out->tag));
+  uint32_t text_len = 0;
+  QUICKVIEW_RETURN_IF_ERROR(reader->ReadU32(&text_len));
+  out->text.clear();
+  QUICKVIEW_RETURN_IF_ERROR(reader->Read(text_len, &out->text));
+  return Status::OK();
+}
+
+/// Splits a disk path-index row payload (value_len | value | entry
+/// list) written by PackDocument.
+Status SplitPathRow(const std::string& payload, std::string* value,
+                    std::string* entries_encoded) {
+  size_t pos = 0;
+  uint32_t value_len = 0;
+  if (!ReadU32(payload, &pos, &value_len) ||
+      payload.size() - pos < value_len) {
+    return Status::Internal("corrupt path-index row");
+  }
+  value->assign(payload, pos, value_len);
+  entries_encoded->assign(payload, pos + value_len, std::string::npos);
+  return Status::OK();
+}
+
+Status DecodePostingRun(const std::string& encoded,
+                        std::vector<index::Posting>* out) {
+  size_t pos = 0;
+  uint32_t count = 0;
+  if (!ReadU32(encoded, &pos, &count)) {
+    return Status::Internal("corrupt posting run");
+  }
+  out->reserve(out->size() + count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint16_t id_len = 0;
+    if (!ReadU16(encoded, &pos, &id_len) ||
+        encoded.size() - pos < id_len) {
+      return Status::Internal("corrupt posting run");
+    }
+    xml::DeweyId id = xml::DeweyId::Decode(encoded.substr(pos, id_len));
+    pos += id_len;
+    uint32_t tf = 0;
+    if (!ReadU32(encoded, &pos, &tf)) {
+      return Status::Internal("corrupt posting run");
+    }
+    out->push_back(index::Posting{std::move(id), tf});
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// PagedPathIndex — the same probe algorithms as the in-memory PathIndex,
+// expressed over DiskBTree scans.
+// --------------------------------------------------------------------------
+
+Result<std::vector<std::string>> PagedPathIndex::ExpandPattern(
+    const index::PathPattern& pattern) const {
+  std::vector<std::string> out;
+  for (const std::string& path : paths_) {
+    if (index::PatternMatchesPath(pattern, path)) out.push_back(path);
+  }
+  return out;
+}
+
+Status PagedPathIndex::ForEachPathRow(
+    const std::string& path,
+    const std::function<Result<bool>(std::string&& row_value,
+                                     const std::string& entries_encoded)>&
+        fn) const {
+  std::string prefix = path;
+  prefix.push_back(kPathKeySep);
+  return tree_.ScanFrom(
+      prefix,
+      [&](std::string_view key,
+          const DiskBTree::ValueRef& value) -> Result<bool> {
+        if (key.substr(0, prefix.size()) != prefix) return false;
+        QUICKVIEW_ASSIGN_OR_RETURN(std::string payload, value.Read());
+        std::string row_value;
+        std::string entries_encoded;
+        QUICKVIEW_RETURN_IF_ERROR(
+            SplitPathRow(payload, &row_value, &entries_encoded));
+        return fn(std::move(row_value), entries_encoded);
+      });
+}
+
+Result<std::vector<index::PathEntry>> PagedPathIndex::Collect(
+    const index::PathPattern& pattern, bool with_values) const {
+  QUICKVIEW_ASSIGN_OR_RETURN(std::vector<std::string> expanded,
+                             ExpandPattern(pattern));
+  std::vector<index::PathEntry> out;
+  for (const std::string& path : expanded) {
+    QUICKVIEW_RETURN_IF_ERROR(ForEachPathRow(
+        path,
+        [&](std::string&& row_value,
+            const std::string& entries_encoded) -> Result<bool> {
+          std::optional<std::string> attach;
+          if (with_values) attach = std::move(row_value);
+          index::DecodePathEntryListInto(entries_encoded, attach, &out);
+          return true;
+        }));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const index::PathEntry& a, const index::PathEntry& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+Result<std::vector<index::PathEntry>> PagedPathIndex::LookUpId(
+    const index::PathPattern& pattern) const {
+  return Collect(pattern, /*with_values=*/false);
+}
+
+Result<std::vector<index::PathEntry>> PagedPathIndex::LookUpIdValue(
+    const index::PathPattern& pattern) const {
+  return Collect(pattern, /*with_values=*/true);
+}
+
+Result<std::vector<index::PathEntry>> PagedPathIndex::LookUpValue(
+    const index::PathPattern& pattern, const std::string& value) const {
+  QUICKVIEW_ASSIGN_OR_RETURN(std::vector<std::string> expanded,
+                             ExpandPattern(pattern));
+  std::vector<index::PathEntry> out;
+  for (const std::string& path : expanded) {
+    // Rows scan in value order, so stop at the first row past `value`
+    // (at most one row per (path, value) pair exists). This is a
+    // materializing scan over the path's earlier rows — the price of
+    // keeping values out of the disk keys; acceptable while predicate
+    // evaluation happens on LookUpPerPath entries, not through here.
+    QUICKVIEW_RETURN_IF_ERROR(ForEachPathRow(
+        path,
+        [&](std::string&& row_value,
+            const std::string& entries_encoded) -> Result<bool> {
+          if (row_value > value) return false;
+          if (row_value == value) {
+            index::DecodePathEntryListInto(entries_encoded, value, &out);
+            return false;
+          }
+          return true;
+        }));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const index::PathEntry& a, const index::PathEntry& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+Result<std::vector<index::PathRows>> PagedPathIndex::LookUpPerPath(
+    const index::PathPattern& pattern, bool with_values) const {
+  QUICKVIEW_ASSIGN_OR_RETURN(std::vector<std::string> expanded,
+                             ExpandPattern(pattern));
+  std::vector<index::PathRows> out;
+  for (const std::string& path : expanded) {
+    index::PathRows rows;
+    rows.path = path;
+    QUICKVIEW_RETURN_IF_ERROR(ForEachPathRow(
+        path,
+        [&](std::string&& row_value,
+            const std::string& entries_encoded) -> Result<bool> {
+          std::optional<std::string> attach;
+          if (with_values) attach = std::move(row_value);
+          index::DecodePathEntryListInto(entries_encoded, attach,
+                                         &rows.entries);
+          return true;
+        }));
+    std::sort(rows.entries.begin(), rows.entries.end(),
+              [](const index::PathEntry& a, const index::PathEntry& b) {
+                return a.id < b.id;
+              });
+    if (!rows.entries.empty()) out.push_back(std::move(rows));
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// PagedTermIndex
+// --------------------------------------------------------------------------
+
+Result<std::vector<index::Posting>> PagedTermIndex::Lookup(
+    const std::string& term) const {
+  std::vector<index::Posting> out;
+  std::string encoded;
+  QUICKVIEW_ASSIGN_OR_RETURN(bool found, tree_.Get(term, &encoded));
+  if (found) QUICKVIEW_RETURN_IF_ERROR(DecodePostingRun(encoded, &out));
+  return out;
+}
+
+// Point probes below pay O(run size) page I/O: a run is one B-tree
+// value (possibly an overflow chain), so Contains/ListLength read it
+// whole where the in-memory index answers from the composite-key tree.
+// Nothing on the query path uses them today (PrepareLists wants full
+// runs); if a pushdown ever does, serve counts from a bounded prefix
+// read of the chain instead.
+Result<bool> PagedTermIndex::Contains(const std::string& term,
+                                      const xml::DeweyId& id,
+                                      uint32_t* tf) const {
+  QUICKVIEW_ASSIGN_OR_RETURN(std::vector<index::Posting> postings,
+                             Lookup(term));
+  auto it = std::lower_bound(postings.begin(), postings.end(), id,
+                             [](const index::Posting& p,
+                                const xml::DeweyId& key) {
+                               return p.id < key;
+                             });
+  if (it == postings.end() || it->id != id) return false;
+  if (tf != nullptr) *tf = it->tf;
+  return true;
+}
+
+Result<uint64_t> PagedTermIndex::ListLength(const std::string& term) const {
+  std::string encoded;
+  QUICKVIEW_ASSIGN_OR_RETURN(bool found, tree_.Get(term, &encoded));
+  if (!found) return static_cast<uint64_t>(0);
+  size_t pos = 0;
+  uint32_t count = 0;
+  if (!ReadU32(encoded, &pos, &count)) {
+    return Status::Internal("corrupt posting run for term '" + term + "'");
+  }
+  return static_cast<uint64_t>(count);
+}
+
+// --------------------------------------------------------------------------
+// PackedDb
+// --------------------------------------------------------------------------
+
+Result<std::shared_ptr<PackedDb>> PackedDb::Open(
+    const std::string& path, const BufferPoolOptions& pool_options) {
+  auto db = std::shared_ptr<PackedDb>(new PackedDb());
+  QUICKVIEW_ASSIGN_OR_RETURN(db->file_, PagedFile::Open(path));
+  db->pool_ = std::make_unique<BufferPool>(db->file_.get(), pool_options);
+
+  ChainReader directory(db->pool_.get(), db->file_->directory_page(), 0,
+                        nullptr);
+  uint32_t doc_count = 0;
+  QUICKVIEW_RETURN_IF_ERROR(directory.ReadU32(&doc_count));
+  for (uint32_t d = 0; d < doc_count; ++d) {
+    auto doc = std::make_unique<PackedDocument>();
+    uint16_t name_len = 0;
+    QUICKVIEW_RETURN_IF_ERROR(directory.ReadU16(&name_len));
+    QUICKVIEW_RETURN_IF_ERROR(directory.Read(name_len, &doc->name));
+    uint32_t locator_root = 0;
+    uint32_t path_root = 0;
+    uint32_t inv_root = 0;
+    QUICKVIEW_RETURN_IF_ERROR(directory.ReadU32(&doc->root_component));
+    QUICKVIEW_RETURN_IF_ERROR(directory.ReadU32(&locator_root));
+    QUICKVIEW_RETURN_IF_ERROR(directory.ReadU32(&path_root));
+    QUICKVIEW_RETURN_IF_ERROR(directory.ReadU32(&inv_root));
+    QUICKVIEW_RETURN_IF_ERROR(directory.ReadU64(&doc->node_count));
+    uint32_t path_count = 0;
+    QUICKVIEW_RETURN_IF_ERROR(directory.ReadU32(&path_count));
+    std::vector<std::string> distinct_paths;
+    distinct_paths.reserve(path_count);
+    for (uint32_t p = 0; p < path_count; ++p) {
+      uint16_t len = 0;
+      QUICKVIEW_RETURN_IF_ERROR(directory.ReadU16(&len));
+      std::string data_path;
+      QUICKVIEW_RETURN_IF_ERROR(directory.Read(len, &data_path));
+      distinct_paths.push_back(std::move(data_path));
+    }
+
+    doc->locator = DiskBTree(db->pool_.get(), locator_root);
+    doc->paths = std::make_unique<PagedPathIndex>(
+        DiskBTree(db->pool_.get(), path_root), std::move(distinct_paths));
+    doc->terms =
+        std::make_unique<PagedTermIndex>(DiskBTree(db->pool_.get(), inv_root));
+
+    // Duplicate checks happen before any move: a failed map emplace
+    // destroys its moved-from argument, which would leave `doc` (and
+    // the by_root_ raw pointer) dangling.
+    const PackedDocument* raw = doc.get();
+    if (db->by_name_.find(raw->name) != db->by_name_.end()) {
+      return Status::InvalidArgument("duplicate document name '" +
+                                     raw->name + "' in packed db");
+    }
+    if (!db->by_root_.emplace(raw->root_component, raw).second) {
+      return Status::InvalidArgument("duplicate root component " +
+                                     std::to_string(raw->root_component) +
+                                     " in packed db");
+    }
+    db->by_name_.emplace(raw->name, std::move(doc));
+  }
+  return db;
+}
+
+std::optional<index::DocumentIndexView> PackedDb::GetView(
+    const std::string& doc_name) const {
+  auto it = by_name_.find(doc_name);
+  if (it == by_name_.end()) return std::nullopt;
+  return index::DocumentIndexView{it->second->paths.get(),
+                                  it->second->terms.get()};
+}
+
+std::vector<std::string> PackedDb::document_names() const {
+  std::vector<std::string> out;
+  out.reserve(by_name_.size());
+  for (const auto& [name, doc] : by_name_) out.push_back(name);
+  return out;
+}
+
+Result<ChainReader> PackedDb::LocateRecord(uint32_t root_component,
+                                           const xml::DeweyId& id,
+                                           PageAccounting* acct) const {
+  auto it = by_root_.find(root_component);
+  if (it == by_root_.end()) {
+    return Status::NotFound("no document with root component " +
+                            std::to_string(root_component));
+  }
+  std::string value;
+  QUICKVIEW_ASSIGN_OR_RETURN(
+      bool found, it->second->locator.Get(id.Encode(), &value, acct));
+  if (!found) {
+    return Status::NotFound("no element " + id.ToString());
+  }
+  size_t pos = 0;
+  uint32_t page = 0;
+  uint32_t offset = 0;
+  if (!ReadU32(value, &pos, &page) || !ReadU32(value, &pos, &offset)) {
+    return Status::Internal("corrupt node locator entry");
+  }
+  return ChainReader(pool_.get(), page, offset, acct);
+}
+
+Status PackedDb::CopySubtree(uint32_t root_component, const xml::DeweyId& id,
+                             xml::Document* target,
+                             xml::NodeIndex target_parent,
+                             uint64_t* fetched_bytes,
+                             PageAccounting* acct) const {
+  QUICKVIEW_ASSIGN_OR_RETURN(ChainReader reader,
+                             LocateRecord(root_component, id, acct));
+  NodeRecord record;
+  QUICKVIEW_RETURN_IF_ERROR(ReadNodeRecord(&reader, &record));
+  *fetched_bytes = record.subtree_bytes;
+
+  // Reattach the preorder record run under target_parent, exactly as the
+  // in-memory CopyRecursive does (fresh contiguous Dewey ordinals in the
+  // target; source structure recovered from record depths).
+  xml::NodeIndex root_index = target_parent == xml::kInvalidNode
+                                  ? target->CreateRoot(record.tag)
+                                  : target->AddChild(target_parent,
+                                                     record.tag);
+  target->node(root_index).text = std::move(record.text);
+  std::vector<std::pair<uint16_t, xml::NodeIndex>> stack;
+  stack.emplace_back(record.depth, root_index);
+  for (uint32_t i = 1; i < record.subtree_count; ++i) {
+    NodeRecord child;
+    QUICKVIEW_RETURN_IF_ERROR(ReadNodeRecord(&reader, &child));
+    while (!stack.empty() && stack.back().first >= child.depth) {
+      stack.pop_back();
+    }
+    if (stack.empty() || stack.back().first + 1 != child.depth) {
+      return Status::Internal("corrupt node-record chain under " +
+                              id.ToString());
+    }
+    xml::NodeIndex child_index =
+        target->AddChild(stack.back().second, child.tag);
+    target->node(child_index).text = std::move(child.text);
+    stack.emplace_back(child.depth, child_index);
+  }
+  return Status::OK();
+}
+
+Status PackedDb::GetValue(uint32_t root_component, const xml::DeweyId& id,
+                          std::string* out, PageAccounting* acct) const {
+  QUICKVIEW_ASSIGN_OR_RETURN(ChainReader reader,
+                             LocateRecord(root_component, id, acct));
+  NodeRecord record;
+  QUICKVIEW_RETURN_IF_ERROR(ReadNodeRecord(&reader, &record));
+  *out = std::move(record.text);
+  return Status::OK();
+}
+
+Status PackedDb::GetSubtreeLength(uint32_t root_component,
+                                  const xml::DeweyId& id, uint64_t* out,
+                                  PageAccounting* acct) const {
+  QUICKVIEW_ASSIGN_OR_RETURN(ChainReader reader,
+                             LocateRecord(root_component, id, acct));
+  NodeRecord record;
+  QUICKVIEW_RETURN_IF_ERROR(ReadNodeRecord(&reader, &record));
+  *out = record.subtree_bytes;
+  return Status::OK();
+}
+
+}  // namespace quickview::pagestore

@@ -1,0 +1,139 @@
+// PackedDb: the query-time face of a .qvpack file. Opens the directory,
+// wires a shared BufferPool over the PagedFile, and exposes
+//  - index::IndexSource: per-document PathIndexView / TermIndexView
+//    implementations that answer the PDT probe set from B-tree-node and
+//    posting-run pages, and
+//  - document fetches (CopySubtree / GetValue / GetSubtreeLength) that
+//    read node-record pages — the packed backing of DocumentStore.
+// Everything is demand-paged: opening the database reads the header and
+// directory only; a query touches exactly the pages its B-tree descents,
+// posting runs and materialized hits require.
+//
+// Thread safety: immutable after Open; all reads go through the
+// BufferPool, which is internally synchronized.
+#ifndef QUICKVIEW_PAGESTORE_PACKED_DB_H_
+#define QUICKVIEW_PAGESTORE_PACKED_DB_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/index_view.h"
+#include "pagestore/buffer_pool.h"
+#include "pagestore/disk_btree.h"
+#include "pagestore/paged_file.h"
+#include "xml/dewey_id.h"
+#include "xml/dom.h"
+
+namespace quickview::pagestore {
+
+/// Path-index view answered from disk B-tree pages. Mirrors the
+/// in-memory PathIndex probe algorithms over the identical key space
+/// ((path \x01 value) composite keys, EncodePathEntryList row payloads),
+/// so both backings return byte-identical results.
+class PagedPathIndex final : public index::PathIndexView {
+ public:
+  PagedPathIndex(DiskBTree tree, std::vector<std::string> distinct_paths)
+      : tree_(tree), paths_(std::move(distinct_paths)) {}
+
+  Result<std::vector<std::string>> ExpandPattern(
+      const index::PathPattern& pattern) const override;
+  Result<std::vector<index::PathEntry>> LookUpId(
+      const index::PathPattern& pattern) const override;
+  Result<std::vector<index::PathEntry>> LookUpIdValue(
+      const index::PathPattern& pattern) const override;
+  Result<std::vector<index::PathEntry>> LookUpValue(
+      const index::PathPattern& pattern,
+      const std::string& value) const override;
+  Result<std::vector<index::PathRows>> LookUpPerPath(
+      const index::PathPattern& pattern, bool with_values) const override;
+
+ private:
+  Result<std::vector<index::PathEntry>> Collect(
+      const index::PathPattern& pattern, bool with_values) const;
+
+  /// Scans the disk rows of one data path in value order, decoding each
+  /// payload into (atomic value, encoded entry list); `fn` returns false
+  /// to stop early. The single home of the prefix-scan/row-split logic
+  /// all probes share.
+  Status ForEachPathRow(
+      const std::string& path,
+      const std::function<Result<bool>(std::string&& row_value,
+                                       const std::string& entries_encoded)>&
+          fn) const;
+
+  DiskBTree tree_;
+  std::vector<std::string> paths_;  // sorted distinct full data paths
+};
+
+/// Inverted-list view over per-term posting runs on disk.
+class PagedTermIndex final : public index::TermIndexView {
+ public:
+  explicit PagedTermIndex(DiskBTree tree) : tree_(tree) {}
+
+  Result<std::vector<index::Posting>> Lookup(
+      const std::string& term) const override;
+  Result<bool> Contains(const std::string& term, const xml::DeweyId& id,
+                        uint32_t* tf) const override;
+  Result<uint64_t> ListLength(const std::string& term) const override;
+
+ private:
+  DiskBTree tree_;
+};
+
+class PackedDb final : public index::IndexSource {
+ public:
+  /// Reads header + directory; index and node-record pages stay on disk
+  /// until queries pull them through the pool.
+  static Result<std::shared_ptr<PackedDb>> Open(
+      const std::string& path, const BufferPoolOptions& pool_options = {});
+
+  std::optional<index::DocumentIndexView> GetView(
+      const std::string& doc_name) const override;
+
+  /// Per-call page accounting for the three document fetches lands in
+  /// `acct` (locator descent + node-record pages).
+  Status CopySubtree(uint32_t root_component, const xml::DeweyId& id,
+                     xml::Document* target, xml::NodeIndex target_parent,
+                     uint64_t* fetched_bytes, PageAccounting* acct) const;
+  Status GetValue(uint32_t root_component, const xml::DeweyId& id,
+                  std::string* out, PageAccounting* acct) const;
+  Status GetSubtreeLength(uint32_t root_component, const xml::DeweyId& id,
+                          uint64_t* out, PageAccounting* acct) const;
+
+  const BufferPool& pool() const { return *pool_; }
+  const PagedFile& file() const { return *file_; }
+  std::vector<std::string> document_names() const;
+
+ private:
+  struct PackedDocument {
+    std::string name;
+    uint32_t root_component = 0;
+    uint64_t node_count = 0;
+    DiskBTree locator;
+    std::unique_ptr<PagedPathIndex> paths;
+    std::unique_ptr<PagedTermIndex> terms;
+  };
+
+  PackedDb() = default;
+
+  /// Locator hit for `id`, or NotFound (same message shape as the
+  /// in-memory store so responses stay byte-identical).
+  Result<ChainReader> LocateRecord(uint32_t root_component,
+                                   const xml::DeweyId& id,
+                                   PageAccounting* acct) const;
+
+  std::unique_ptr<PagedFile> file_;
+  std::unique_ptr<BufferPool> pool_;
+  std::map<std::string, std::unique_ptr<PackedDocument>> by_name_;
+  std::map<uint32_t, const PackedDocument*> by_root_;
+};
+
+}  // namespace quickview::pagestore
+
+#endif  // QUICKVIEW_PAGESTORE_PACKED_DB_H_

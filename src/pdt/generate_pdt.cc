@@ -338,7 +338,7 @@ Result<std::shared_ptr<xml::Document>> GeneratePdtFromLists(
 }
 
 Result<std::shared_ptr<xml::Document>> GeneratePdt(
-    const qpt::Qpt& qpt, const index::DocumentIndexes& indexes,
+    const qpt::Qpt& qpt, const index::DocumentIndexView& indexes,
     const std::vector<std::string>& keywords, PdtBuildStats* stats) {
   QV_ASSIGN_OR_RETURN(PreparedLists lists,
                       PrepareLists(qpt, indexes, keywords));

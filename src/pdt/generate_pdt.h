@@ -53,10 +53,17 @@ Result<std::shared_ptr<xml::Document>> GeneratePdtFromLists(
     const qpt::Qpt& qpt, PreparedLists lists, PdtBuildStats* stats);
 
 /// Convenience: PrepareLists + GeneratePdtFromLists (the GeneratePDT of
-/// Fig 9). `keywords` must be lowercased.
+/// Fig 9). `keywords` must be lowercased. The view form is the canonical
+/// one — it runs identically over in-memory and disk-resident indices.
 Result<std::shared_ptr<xml::Document>> GeneratePdt(
-    const qpt::Qpt& qpt, const index::DocumentIndexes& indexes,
+    const qpt::Qpt& qpt, const index::DocumentIndexView& indexes,
     const std::vector<std::string>& keywords, PdtBuildStats* stats = nullptr);
+
+inline Result<std::shared_ptr<xml::Document>> GeneratePdt(
+    const qpt::Qpt& qpt, const index::DocumentIndexes& indexes,
+    const std::vector<std::string>& keywords, PdtBuildStats* stats = nullptr) {
+  return GeneratePdt(qpt, indexes.View(), keywords, stats);
+}
 
 }  // namespace quickview::pdt
 

@@ -121,7 +121,7 @@ bool PassesPredicates(const qpt::QptNode& node,
 }  // namespace
 
 Result<PreparedLists> PrepareLists(const qpt::Qpt& qpt,
-                                   const index::DocumentIndexes& indexes,
+                                   const index::DocumentIndexView& indexes,
                                    const std::vector<std::string>& keywords) {
   PreparedLists out;
 
@@ -136,11 +136,12 @@ Result<PreparedLists> PrepareLists(const qpt::Qpt& qpt,
     PathList list;
     list.qpt_node = n;
     index::PathPattern pattern = qpt.PatternFor(n);
-    std::vector<index::PathIndex::PathRows> rows =
-        indexes.path_index.LookUpPerPath(pattern, with_values);
+    QUICKVIEW_ASSIGN_OR_RETURN(
+        std::vector<index::PathRows> rows,
+        indexes.paths->LookUpPerPath(pattern, with_values));
     ++out.index_probes;
 
-    for (index::PathIndex::PathRows& row : rows) {
+    for (index::PathRows& row : rows) {
       int ordinal = static_cast<int>(list.depth_qnodes.size());
       list.depth_qnodes.push_back(MapDepthsToQptNodes(qpt, n, row.path));
       for (index::PathEntry& entry : row.entries) {
@@ -164,7 +165,7 @@ Result<PreparedLists> PrepareLists(const qpt::Qpt& qpt,
   for (const std::string& keyword : keywords) {
     InvList inv;
     inv.term = keyword;
-    inv.postings = indexes.inverted_index.Lookup(keyword);
+    QUICKVIEW_ASSIGN_OR_RETURN(inv.postings, indexes.terms->Lookup(keyword));
     inv.BuildPrefix();
     out.inv_lists.push_back(std::move(inv));
   }

@@ -22,7 +22,7 @@ int ResolveThreads(int requested) {
 }  // namespace
 
 QueryService::QueryService(const xml::Database* database,
-                           const index::DatabaseIndexes* indexes,
+                           const index::IndexSource* indexes,
                            const storage::DocumentStore* store,
                            const QueryServiceOptions& options)
     : engine_(database, indexes, store),
@@ -143,7 +143,11 @@ std::vector<Result<engine::SearchResponse>> QueryService::SearchBatch(
 }
 
 QueryService::Stats QueryService::stats() const {
-  return Stats{queries_.load(std::memory_order_relaxed), cache_.stats()};
+  Stats out;
+  out.queries = queries_.load(std::memory_order_relaxed);
+  out.cache = cache_.stats();
+  if (pool_stats_ != nullptr) out.buffer = pool_stats_->stats();
+  return out;
 }
 
 }  // namespace quickview::service

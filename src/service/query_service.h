@@ -36,6 +36,7 @@
 #include "engine/result_cursor.h"
 #include "engine/view_search_engine.h"
 #include "index/index_builder.h"
+#include "pagestore/buffer_pool.h"
 #include "service/prepared_query_cache.h"
 #include "service/thread_pool.h"
 #include "storage/document_store.h"
@@ -61,14 +62,27 @@ class QueryService {
   struct Stats {
     uint64_t queries = 0;
     PreparedQueryCache::Stats cache;
+    /// Buffer-pool counters of the attached packed database (all zero
+    /// when the service runs over in-memory structures).
+    pagestore::BufferPoolStats buffer;
   };
 
   /// All three structures must outlive the service and are treated as
-  /// immutable (see the threading model above).
+  /// immutable (see the threading model above). `indexes` is any
+  /// IndexSource — DatabaseIndexes or a pagestore::PackedDb; `database`
+  /// may be nullptr in the packed case (base documents live in
+  /// node-record pages, reached through the store).
   QueryService(const xml::Database* database,
-               const index::DatabaseIndexes* indexes,
+               const index::IndexSource* indexes,
                const storage::DocumentStore* store,
                const QueryServiceOptions& options = {});
+
+  /// Attaches the buffer pool whose counters stats() should report —
+  /// call once, right after construction, when serving a packed db. The
+  /// pool must outlive the service.
+  void AttachBufferPool(const pagestore::BufferPool* pool) {
+    pool_stats_ = pool;
+  }
 
   /// Registers (or replaces) a view under `name`. Replacing a view bumps
   /// its cache-key version, so stale PDTs can never serve the new text.
@@ -109,6 +123,7 @@ class QueryService {
   };
 
   engine::ViewSearchEngine engine_;
+  const pagestore::BufferPool* pool_stats_ = nullptr;
   mutable std::shared_mutex views_mu_;
   std::map<std::string, RegisteredView> views_;
   PreparedQueryCache cache_;

@@ -1,5 +1,8 @@
 #include "storage/document_store.h"
 
+#include <utility>
+
+#include "pagestore/packed_db.h"
 #include "xml/serializer.h"
 
 namespace quickview::storage {
@@ -12,6 +15,12 @@ DocumentStore::DocumentStore(const xml::Database& database) {
     docs_[doc->root_component()] = doc;
   }
 }
+
+DocumentStore::DocumentStore(
+    std::shared_ptr<const pagestore::PackedDb> packed)
+    : packed_(std::move(packed)) {}
+
+DocumentStore::~DocumentStore() = default;
 
 const Document* DocumentStore::Resolve(uint32_t root_component) const {
   auto it = docs_.find(root_component);
@@ -39,6 +48,14 @@ Status DocumentStore::CopySubtree(uint32_t root_component,
                                   xml::Document* target,
                                   xml::NodeIndex target_parent,
                                   Stats* accounting) const {
+  if (packed_ != nullptr) {
+    pagestore::PageAccounting pages;
+    uint64_t bytes = 0;
+    QV_RETURN_IF_ERROR(packed_->CopySubtree(root_component, id, target,
+                                            target_parent, &bytes, &pages));
+    CountFetch(bytes, pages.pages_read, pages.buffer_hits, accounting);
+    return Status::OK();
+  }
   const Document* doc = Resolve(root_component);
   if (doc == nullptr) {
     return Status::NotFound("no document with root component " +
@@ -49,13 +66,19 @@ Status DocumentStore::CopySubtree(uint32_t root_component,
     return Status::NotFound("no element " + id.ToString());
   }
   CopyRecursive(*doc, source, target, target_parent);
-  CountFetch(xml::SubtreeByteLength(*doc, source), accounting);
+  CountFetch(xml::SubtreeByteLength(*doc, source), 0, 0, accounting);
   return Status::OK();
 }
 
 Status DocumentStore::GetValue(uint32_t root_component,
                                const xml::DeweyId& id, std::string* out,
                                Stats* accounting) const {
+  if (packed_ != nullptr) {
+    pagestore::PageAccounting pages;
+    QV_RETURN_IF_ERROR(packed_->GetValue(root_component, id, out, &pages));
+    CountFetch(out->size(), pages.pages_read, pages.buffer_hits, accounting);
+    return Status::OK();
+  }
   const Document* doc = Resolve(root_component);
   if (doc == nullptr) {
     return Status::NotFound("no document with root component " +
@@ -66,7 +89,7 @@ Status DocumentStore::GetValue(uint32_t root_component,
     return Status::NotFound("no element " + id.ToString());
   }
   *out = doc->node(source).text;
-  CountFetch(out->size(), accounting);
+  CountFetch(out->size(), 0, 0, accounting);
   return Status::OK();
 }
 
@@ -74,6 +97,13 @@ Status DocumentStore::GetSubtreeLength(uint32_t root_component,
                                        const xml::DeweyId& id,
                                        uint64_t* out,
                                        Stats* accounting) const {
+  if (packed_ != nullptr) {
+    pagestore::PageAccounting pages;
+    QV_RETURN_IF_ERROR(
+        packed_->GetSubtreeLength(root_component, id, out, &pages));
+    CountFetch(*out, pages.pages_read, pages.buffer_hits, accounting);
+    return Status::OK();
+  }
   const Document* doc = Resolve(root_component);
   if (doc == nullptr) {
     return Status::NotFound("no document with root component " +
@@ -84,7 +114,7 @@ Status DocumentStore::GetSubtreeLength(uint32_t root_component,
     return Status::NotFound("no element " + id.ToString());
   }
   *out = xml::SubtreeByteLength(*doc, source);
-  CountFetch(*out, accounting);
+  CountFetch(*out, 0, 0, accounting);
   return Status::OK();
 }
 

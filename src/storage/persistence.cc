@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 #include "xml/parser.h"
 #include "xml/serializer.h"
@@ -92,6 +93,25 @@ Status SaveDatabase(const xml::Database& database, const std::string& dir) {
   return Status::OK();
 }
 
+namespace {
+
+/// Strict digits-only u32 parse for manifest root components. stoul-style
+/// parsing is no good here: it throws on junk (crashing the loader on a
+/// corrupted manifest) and silently accepts trailing garbage.
+bool ParseRootComponent(std::string_view text, uint32_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+    if (value > 0xffffffffu) return false;
+  }
+  *out = static_cast<uint32_t>(value);
+  return true;
+}
+
+}  // namespace
+
 Result<std::shared_ptr<xml::Database>> LoadDatabase(const std::string& dir) {
   std::ifstream manifest(dir + "/manifest.qv");
   if (!manifest) return Status::NotFound("no manifest in " + dir);
@@ -101,13 +121,32 @@ Result<std::shared_ptr<xml::Database>> LoadDatabase(const std::string& dir) {
     if (line.empty()) continue;
     size_t space = line.find(' ');
     if (space == std::string::npos) {
-      return Status::ParseError("malformed manifest line: " + line);
+      return Status::InvalidArgument("malformed manifest line in " + dir +
+                                     ": \"" + line + "\"");
     }
-    uint32_t root = static_cast<uint32_t>(
-        std::stoul(line.substr(0, space)));
+    uint32_t root = 0;
+    if (!ParseRootComponent(std::string_view(line).substr(0, space), &root)) {
+      return Status::InvalidArgument(
+          "malformed manifest line in " + dir +
+          " (root component is not a number): \"" + line + "\"");
+    }
     std::string name = line.substr(space + 1);
+    if (name.empty()) {
+      return Status::InvalidArgument("malformed manifest line in " + dir +
+                                     " (empty document name): \"" + line +
+                                     "\"");
+    }
+    if (db->GetDocumentByRoot(root) != nullptr ||
+        db->GetDocument(name) != nullptr) {
+      return Status::InvalidArgument(
+          "manifest in " + dir +
+          " lists the same document twice: \"" + line + "\"");
+    }
     std::ifstream in(DocPath(dir, root), std::ios::binary);
-    if (!in) return Status::NotFound("missing document file for " + name);
+    if (!in) {
+      return Status::NotFound("missing document file " +
+                              DocPath(dir, root) + " for " + name);
+    }
     std::ostringstream content;
     content << in.rdbuf();
     QV_ASSIGN_OR_RETURN(std::shared_ptr<xml::Document> doc,

@@ -89,4 +89,16 @@ uint64_t SubtreeByteLength(const Document& doc, NodeIndex node_index) {
   return length;
 }
 
+uint64_t SubtreeByteLengths(const Document& doc, NodeIndex node_index,
+                            std::vector<uint64_t>* lengths) {
+  const Node& node = doc.node(node_index);
+  uint64_t length = 2 * node.tag.size() + 5;
+  if (!node.text.empty()) length += EscapedLength(node.text);
+  for (NodeIndex child : node.children) {
+    length += SubtreeByteLengths(doc, child, lengths);
+  }
+  (*lengths)[node_index] = length;
+  return length;
+}
+
 }  // namespace quickview::xml

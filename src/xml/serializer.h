@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "xml/dom.h"
 
@@ -20,6 +21,14 @@ std::string Serialize(const Document& doc);
 
 /// Byte length of Serialize(doc, node) without building the string.
 uint64_t SubtreeByteLength(const Document& doc, NodeIndex node);
+
+/// One-pass form: fills `(*lengths)[i]` with SubtreeByteLength(doc, i)
+/// for every node in the subtree under `node` and returns the subtree's
+/// own length. `lengths` must already be sized to doc.size(). Callers
+/// that need every node's length (the packer) use this instead of n
+/// recursive SubtreeByteLength calls (O(n) vs O(n x depth)).
+uint64_t SubtreeByteLengths(const Document& doc, NodeIndex node,
+                            std::vector<uint64_t>* lengths);
 
 /// Escapes &, <, >, " and ' for element content.
 std::string EscapeText(const std::string& text);

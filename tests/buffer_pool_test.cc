@@ -1,0 +1,135 @@
+// BufferPool behavior: hit/miss/eviction accounting, LRU replacement
+// order, pins protecting in-use frames, and thread-safety of concurrent
+// fetches against one shared pool (the QueryService sharing model).
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pagestore/buffer_pool.h"
+#include "pagestore/paged_file.h"
+
+namespace quickview::pagestore {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  static constexpr int kPages = 16;
+
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/qvpack_pool_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".qvpack";
+    auto writer = PagedFileWriter::Create(path_);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < kPages; ++i) {
+      PageId id = (*writer)->Allocate();
+      ids_.push_back(id);
+      ASSERT_TRUE((*writer)
+                      ->WritePage(id, PageType::kNodeRecords,
+                                  "page-" + std::to_string(i), kInvalidPage)
+                      .ok());
+    }
+    ASSERT_TRUE((*writer)->Finish(ids_[0]).ok());
+    auto file = PagedFile::Open(path_);
+    ASSERT_TRUE(file.ok()) << file.status();
+    file_ = std::move(*file);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_;
+  std::vector<PageId> ids_;
+  std::unique_ptr<PagedFile> file_;
+};
+
+TEST_F(BufferPoolTest, HitAndMissAccounting) {
+  BufferPool pool(file_.get(), BufferPoolOptions{8});
+  PageAccounting acct;
+  auto first = pool.Fetch(ids_[0], &acct);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ((*first)->payload, "page-0");
+  EXPECT_EQ(acct.pages_read, 1u);
+  EXPECT_EQ(acct.buffer_hits, 0u);
+  EXPECT_EQ(acct.bytes_read, static_cast<uint64_t>(kPageSize));
+
+  auto again = pool.Fetch(ids_[0], &acct);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(acct.pages_read, 1u);
+  EXPECT_EQ(acct.buffer_hits, 1u);
+
+  BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.frames_in_use, 1u);
+}
+
+TEST_F(BufferPoolTest, LruEviction) {
+  BufferPool pool(file_.get(), BufferPoolOptions{2});
+  ASSERT_TRUE(pool.Fetch(ids_[0], nullptr).ok());
+  ASSERT_TRUE(pool.Fetch(ids_[1], nullptr).ok());
+  // Touch page 0 so page 1 is the LRU victim.
+  ASSERT_TRUE(pool.Fetch(ids_[0], nullptr).ok());
+  ASSERT_TRUE(pool.Fetch(ids_[2], nullptr).ok());  // evicts page 1
+
+  BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.frames_in_use, 2u);
+
+  // Page 0 must still be resident (hit); page 1 must re-read (miss).
+  PageAccounting acct;
+  ASSERT_TRUE(pool.Fetch(ids_[0], &acct).ok());
+  EXPECT_EQ(acct.buffer_hits, 1u);
+  ASSERT_TRUE(pool.Fetch(ids_[1], &acct).ok());
+  EXPECT_EQ(acct.pages_read, 1u);
+}
+
+TEST_F(BufferPoolTest, PinnedFramesSurviveEviction) {
+  BufferPool pool(file_.get(), BufferPoolOptions{2});
+  auto pinned = pool.Fetch(ids_[0], nullptr);
+  ASSERT_TRUE(pinned.ok());
+
+  // Flood the pool far past its budget while holding the pin.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 1; i < kPages; ++i) {
+      ASSERT_TRUE(pool.Fetch(ids_[i], nullptr).ok());
+    }
+  }
+  // The pinned bytes are still valid regardless of what the frame table
+  // did behind our back.
+  EXPECT_EQ((*pinned)->payload, "page-0");
+  BufferPoolStats stats = pool.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.frames_in_use, 3u);  // budget + possibly the pinned frame
+}
+
+TEST_F(BufferPoolTest, ConcurrentFetchesAreConsistent) {
+  BufferPool pool(file_.get(), BufferPoolOptions{4});
+  constexpr int kThreads = 8;
+  constexpr int kFetchesPerThread = 500;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kFetchesPerThread; ++i) {
+        int page = (t * 7 + i) % kPages;
+        auto pin = pool.Fetch(ids_[static_cast<size_t>(page)], nullptr);
+        if (!pin.ok() ||
+            (*pin)->payload != "page-" + std::to_string(page)) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kFetchesPerThread);
+}
+
+}  // namespace
+}  // namespace quickview::pagestore

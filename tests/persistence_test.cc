@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include <gtest/gtest.h>
 
@@ -78,6 +79,70 @@ TEST_F(PersistenceTest, LoadFromMissingDirectory) {
   auto loaded = LoadDatabase(dir_ + "_nope");
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+// Regression coverage for manifest hardening: corrupted manifests must
+// fail with InvalidArgument (not crash in numeric parsing, not silently
+// skip entries), and a manifest naming an absent document file must fail
+// with NotFound.
+TEST_F(PersistenceTest, CorruptedManifestIsInvalidArgument) {
+  ASSERT_TRUE(SaveDatabase(*db_, dir_).ok());
+  auto rewrite_manifest = [this](const std::string& content) {
+    std::ofstream manifest(dir_ + "/manifest.qv", std::ios::trunc);
+    manifest << content;
+  };
+
+  // A line without a separating space.
+  rewrite_manifest("justoneword\n");
+  auto loaded = LoadDatabase(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+
+  // A non-numeric root component used to throw out of std::stoul and
+  // kill the process; now it is a clean error.
+  rewrite_manifest("notanumber books.xml\n");
+  loaded = LoadDatabase(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+
+  // Numeric prefix with trailing junk is still malformed, not "1".
+  rewrite_manifest("1x books.xml\n");
+  loaded = LoadDatabase(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+
+  // An overflowing root component must not wrap around.
+  rewrite_manifest("99999999999 books.xml\n");
+  loaded = LoadDatabase(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+
+  // An empty document name.
+  rewrite_manifest("1 \n");
+  loaded = LoadDatabase(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+
+  // The same document listed twice.
+  uint32_t root = db_->documents().begin()->second->root_component();
+  const std::string& name = db_->documents().begin()->first;
+  std::string line = std::to_string(root) + " " + name + "\n";
+  rewrite_manifest(line + line);
+  loaded = LoadDatabase(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PersistenceTest, ManifestNamingMissingDocumentFileIsNotFound) {
+  ASSERT_TRUE(SaveDatabase(*db_, dir_).ok());
+  {
+    std::ofstream manifest(dir_ + "/manifest.qv", std::ios::app);
+    manifest << "777 ghost.xml\n";
+  }
+  auto loaded = LoadDatabase(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(loaded.status().message().find("ghost.xml"), std::string::npos);
 }
 
 TEST_F(PersistenceTest, LoadIndexesMissingFilesIsNotFound) {

@@ -11,18 +11,29 @@
 //   quickview_cli demo
 //       Generate the paper's books/reviews example and run its Fig 2
 //       query end to end.
-//   quickview_cli serve <db-dir> --view <file> [--threads N] [--top N]
-//       [--any] [--repeat R] [--page N]   (or: quickview_cli serve --demo)
+//   quickview_cli pack <db-dir> <file.qvpack>   (or: pack --demo <file>)
+//       Pack a persisted database directory (or the built-in demo
+//       corpus) plus its indices into a single paged .qvpack file:
+//       node-record pages, B-tree-node pages and posting runs that
+//       serve/page read lazily through a buffer pool.
+//   quickview_cli serve <db-dir>|<db.qvpack> --view <file> [--threads N]
+//       [--top N] [--any] [--repeat R] [--page N] [--frames N]
+//       [--demo-view]   (or: quickview_cli serve --demo)
 //       Batch mode: read one keyword query per stdin line (comma-
 //       separated keywords), execute the whole batch concurrently on a
 //       QueryService thread pool with PDT caching, print ranked matches
 //       plus throughput and cache statistics. With --page N each query
 //       instead streams its hits through a ResultCursor in pages of N,
-//       printing per-page store-fetch counts.
-//   quickview_cli page [--keywords k1,k2] [--page N] [--top N] [--any]
-//       Cursor-lifecycle demo on the built-in corpus: Open -> FetchNext
-//       page by page, showing that store fetches (the only base-data
-//       access) accrue per page instead of up front.
+//       printing per-page store-fetch counts. Over a .qvpack file the
+//       corpus stays on disk: queries pull only the pages they touch
+//       (--frames bounds the buffer pool; a storage/buffer-pool stats
+//       block prints at the end).
+//   quickview_cli page [<db.qvpack>] [--keywords k1,k2] [--page N]
+//       [--top N] [--any] [--frames N] [--demo-view]
+//       Cursor-lifecycle demo on the built-in corpus (or over a packed
+//       db): Open -> FetchNext page by page, showing that store fetches
+//       (the only base-data access) accrue per page instead of up
+//       front — with a packed db, so do page reads.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -38,6 +49,8 @@
 #include "engine/result_cursor.h"
 #include "engine/view_search_engine.h"
 #include "index/index_builder.h"
+#include "pagestore/pack.h"
+#include "pagestore/packed_db.h"
 #include "service/query_service.h"
 #include "storage/document_store.h"
 #include "storage/persistence.h"
@@ -62,12 +75,14 @@ int Usage() {
                "  quickview_cli basesearch <db-dir> --keywords k1,k2 "
                "[--top N] [--any]\n"
                "  quickview_cli demo\n"
-               "  quickview_cli serve <db-dir>|--demo --view <file> "
-               "[--threads N] [--top N] [--any] [--repeat R] [--page N]\n"
+               "  quickview_cli pack <db-dir>|--demo <file.qvpack>\n"
+               "  quickview_cli serve <db-dir>|<db.qvpack>|--demo "
+               "--view <file>|--demo-view [--threads N] [--top N] [--any] "
+               "[--repeat R] [--page N] [--frames N]\n"
                "    (keyword queries on stdin, one comma-separated "
                "list per line)\n"
-               "  quickview_cli page [--keywords k1,k2] [--page N] "
-               "[--top N] [--any]\n");
+               "  quickview_cli page [<db.qvpack>] [--keywords k1,k2] "
+               "[--page N] [--top N] [--any] [--frames N] [--demo-view]\n");
   return 2;
 }
 
@@ -82,6 +97,8 @@ struct Flags {
   int threads = 0;  // 0 = hardware concurrency
   int repeat = 1;   // serve: replicate the stdin batch N times
   size_t page = 0;  // cursor page size; 0 = whole-batch responses
+  size_t frames = 256;     // buffer-pool frame budget for .qvpack mode
+  bool demo_view = false;  // use the built-in books/reviews view text
 };
 
 /// Strict non-negative integer parse; false on junk or overflow (flag
@@ -144,6 +161,13 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       long long value = 0;
       if (!ParseCount(v, 1000000, &value)) return false;
       flags->page = static_cast<size_t>(value);
+    } else if (arg == "--frames") {
+      const char* v = next();
+      long long value = 0;
+      if (!ParseCount(v, 1 << 24, &value) || value == 0) return false;
+      flags->frames = static_cast<size_t>(value);
+    } else if (arg == "--demo-view") {
+      flags->demo_view = true;
     } else {
       flags->positional.push_back(std::move(arg));
     }
@@ -259,42 +283,148 @@ int CmdDemo() {
   return 0;
 }
 
-int CmdServe(const Flags& flags) {
-  if (!flags.demo && flags.positional.size() != 1) return Usage();
-  if (!flags.demo && flags.view.empty()) return Usage();
+/// True for paths that name a packed single-file database.
+bool IsPackedPath(const std::string& path) {
+  constexpr std::string_view kSuffix = ".qvpack";
+  return path.size() > kSuffix.size() &&
+         path.compare(path.size() - kSuffix.size(), kSuffix.size(),
+                      kSuffix) == 0;
+}
 
-  // Corpus: either a persisted database directory or the built-in
-  // books/reviews demo corpus.
-  std::shared_ptr<xml::Database> db;
-  std::unique_ptr<index::DatabaseIndexes> indexes;
-  std::string view_text;
+/// The corpus a serve/page run executes over: in-memory structures, or a
+/// packed .qvpack file whose pages are pulled on demand through a
+/// bounded buffer pool.
+struct Backend {
+  std::shared_ptr<xml::Database> db;                // in-memory mode
+  std::unique_ptr<index::DatabaseIndexes> indexes;  // in-memory mode
+  std::shared_ptr<pagestore::PackedDb> packed;      // packed mode
+  std::unique_ptr<storage::DocumentStore> store;
+
+  const xml::Database* database() const { return db.get(); }
+  const index::IndexSource* index_source() const {
+    if (packed != nullptr) {
+      return static_cast<const index::IndexSource*>(packed.get());
+    }
+    return static_cast<const index::IndexSource*>(indexes.get());
+  }
+};
+
+/// `source` is a db directory, a .qvpack path, or empty with
+/// flags.demo for the built-in corpus.
+Result<Backend> OpenBackend(const Flags& flags, const std::string& source) {
+  Backend backend;
   if (flags.demo) {
-    db = workload::GenerateBookRevDatabase(workload::BookRevOptions{});
-    indexes = index::BuildDatabaseIndexes(*db);
-    view_text = workload::BookRevView();
+    backend.db = workload::GenerateBookRevDatabase(workload::BookRevOptions{});
+    backend.indexes = index::BuildDatabaseIndexes(*backend.db);
+  } else if (IsPackedPath(source)) {
+    pagestore::BufferPoolOptions pool;
+    pool.frames = flags.frames;
+    QUICKVIEW_ASSIGN_OR_RETURN(backend.packed,
+                               pagestore::PackedDb::Open(source, pool));
+    backend.store =
+        std::make_unique<storage::DocumentStore>(backend.packed);
+    std::printf("opened %s: %u pages, %zu documents, %zu-frame pool\n",
+                source.c_str(), backend.packed->file().page_count(),
+                backend.packed->document_names().size(), flags.frames);
+    return backend;
   } else {
-    auto loaded = storage::LoadDatabase(flags.positional[0]);
-    if (!loaded.ok()) return Fail(loaded.status());
-    db = std::move(*loaded);
-    auto persisted = storage::LoadIndexes(*db, flags.positional[0]);
+    QUICKVIEW_ASSIGN_OR_RETURN(backend.db, storage::LoadDatabase(source));
+    auto persisted = storage::LoadIndexes(*backend.db, source);
     if (persisted.ok()) {
-      indexes = std::move(*persisted);
+      backend.indexes = std::move(*persisted);
     } else {
       std::printf("no serialized indices, rebuilding...\n");
-      indexes = index::BuildDatabaseIndexes(*db);
+      backend.indexes = index::BuildDatabaseIndexes(*backend.db);
     }
   }
+  backend.store = std::make_unique<storage::DocumentStore>(*backend.db);
+  return backend;
+}
+
+/// The end-of-run stats block (serve and page): per-store fetch totals,
+/// and — for packed databases — the buffer-pool picture. This is what
+/// bench and CI artifacts eyeball instead of a debugger.
+void PrintStorageStats(const Backend& backend) {
+  storage::DocumentStore::Stats store_stats = backend.store->stats();
+  std::printf(
+      "storage: %llu fetches, %llu bytes, %llu pages read, "
+      "%llu buffer hits\n",
+      static_cast<unsigned long long>(store_stats.fetch_calls),
+      static_cast<unsigned long long>(store_stats.bytes_fetched),
+      static_cast<unsigned long long>(store_stats.pages_read),
+      static_cast<unsigned long long>(store_stats.buffer_hits));
+  if (backend.packed != nullptr) {
+    pagestore::BufferPoolStats pool = backend.packed->pool().stats();
+    std::printf(
+        "buffer pool: %llu hits, %llu misses, %llu evictions, "
+        "%llu bytes read, %llu frames resident (budget %zu)\n",
+        static_cast<unsigned long long>(pool.hits),
+        static_cast<unsigned long long>(pool.misses),
+        static_cast<unsigned long long>(pool.evictions),
+        static_cast<unsigned long long>(pool.bytes_read),
+        static_cast<unsigned long long>(pool.frames_in_use),
+        backend.packed->pool().frame_budget());
+  }
+}
+
+int CmdPack(const Flags& flags) {
+  // pack --demo <out.qvpack>  |  pack <db-dir> <out.qvpack>
+  size_t expected = flags.demo ? 1 : 2;
+  if (flags.positional.size() != expected) return Usage();
+  const std::string& out = flags.positional.back();
+  if (!IsPackedPath(out)) {
+    std::fprintf(stderr, "pack: output must end in .qvpack\n");
+    return 2;
+  }
+  std::string source = flags.demo ? std::string() : flags.positional[0];
+  if (IsPackedPath(source)) {
+    std::fprintf(stderr,
+                 "pack: input must be a database directory (or --demo), "
+                 "not an already-packed file\n");
+    return 2;
+  }
+
+  auto backend = OpenBackend(flags, source);
+  if (!backend.ok()) return Fail(backend.status());
+  Status packed =
+      pagestore::PackDatabase(*backend->db, *backend->indexes, out);
+  if (!packed.ok()) return Fail(packed);
+  auto reopened = pagestore::PagedFile::Open(out);
+  if (!reopened.ok()) return Fail(reopened.status());
+  std::printf(
+      "packed %zu documents into %s: %u pages of %u bytes (%llu total)\n",
+      backend->db->documents().size(), out.c_str(),
+      (*reopened)->page_count(),
+      pagestore::kPageSize,
+      static_cast<unsigned long long>((*reopened)->page_count()) *
+          pagestore::kPageSize);
+  return 0;
+}
+
+int CmdServe(const Flags& flags) {
+  if (!flags.demo && flags.positional.size() != 1) return Usage();
+  if (!flags.demo && flags.view.empty() && !flags.demo_view) return Usage();
+
+  auto backend = OpenBackend(
+      flags, flags.positional.empty() ? std::string() : flags.positional[0]);
+  if (!backend.ok()) return Fail(backend.status());
+  std::string view_text;
   if (!flags.view.empty()) {
     auto view_file = ReadFile(flags.view);
     if (!view_file.ok()) return Fail(view_file.status());
     view_text = std::move(*view_file);
+  } else {
+    view_text = workload::BookRevView();
   }
 
-  storage::DocumentStore store(*db);
   service::QueryServiceOptions options;
   options.threads = flags.threads;
-  service::QueryService query_service(db.get(), indexes.get(), &store,
-                                      options);
+  service::QueryService query_service(backend->database(),
+                                      backend->index_source(),
+                                      backend->store.get(), options);
+  if (backend->packed != nullptr) {
+    query_service.AttachBufferPool(&backend->packed->pool());
+  }
   Status registered = query_service.RegisterView("default", view_text);
   if (!registered.ok()) return Fail(registered);
 
@@ -367,6 +497,7 @@ int CmdServe(const Flags& flags) {
                 batch.size(),
                 static_cast<unsigned long long>(stats.cache.hits),
                 static_cast<unsigned long long>(stats.cache.misses));
+    PrintStorageStats(*backend);
     return failures == 0 ? 0 : 1;
   }
 
@@ -408,18 +539,34 @@ int CmdServe(const Flags& flags) {
                   : 0.0,
       static_cast<unsigned long long>(stats.cache.hits),
       static_cast<unsigned long long>(stats.cache.misses));
+  PrintStorageStats(*backend);
   return failures == 0 ? 0 : 1;
 }
 
-/// Cursor-lifecycle walkthrough on the built-in books/reviews corpus:
-/// Open once, FetchNext page by page, and print the store-fetch counter
-/// after every page — the visible form of the lazy-materialization
-/// guarantee (hits never fetched never touch base data).
+/// Cursor-lifecycle walkthrough on the built-in books/reviews corpus or
+/// a packed database: Open once, FetchNext page by page, and print the
+/// store-fetch (and, when packed, page-read) counters after every page —
+/// the visible form of the lazy-materialization guarantee (hits never
+/// fetched never touch base data; with a packed db, never touch disk).
 int CmdPage(const Flags& flags) {
-  auto db = workload::GenerateBookRevDatabase(workload::BookRevOptions{});
-  auto indexes = index::BuildDatabaseIndexes(*db);
-  storage::DocumentStore store(*db);
-  engine::ViewSearchEngine engine(db.get(), indexes.get(), &store);
+  if (flags.positional.size() > 1) return Usage();
+  Flags backend_flags = flags;
+  backend_flags.demo = flags.positional.empty();
+  auto backend = OpenBackend(
+      backend_flags,
+      flags.positional.empty() ? std::string() : flags.positional[0]);
+  if (!backend.ok()) return Fail(backend.status());
+  std::string view_text;
+  if (!flags.view.empty()) {
+    auto view_file = ReadFile(flags.view);
+    if (!view_file.ok()) return Fail(view_file.status());
+    view_text = std::move(*view_file);
+  } else {
+    view_text = workload::BookRevView();
+  }
+  engine::ViewSearchEngine engine(backend->database(),
+                                  backend->index_source(),
+                                  backend->store.get());
 
   std::vector<std::string> keywords = flags.keywords;
   if (keywords.empty()) keywords = {"xml", "search"};
@@ -429,7 +576,7 @@ int CmdPage(const Flags& flags) {
   options.conjunctive = !flags.any;
 
   auto plan = engine.PlanQuery(engine::ComposeKeywordQuery(
-      workload::BookRevView(), keywords, options.conjunctive));
+      view_text, keywords, options.conjunctive));
   if (!plan.ok()) return Fail(plan.status());
   auto prepared = engine.BuildPdts(std::move(*plan));
   if (!prepared.ok()) return Fail(prepared.status());
@@ -456,9 +603,17 @@ int CmdPage(const Flags& flags) {
                     (*cursor)->stats().store_fetches),
                 static_cast<unsigned long long>(
                     (*cursor)->stats().store_bytes));
+    if (backend->packed != nullptr) {
+      std::printf("   %llu pages read so far (%llu buffer hits)\n",
+                  static_cast<unsigned long long>(
+                      (*cursor)->stats().pages_read),
+                  static_cast<unsigned long long>(
+                      (*cursor)->stats().buffer_hits));
+    }
   }
   std::printf("cursor drained: %zu hits in %zu pages\n",
               (*cursor)->fetched(), page_no);
+  PrintStorageStats(*backend);
   return 0;
 }
 
@@ -473,6 +628,7 @@ int main(int argc, char** argv) {
   if (command == "search") return CmdSearch(flags);
   if (command == "basesearch") return CmdBaseSearch(flags);
   if (command == "demo") return CmdDemo();
+  if (command == "pack") return CmdPack(flags);
   if (command == "serve") return CmdServe(flags);
   if (command == "page") return CmdPage(flags);
   return Usage();
