@@ -73,12 +73,23 @@ class ResultCursor {
   /// The prepared query this cursor executes (the cursor keeps it alive).
   const PreparedQuery& prepared() const { return *prepared_; }
 
+  /// Pins `lease` for the cursor's lifetime — the same shared_ptr scheme
+  /// that already pins the PreparedQuery and the evaluator arena, extended
+  /// to caller-owned state. The service layer attaches the DocumentStore
+  /// snapshot a live database published at Open time, so updates applied
+  /// after Open can never invalidate what this cursor materializes from
+  /// (the snapshot-isolation guarantee).
+  void AddLease(std::shared_ptr<const void> lease) {
+    leases_.push_back(std::move(lease));
+  }
+
  private:
   friend class ViewSearchEngine;
   ResultCursor() = default;
 
   std::shared_ptr<const PreparedQuery> prepared_;  // pins the PDTs
   std::shared_ptr<const xml::Document> result_arena_;  // constructed nodes
+  std::vector<std::shared_ptr<const void>> leases_;  // caller-pinned state
   const storage::DocumentStore* store_ = nullptr;
   std::vector<scoring::ScoredResult> candidates_;  // view order, unsorted
   RankedStream stream_;  // positions into candidates_

@@ -31,6 +31,14 @@ struct DocumentIndexes {
   /// this object lives.
   DocumentIndexView View() const { return {&path_view_, &term_view_}; }
 
+  /// Incremental write path (live document updates): adds / removes every
+  /// path-index entry and posting of `doc` in place, without rebuilding.
+  /// Replacing a document under the same name is RemoveDocument(old) +
+  /// AddDocument(new). Requires a finalized path index (BuildDocumentIndexes
+  /// output); external synchronization against concurrent readers.
+  void AddDocument(const xml::Document& doc);
+  void RemoveDocument(const xml::Document& doc);
+
  private:
   InMemoryPathIndexView path_view_{&path_index};
   InMemoryTermIndexView term_view_{&inverted_index};
@@ -45,6 +53,10 @@ class DatabaseIndexes : public IndexSource {
   const DocumentIndexes* Get(const std::string& doc_name) const;
   DocumentIndexes* GetMutable(const std::string& doc_name);
   void Put(const std::string& doc_name, std::unique_ptr<DocumentIndexes> idx);
+
+  /// Drops the document's indices (per-document posting removal at
+  /// corpus granularity); returns whether they existed.
+  bool Remove(const std::string& doc_name);
 
   std::optional<DocumentIndexView> GetView(
       const std::string& doc_name) const override;

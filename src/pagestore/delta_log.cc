@@ -1,0 +1,146 @@
+#include "pagestore/delta_log.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "pagestore/page.h"
+#include "xml/parser.h"
+
+namespace quickview::pagestore {
+
+namespace {
+
+constexpr char kMagic[] = "QVDELTA1";
+constexpr size_t kMagicSize = 8;
+
+uint32_t RecordChecksum(std::string_view record_bytes) {
+  uint32_t h = 2166136261u;
+  for (char c : record_bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+std::string EncodeRecord(bool tombstone, const std::string& name,
+                         const std::string& xml_text) {
+  std::string record;
+  record.push_back(tombstone ? 't' : 'i');
+  AppendU32(&record, static_cast<uint32_t>(name.size()));
+  record.append(name);
+  AppendU64(&record, static_cast<uint64_t>(xml_text.size()));
+  record.append(xml_text);
+  AppendU32(&record, RecordChecksum(record));
+  return record;
+}
+
+Status AppendRecord(const std::string& pack_path, const std::string& record) {
+  const std::string log_path = DeltaLogPath(pack_path);
+  // The magic goes first whenever the log has no bytes yet — NOT merely
+  // when the file is absent: a zero-byte log (crash between the creating
+  // open and the first write) must heal on the next append instead of
+  // accumulating magic-less records that poison every later open.
+  std::error_code ec;
+  uintmax_t size = std::filesystem::file_size(log_path, ec);
+  bool has_header = !ec && size > 0;
+  std::ofstream out(log_path, std::ios::binary | std::ios::app);
+  if (!out) {
+    return Status::Internal("cannot open delta log " + log_path);
+  }
+  if (!has_header) out.write(kMagic, kMagicSize);
+  out.write(record.data(), static_cast<std::streamsize>(record.size()));
+  out.flush();
+  if (!out) {
+    return Status::Internal("short write to delta log " + log_path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string DeltaLogPath(const std::string& pack_path) {
+  return pack_path + ".delta";
+}
+
+Status PackAppend(const std::string& pack_path, const std::string& name,
+                  const std::string& xml_text) {
+  if (name.empty()) {
+    return Status::InvalidArgument("document name must not be empty");
+  }
+  // Validate at the write boundary: a record that cannot replay would
+  // poison every later open of the pack.
+  QUICKVIEW_RETURN_IF_ERROR(xml::ParseXml(xml_text));
+  return AppendRecord(pack_path, EncodeRecord(/*tombstone=*/false, name,
+                                              xml_text));
+}
+
+Status PackTombstone(const std::string& pack_path, const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("document name must not be empty");
+  }
+  return AppendRecord(pack_path,
+                      EncodeRecord(/*tombstone=*/true, name, std::string()));
+}
+
+Result<std::vector<DeltaRecord>> ReadDeltaLog(const std::string& pack_path) {
+  const std::string log_path = DeltaLogPath(pack_path);
+  std::ifstream in(log_path, std::ios::binary);
+  if (!in) return std::vector<DeltaRecord>();
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+
+  if (bytes.size() < kMagicSize ||
+      bytes.compare(0, kMagicSize, kMagic, kMagicSize) != 0) {
+    return Status::ParseError("delta log " + log_path +
+                              " has a bad magic header");
+  }
+  std::vector<DeltaRecord> records;
+  size_t pos = kMagicSize;
+  while (pos < bytes.size()) {
+    const size_t record_start = pos;
+    if (bytes.size() - pos < 1) break;
+    char type = bytes[pos++];
+    if (type != 'i' && type != 't') {
+      return Status::ParseError("delta log " + log_path +
+                                ": unknown record type at byte " +
+                                std::to_string(record_start));
+    }
+    uint32_t name_len = 0;
+    uint64_t xml_len = 0;
+    DeltaRecord record;
+    record.tombstone = type == 't';
+    if (!ReadU32(bytes, &pos, &name_len) || bytes.size() - pos < name_len) {
+      return Status::ParseError("delta log " + log_path +
+                                ": truncated record at byte " +
+                                std::to_string(record_start));
+    }
+    record.name.assign(bytes, pos, name_len);
+    pos += name_len;
+    if (!ReadU64(bytes, &pos, &xml_len) || bytes.size() - pos < xml_len) {
+      return Status::ParseError("delta log " + log_path +
+                                ": truncated record at byte " +
+                                std::to_string(record_start));
+    }
+    record.xml.assign(bytes, pos, static_cast<size_t>(xml_len));
+    pos += static_cast<size_t>(xml_len);
+    uint32_t stored_checksum = 0;
+    if (!ReadU32(bytes, &pos, &stored_checksum)) {
+      return Status::ParseError("delta log " + log_path +
+                                ": truncated checksum at byte " +
+                                std::to_string(record_start));
+    }
+    uint32_t computed = RecordChecksum(
+        std::string_view(bytes).substr(record_start, pos - 4 - record_start));
+    if (computed != stored_checksum) {
+      return Status::ParseError("delta log " + log_path +
+                                ": checksum mismatch at byte " +
+                                std::to_string(record_start));
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace quickview::pagestore

@@ -1,0 +1,53 @@
+// Append-only delta side log for packed databases. A .qvpack file is
+// immutable after packing; live document updates against a packed corpus
+// go to `<pack>.delta` instead — a sequence of inserted-document and
+// tombstone records that PackedDb::Open replays into an in-memory overlay
+// consulted by every lookup. An offline `quickview_cli compact` folds the
+// log into a fresh pack, byte-identical to packing the final corpus
+// directly.
+//
+// File layout: 8-byte magic "QVDELTA1", then per record
+//   u8 type ('i' insert | 't' tombstone) | u32 name_len | name |
+//   u64 xml_len | xml | u32 FNV-1a checksum of everything before it.
+// Records are self-checksummed so a torn append or bit rot surfaces as a
+// ParseError at open, never as a silently wrong corpus.
+//
+// Concurrency: single writer, append-only; readers see the log only at
+// PackedDb::Open time (reopen to observe later appends).
+#ifndef QUICKVIEW_PAGESTORE_DELTA_LOG_H_
+#define QUICKVIEW_PAGESTORE_DELTA_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace quickview::pagestore {
+
+struct DeltaRecord {
+  bool tombstone = false;
+  std::string name;
+  std::string xml;  // empty for tombstones
+};
+
+/// The side-log path for a pack: `pack_path` + ".delta".
+std::string DeltaLogPath(const std::string& pack_path);
+
+/// Appends an inserted (or replaced) document to the pack's delta log,
+/// creating the log if needed. The XML is parsed first: a malformed
+/// document fails here, at the write boundary, and appends nothing.
+Status PackAppend(const std::string& pack_path, const std::string& name,
+                  const std::string& xml_text);
+
+/// Appends a tombstone: `name` is deleted from the corpus (whether it
+/// lives in the base pack or in an earlier log record).
+Status PackTombstone(const std::string& pack_path, const std::string& name);
+
+/// Reads every record of the pack's delta log in append order. Returns an
+/// empty vector when no log exists; ParseError on a corrupt or truncated
+/// log.
+Result<std::vector<DeltaRecord>> ReadDeltaLog(const std::string& pack_path);
+
+}  // namespace quickview::pagestore
+
+#endif  // QUICKVIEW_PAGESTORE_DELTA_LOG_H_

@@ -1,11 +1,16 @@
 #include "pagestore/pack.h"
 
+#include <cstdio>
+#include <filesystem>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "pagestore/delta_log.h"
 #include "pagestore/disk_btree.h"
+#include "pagestore/packed_db.h"
 #include "pagestore/paged_file.h"
 #include "xml/serializer.h"
 
@@ -226,6 +231,49 @@ Status PackDatabase(const xml::Database& database,
   }
   QUICKVIEW_ASSIGN_OR_RETURN(PageId directory_page, directory.Finish());
   return writer->Finish(directory_page);
+}
+
+Status CompactPack(const std::string& in_path, const std::string& out_path) {
+  // Canonicalize before comparing: the source pack is read lazily while
+  // the output is written, so writing over the input — under ANY
+  // spelling (relative vs absolute, ./, symlink) — would corrupt both.
+  std::error_code ec;
+  std::filesystem::path in_canonical =
+      std::filesystem::weakly_canonical(in_path, ec);
+  if (ec) in_canonical = in_path;
+  std::filesystem::path out_canonical =
+      std::filesystem::weakly_canonical(out_path, ec);
+  if (ec) out_canonical = out_path;
+  if (in_canonical == out_canonical) {
+    return Status::InvalidArgument(
+        "compact cannot write over its input; pick a different output "
+        "path and rename afterwards");
+  }
+  QUICKVIEW_ASSIGN_OR_RETURN(std::shared_ptr<PackedDb> packed,
+                             PackedDb::Open(in_path));
+  // Reconstruct every surviving document into the canonical numbering
+  // (1..N in name order) — CopySubtree assigns fresh contiguous Dewey
+  // ordinals under the new root component, exactly what parsing the
+  // document under that component would produce, so the repack below is
+  // byte-identical to packing the final corpus directly.
+  xml::Database database;
+  uint32_t next_root = 1;
+  for (const auto& [name, root] : packed->document_roots()) {
+    auto doc = std::make_shared<xml::Document>(next_root++);
+    uint64_t fetched_bytes = 0;
+    PageAccounting acct;
+    QUICKVIEW_RETURN_IF_ERROR(
+        packed->CopySubtree(root, xml::DeweyId({root}), doc.get(),
+                            xml::kInvalidNode, &fetched_bytes, &acct));
+    database.AddDocument(name, std::move(doc));
+  }
+  std::unique_ptr<index::DatabaseIndexes> indexes =
+      index::BuildDatabaseIndexes(database);
+  QUICKVIEW_RETURN_IF_ERROR(PackDatabase(database, *indexes, out_path));
+  // The compacted pack IS the folded state; an old side log lying next
+  // to the output would replay on top of it at the next open.
+  std::remove(DeltaLogPath(out_path).c_str());
+  return Status::OK();
 }
 
 }  // namespace quickview::pagestore

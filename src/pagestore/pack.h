@@ -26,6 +26,17 @@ Status PackDatabase(const xml::Database& database,
                     const index::DatabaseIndexes& indexes,
                     const std::string& path);
 
+/// Folds `in_path`'s delta side log (pagestore/delta_log.h) into a fresh
+/// pack at `out_path`: the surviving corpus — packed documents minus
+/// tombstoned/shadowed ones plus log-inserted ones — is renumbered to
+/// root components 1..N in document-name order, reindexed and repacked.
+/// The output is byte-identical to PackDatabase over a database built
+/// directly from the same documents with the same numbering, and carries
+/// no delta log (a stale `out_path`.delta is deleted). `out_path` must
+/// differ from `in_path` (the source is read lazily while the output is
+/// written).
+Status CompactPack(const std::string& in_path, const std::string& out_path);
+
 }  // namespace quickview::pagestore
 
 #endif  // QUICKVIEW_PAGESTORE_PACK_H_

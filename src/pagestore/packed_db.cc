@@ -4,6 +4,9 @@
 #include <utility>
 
 #include "index/path_index.h"
+#include "pagestore/delta_log.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
 
 namespace quickview::pagestore {
 
@@ -308,11 +311,62 @@ Result<std::shared_ptr<PackedDb>> PackedDb::Open(
     }
     db->by_name_.emplace(raw->name, std::move(doc));
   }
+  QUICKVIEW_RETURN_IF_ERROR(db->ApplyDeltaLog(path));
   return db;
+}
+
+void PackedDb::MaskName(const std::string& name) {
+  auto base = by_name_.find(name);
+  if (base != by_name_.end()) {
+    by_root_.erase(base->second->root_component);
+    by_name_.erase(base);
+    ++delta_stats_.masked_base_documents;
+  }
+  auto overlay = overlay_by_name_.find(name);
+  if (overlay != overlay_by_name_.end()) {
+    overlay_by_root_.erase(overlay->second->doc->root_component());
+    overlay_by_name_.erase(overlay);
+  }
+}
+
+Status PackedDb::ApplyDeltaLog(const std::string& path) {
+  QUICKVIEW_ASSIGN_OR_RETURN(std::vector<DeltaRecord> records,
+                             ReadDeltaLog(path));
+  if (records.empty()) return Status::OK();
+  // Overlay documents get root components past every packed one, so the
+  // two id spaces can never collide.
+  uint32_t next_root = 1;
+  for (const auto& [root, doc] : by_root_) {
+    next_root = std::max(next_root, root + 1);
+  }
+  for (const DeltaRecord& record : records) {
+    // Either kind of record supersedes every earlier holder of the name.
+    MaskName(record.name);
+    if (record.tombstone) {
+      ++delta_stats_.tombstones;
+      continue;
+    }
+    ++delta_stats_.inserts;
+    QUICKVIEW_ASSIGN_OR_RETURN(std::shared_ptr<xml::Document> doc,
+                               xml::ParseXml(record.xml, next_root++));
+    auto overlay = std::make_unique<OverlayDocument>();
+    overlay->name = record.name;
+    overlay->indexes = index::BuildDocumentIndexes(*doc);
+    overlay->doc = std::move(doc);
+    const OverlayDocument* raw = overlay.get();
+    overlay_by_root_[raw->doc->root_component()] = raw;
+    overlay_by_name_[record.name] = std::move(overlay);
+  }
+  delta_stats_.overlay_documents = overlay_by_name_.size();
+  return Status::OK();
 }
 
 std::optional<index::DocumentIndexView> PackedDb::GetView(
     const std::string& doc_name) const {
+  auto overlay = overlay_by_name_.find(doc_name);
+  if (overlay != overlay_by_name_.end()) {
+    return overlay->second->indexes->View();
+  }
   auto it = by_name_.find(doc_name);
   if (it == by_name_.end()) return std::nullopt;
   return index::DocumentIndexView{it->second->paths.get(),
@@ -321,9 +375,24 @@ std::optional<index::DocumentIndexView> PackedDb::GetView(
 
 std::vector<std::string> PackedDb::document_names() const {
   std::vector<std::string> out;
-  out.reserve(by_name_.size());
-  for (const auto& [name, doc] : by_name_) out.push_back(name);
+  out.reserve(by_name_.size() + overlay_by_name_.size());
+  for (const auto& [name, root] : document_roots()) out.push_back(name);
   return out;
+}
+
+std::map<std::string, uint32_t> PackedDb::document_roots() const {
+  std::map<std::string, uint32_t> out;
+  for (const auto& [name, doc] : by_name_) out[name] = doc->root_component;
+  for (const auto& [name, doc] : overlay_by_name_) {
+    out[name] = doc->doc->root_component();
+  }
+  return out;
+}
+
+const PackedDb::OverlayDocument* PackedDb::OverlayByRoot(
+    uint32_t root_component) const {
+  auto it = overlay_by_root_.find(root_component);
+  return it == overlay_by_root_.end() ? nullptr : it->second;
 }
 
 Result<ChainReader> PackedDb::LocateRecord(uint32_t root_component,
@@ -354,6 +423,15 @@ Status PackedDb::CopySubtree(uint32_t root_component, const xml::DeweyId& id,
                              xml::NodeIndex target_parent,
                              uint64_t* fetched_bytes,
                              PageAccounting* acct) const {
+  if (const OverlayDocument* overlay = OverlayByRoot(root_component)) {
+    xml::NodeIndex source = overlay->doc->FindByDewey(id);
+    if (source == xml::kInvalidNode) {
+      return Status::NotFound("no element " + id.ToString());
+    }
+    xml::CopySubtreeInto(*overlay->doc, source, target, target_parent);
+    *fetched_bytes = xml::SubtreeByteLength(*overlay->doc, source);
+    return Status::OK();
+  }
   QUICKVIEW_ASSIGN_OR_RETURN(ChainReader reader,
                              LocateRecord(root_component, id, acct));
   NodeRecord record;
@@ -390,6 +468,14 @@ Status PackedDb::CopySubtree(uint32_t root_component, const xml::DeweyId& id,
 
 Status PackedDb::GetValue(uint32_t root_component, const xml::DeweyId& id,
                           std::string* out, PageAccounting* acct) const {
+  if (const OverlayDocument* overlay = OverlayByRoot(root_component)) {
+    xml::NodeIndex source = overlay->doc->FindByDewey(id);
+    if (source == xml::kInvalidNode) {
+      return Status::NotFound("no element " + id.ToString());
+    }
+    *out = overlay->doc->node(source).text;
+    return Status::OK();
+  }
   QUICKVIEW_ASSIGN_OR_RETURN(ChainReader reader,
                              LocateRecord(root_component, id, acct));
   NodeRecord record;
@@ -401,6 +487,14 @@ Status PackedDb::GetValue(uint32_t root_component, const xml::DeweyId& id,
 Status PackedDb::GetSubtreeLength(uint32_t root_component,
                                   const xml::DeweyId& id, uint64_t* out,
                                   PageAccounting* acct) const {
+  if (const OverlayDocument* overlay = OverlayByRoot(root_component)) {
+    xml::NodeIndex source = overlay->doc->FindByDewey(id);
+    if (source == xml::kInvalidNode) {
+      return Status::NotFound("no element " + id.ToString());
+    }
+    *out = xml::SubtreeByteLength(*overlay->doc, source);
+    return Status::OK();
+  }
   QUICKVIEW_ASSIGN_OR_RETURN(ChainReader reader,
                              LocateRecord(root_component, id, acct));
   NodeRecord record;

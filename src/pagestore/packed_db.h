@@ -9,7 +9,16 @@
 // directory only; a query touches exactly the pages its B-tree descents,
 // posting runs and materialized hits require.
 //
-// Thread safety: immutable after Open; all reads go through the
+// Live updates: the pack file itself is immutable, so Open also replays
+// the append-only `<pack>.delta` side log (pagestore/delta_log.h) into an
+// in-memory overlay — inserted documents get fresh root components past
+// the packed ones and fully in-memory indices; tombstoned (or shadowed)
+// base documents are masked out of every lookup. Overlay fetches cost
+// zero page reads. `quickview_cli compact` folds the log back into a
+// fresh pack offline.
+//
+// Thread safety: immutable after Open (the delta log is read once, at
+// open; reopen to observe later appends); all page reads go through the
 // BufferPool, which is internally synchronized.
 #ifndef QUICKVIEW_PAGESTORE_PACKED_DB_H_
 #define QUICKVIEW_PAGESTORE_PACKED_DB_H_
@@ -23,6 +32,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "index/index_builder.h"
 #include "index/index_view.h"
 #include "pagestore/buffer_pool.h"
 #include "pagestore/disk_btree.h"
@@ -110,6 +120,19 @@ class PackedDb final : public index::IndexSource {
   const PagedFile& file() const { return *file_; }
   std::vector<std::string> document_names() const;
 
+  /// Every live document (base + overlay), name -> root component, in
+  /// name order. What compaction repacks.
+  std::map<std::string, uint32_t> document_roots() const;
+
+  /// How the delta side log changed this open, all zero when none exists.
+  struct DeltaStats {
+    uint64_t inserts = 0;     // insert records replayed
+    uint64_t tombstones = 0;  // tombstone records replayed
+    size_t overlay_documents = 0;  // live in-memory documents
+    size_t masked_base_documents = 0;  // packed docs hidden by the log
+  };
+  const DeltaStats& delta_stats() const { return delta_stats_; }
+
  private:
   struct PackedDocument {
     std::string name;
@@ -120,7 +143,21 @@ class PackedDb final : public index::IndexSource {
     std::unique_ptr<PagedTermIndex> terms;
   };
 
+  /// A document that lives in the delta log, not in pack pages: fully
+  /// in-memory, served with zero page I/O.
+  struct OverlayDocument {
+    std::string name;
+    std::shared_ptr<xml::Document> doc;
+    std::unique_ptr<index::DocumentIndexes> indexes;
+  };
+
   PackedDb() = default;
+
+  Status ApplyDeltaLog(const std::string& path);
+
+  /// Hides `name` from every lookup (tombstone, or shadowing by a newer
+  /// insert record).
+  void MaskName(const std::string& name);
 
   /// Locator hit for `id`, or NotFound (same message shape as the
   /// in-memory store so responses stay byte-identical).
@@ -128,10 +165,16 @@ class PackedDb final : public index::IndexSource {
                                    const xml::DeweyId& id,
                                    PageAccounting* acct) const;
 
+  /// Overlay document owning `root_component`, or nullptr.
+  const OverlayDocument* OverlayByRoot(uint32_t root_component) const;
+
   std::unique_ptr<PagedFile> file_;
   std::unique_ptr<BufferPool> pool_;
   std::map<std::string, std::unique_ptr<PackedDocument>> by_name_;
   std::map<uint32_t, const PackedDocument*> by_root_;
+  std::map<std::string, std::unique_ptr<OverlayDocument>> overlay_by_name_;
+  std::map<uint32_t, const OverlayDocument*> overlay_by_root_;
+  DeltaStats delta_stats_;
 };
 
 }  // namespace quickview::pagestore

@@ -6,21 +6,15 @@
 
 namespace quickview::service {
 
-PreparedQueryCache::PreparedQueryCache(const Options& options) {
+PreparedQueryCache::PreparedQueryCache(const Options& options)
+    : capacity_(options.capacity), max_bytes_(options.max_bytes) {
   size_t shard_count = std::max<size_t>(1, options.shards);
   if (options.capacity == 0) {
-    // Disabled: one empty shard with zero capacity.
+    // Disabled: one empty shard.
     shard_count = 1;
-    per_shard_capacity_ = 0;
-    per_shard_max_bytes_ = 0;
+    max_bytes_ = 0;
   } else {
     shard_count = std::min(shard_count, options.capacity);
-    per_shard_capacity_ =
-        (options.capacity + shard_count - 1) / shard_count;
-    per_shard_max_bytes_ =
-        options.max_bytes == 0
-            ? 0
-            : std::max<uint64_t>(1, options.max_bytes / shard_count);
   }
   shards_.reserve(shard_count);
   for (size_t i = 0; i < shard_count; ++i) {
@@ -50,7 +44,7 @@ std::shared_ptr<const engine::PreparedQuery> PreparedQueryCache::Get(
 void PreparedQueryCache::Put(
     const std::string& key,
     std::shared_ptr<const engine::PreparedQuery> prepared) {
-  if (per_shard_capacity_ == 0 || prepared == nullptr) return;
+  if (capacity_ == 0 || prepared == nullptr) return;
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
@@ -60,7 +54,8 @@ void PreparedQueryCache::Put(
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  shard.bytes += prepared->memory_bytes;
+  total_bytes_.fetch_add(prepared->memory_bytes, std::memory_order_relaxed);
+  total_entries_.fetch_add(1, std::memory_order_relaxed);
   shard.lru.push_front(Entry{key, std::move(prepared)});
   shard.index.emplace(key, shard.lru.begin());
   insertions_.fetch_add(1, std::memory_order_relaxed);
@@ -68,11 +63,20 @@ void PreparedQueryCache::Put(
 }
 
 void PreparedQueryCache::EvictLocked(Shard* shard) {
-  while (shard->lru.size() > per_shard_capacity_ ||
-         (per_shard_max_bytes_ != 0 && shard->bytes > per_shard_max_bytes_ &&
-          shard->lru.size() > 1)) {
+  // Budgets are global; the inserting shard pays while the cache as a
+  // whole is over one of them — but never with the entry just inserted
+  // (the shard's sole survivor): evicting the newest key because OTHER
+  // shards hold the overflow would make a hot key whose shard receives
+  // no other insertions miss forever. The resulting overshoot is
+  // bounded by one entry per shard.
+  while (shard->lru.size() > 1 &&
+         (total_entries_.load(std::memory_order_relaxed) > capacity_ ||
+          (max_bytes_ != 0 &&
+           total_bytes_.load(std::memory_order_relaxed) > max_bytes_))) {
     const Entry& victim = shard->lru.back();
-    shard->bytes -= victim.prepared->memory_bytes;
+    total_bytes_.fetch_sub(victim.prepared->memory_bytes,
+                           std::memory_order_relaxed);
+    total_entries_.fetch_sub(1, std::memory_order_relaxed);
     shard->index.erase(victim.key);
     shard->lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
@@ -82,9 +86,13 @@ void PreparedQueryCache::EvictLocked(Shard* shard) {
 void PreparedQueryCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
+    total_entries_.fetch_sub(shard->lru.size(), std::memory_order_relaxed);
+    for (const Entry& entry : shard->lru) {
+      total_bytes_.fetch_sub(entry.prepared->memory_bytes,
+                             std::memory_order_relaxed);
+    }
     shard->lru.clear();
     shard->index.clear();
-    shard->bytes = 0;
   }
 }
 

@@ -8,7 +8,14 @@
 //
 // Sharding: keys hash to one of N independently locked shards, so
 // concurrent lookups from the service thread pool contend only when they
-// collide on a shard, not on one global mutex.
+// collide on a shard, not on one global mutex. Budgets are GLOBAL:
+// entry and byte totals are shared atomics, and an insertion evicts from
+// its own shard only while the whole cache is over budget — a skewed key
+// distribution can therefore fill one shard disproportionately, but can
+// never force evictions while the cache as a whole has room. (A fixed
+// per-shard quota thrashed exactly that way: any change to the key
+// format reshuffles every hash, and a shard that drew more than
+// capacity/shards hot keys evicted them on every round robin.)
 #ifndef QUICKVIEW_SERVICE_PREPARED_QUERY_CACHE_H_
 #define QUICKVIEW_SERVICE_PREPARED_QUERY_CACHE_H_
 
@@ -28,12 +35,13 @@ namespace quickview::service {
 class PreparedQueryCache {
  public:
   struct Options {
-    /// Maximum total entries across all shards (rounded up to give every
-    /// shard at least one slot). 0 disables caching entirely.
+    /// Maximum total entries across all shards. 0 disables caching
+    /// entirely.
     size_t capacity = 128;
     size_t shards = 8;
     /// Optional PDT-memory budget across all shards (0 = entries-only
-    /// eviction). A shard evicts LRU-first while over either limit.
+    /// eviction). While the cache is over either global limit, an
+    /// insertion evicts LRU-first from its own shard.
     uint64_t max_bytes = 0;
   };
 
@@ -70,14 +78,15 @@ class PreparedQueryCache {
     std::mutex mu;
     std::list<Entry> lru;  // front = most recently used
     std::unordered_map<std::string, std::list<Entry>::iterator> index;
-    uint64_t bytes = 0;
   };
 
   Shard& ShardFor(const std::string& key);
   void EvictLocked(Shard* shard);
 
-  size_t per_shard_capacity_;
-  uint64_t per_shard_max_bytes_;
+  size_t capacity_;     // global entry budget (0 = caching disabled)
+  uint64_t max_bytes_;  // global PDT-byte budget (0 = entries-only)
+  std::atomic<size_t> total_entries_{0};
+  std::atomic<uint64_t> total_bytes_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};

@@ -1,5 +1,6 @@
 #include "service/query_service.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
@@ -7,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "qpt/generate_qpt.h"
 #include "xquery/parser.h"
 
 namespace quickview::service {
@@ -25,19 +27,77 @@ QueryService::QueryService(const xml::Database* database,
                            const index::IndexSource* indexes,
                            const storage::DocumentStore* store,
                            const QueryServiceOptions& options)
-    : engine_(database, indexes, store),
+    : database_(database),
+      indexes_(indexes),
+      store_(store),
+      cache_(options.cache),
+      pool_(ResolveThreads(options.threads)) {}
+
+QueryService::QueryService(storage::LiveDatabase* live,
+                           const QueryServiceOptions& options)
+    : live_(live),
       cache_(options.cache),
       pool_(ResolveThreads(options.threads)) {}
 
 Status QueryService::RegisterView(const std::string& name,
                                   const std::string& view_text) {
   // Validate eagerly so a bad view fails registration, not every query.
-  QUICKVIEW_RETURN_IF_ERROR(xquery::ParseQuery(view_text));
+  QUICKVIEW_ASSIGN_OR_RETURN(xquery::Query parsed,
+                             xquery::ParseQuery(view_text));
+  // Record which fn:doc() names the view reads, so document mutations
+  // can invalidate exactly the views they affect. QPT generation mutates
+  // its input (doc -> occurrence names) — `parsed` is a throwaway copy.
+  std::vector<std::string> source_docs;
+  bool docs_known = false;
+  if (Result<std::vector<qpt::Qpt>> qpts = qpt::GenerateQpts(&parsed);
+      qpts.ok()) {
+    docs_known = true;
+    for (const qpt::Qpt& q : *qpts) source_docs.push_back(q.source_doc);
+  }
   std::unique_lock<std::shared_mutex> lock(views_mu_);
   RegisteredView& view = views_[name];
   ++view.version;
   view.text = view_text;
+  view.source_docs = std::move(source_docs);
+  view.docs_known = docs_known;
   return Status::OK();
+}
+
+Status QueryService::ApplyMutation(const std::string& name,
+                                   const std::function<Status()>& mutate,
+                                   std::atomic<uint64_t>* counter) {
+  if (live_ == nullptr) {
+    return Status::InvalidArgument(
+        "document mutations require a live-mode QueryService (constructed "
+        "over a storage::LiveDatabase)");
+  }
+  std::unique_lock<std::shared_mutex> data_lock(data_mu_);
+  QUICKVIEW_RETURN_IF_ERROR(mutate());
+  counter->fetch_add(1, std::memory_order_relaxed);
+  // Bump the data epoch of every view that reads `name` (or whose doc
+  // set is unknown): their cache keys change, so stale PDTs can never
+  // serve the new corpus state. Other views' entries stay warm.
+  std::unique_lock<std::shared_mutex> views_lock(views_mu_);
+  for (auto& [view_name, view] : views_) {
+    if (!view.docs_known ||
+        std::find(view.source_docs.begin(), view.source_docs.end(), name) !=
+            view.source_docs.end()) {
+      ++view.data_version;
+    }
+  }
+  return Status::OK();
+}
+
+Status QueryService::InsertDocument(const std::string& name,
+                                    const std::string& xml_text) {
+  return ApplyMutation(
+      name, [&] { return live_->InsertDocument(name, xml_text); },
+      &inserts_);
+}
+
+Status QueryService::RemoveDocument(const std::string& name) {
+  return ApplyMutation(name, [&] { return live_->RemoveDocument(name); },
+                       &removes_);
 }
 
 Result<std::unique_ptr<engine::ResultCursor>> QueryService::OpenSearch(
@@ -60,8 +120,34 @@ Result<std::unique_ptr<engine::ResultCursor>> QueryService::OpenSearch(
                                      keyword);
     }
   }
+  // Live mode: hold the data lock shared across planning, PDT build and
+  // evaluation, so this query sees the corpus entirely before or after
+  // any concurrent mutation, never in between; pin the store snapshot
+  // so lazy materialization stays valid after the lock drops.
+  std::shared_lock<std::shared_mutex> data_lock;
+  const xml::Database* database = database_;
+  const index::IndexSource* indexes = indexes_;
+  std::shared_ptr<const storage::DocumentStore> snapshot;
+  const storage::DocumentStore* store = store_;
+  if (live_ != nullptr) {
+    data_lock = std::shared_lock<std::shared_mutex>(data_mu_);
+    database = live_->database();
+    indexes = live_->indexes();
+    snapshot = live_->store();
+    store = snapshot.get();
+  }
+  engine::ViewSearchEngine engine(database, indexes, store);
+
+  // The view (and crucially its data epoch) is read under the SAME data
+  // lock hold that captured the corpus above — mutations bump the epoch
+  // while holding the lock exclusively, so epoch d in the cache key
+  // always means "PDTs built from corpus state d". Reading it before
+  // the lock could pair a cached pre-update PreparedQuery with a
+  // post-update store snapshot: a torn result no corpus version ever
+  // produced. Lock order is data_mu_ -> views_mu_, same as mutations.
   std::string view_text;
   uint64_t view_version = 0;
+  uint64_t data_version = 0;
   {
     std::shared_lock<std::shared_mutex> lock(views_mu_);
     auto it = views_.find(query.view);
@@ -70,6 +156,7 @@ Result<std::unique_ptr<engine::ResultCursor>> QueryService::OpenSearch(
     }
     view_text = it->second.text;
     view_version = it->second.version;
+    data_version = it->second.data_version;
   }
 
   // The hit path deliberately re-plans (parse + QPT generation; cost
@@ -80,26 +167,35 @@ Result<std::unique_ptr<engine::ResultCursor>> QueryService::OpenSearch(
   std::string full_query = engine::ComposeKeywordQuery(
       view_text, query.keywords, query.options.conjunctive);
   QUICKVIEW_ASSIGN_OR_RETURN(engine::QueryPlan plan,
-                             engine_.PlanQuery(full_query));
+                             engine.PlanQuery(full_query));
 
   // Length-prefix the view name so no name can collide with another
   // name + version suffix; the plan signature is injective on its own.
+  // The version pair (registration version '.' data epoch) makes both
+  // view replacement and document mutations unreachable-key
+  // invalidations: stale entries age out of the LRU, never serve again.
   std::string key = std::to_string(query.view.size());
   key.push_back(':');
   key.append(query.view);
   key.push_back('#');
   key.append(std::to_string(view_version));
+  key.push_back('.');
+  key.append(std::to_string(data_version));
   key.push_back('\x1f');
   key.append(plan.signature);
 
   std::shared_ptr<const engine::PreparedQuery> prepared = cache_.Get(key);
   if (prepared == nullptr) {
-    QUICKVIEW_ASSIGN_OR_RETURN(prepared, engine_.BuildPdts(std::move(plan)));
+    QUICKVIEW_ASSIGN_OR_RETURN(prepared, engine.BuildPdts(std::move(plan)));
     cache_.Put(key, prepared);
   }
   // The cursor co-owns `prepared`: eviction (or view replacement) only
-  // drops the cache's reference, never the open cursor's.
-  return engine_.Open(std::move(prepared), query.options);
+  // drops the cache's reference, never the open cursor's; in live mode
+  // the store-snapshot lease below completes the cursor's snapshot.
+  QUICKVIEW_ASSIGN_OR_RETURN(std::unique_ptr<engine::ResultCursor> cursor,
+                             engine.Open(std::move(prepared), query.options));
+  if (snapshot != nullptr) cursor->AddLease(std::move(snapshot));
+  return cursor;
 }
 
 Result<engine::SearchResponse> QueryService::SearchOne(
@@ -145,6 +241,8 @@ std::vector<Result<engine::SearchResponse>> QueryService::SearchBatch(
 QueryService::Stats QueryService::stats() const {
   Stats out;
   out.queries = queries_.load(std::memory_order_relaxed);
+  out.documents_inserted = inserts_.load(std::memory_order_relaxed);
+  out.documents_removed = removes_.load(std::memory_order_relaxed);
   out.cache = cache_.stats();
   if (pool_stats_ != nullptr) out.buffer = pool_stats_->stats();
   return out;

@@ -12,20 +12,33 @@
 // that drain a cursor into the classic SearchResponse.
 //
 // Threading model:
-//  - the database, indices and document store are immutable after
-//    construction and shared by every worker;
+//  - in the static modes (raw database/indexes/store pointers, packed
+//    db) those structures are immutable after construction and shared by
+//    every worker;
+//  - in live mode (constructed over a storage::LiveDatabase) the service
+//    owns a reader-writer lock: queries plan, build PDTs and evaluate
+//    under the shared side, InsertDocument/RemoveDocument mutate under
+//    the exclusive side, so a query sees the corpus entirely before or
+//    entirely after any update — never in between. Each mutation bumps a
+//    data epoch on exactly the views that reference the mutated
+//    document; the epoch is part of the PreparedQueryCache key, so only
+//    those views' cached PDTs are invalidated. Cursors opened before an
+//    update pin their PreparedQuery, evaluator arena AND the
+//    DocumentStore snapshot they were opened against (ResultCursor
+//    leases), so in-flight readers are snapshot-isolated;
 //  - per-query state (evaluator, scoring, materialization target) lives
 //    on the worker's stack;
 //  - cached PreparedQuery bundles are immutable and reference-counted,
 //    so eviction never invalidates an executing query.
 // Results are deterministic: a batch returns, per query, exactly the
 // response a serial ViewSearchEngine::SearchView call would produce
-// (timings aside).
+// against the same corpus state (timings aside).
 #ifndef QUICKVIEW_SERVICE_QUERY_SERVICE_H_
 #define QUICKVIEW_SERVICE_QUERY_SERVICE_H_
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <shared_mutex>
@@ -40,6 +53,7 @@
 #include "service/prepared_query_cache.h"
 #include "service/thread_pool.h"
 #include "storage/document_store.h"
+#include "storage/live_database.h"
 #include "xml/dom.h"
 
 namespace quickview::service {
@@ -61,21 +75,41 @@ class QueryService {
  public:
   struct Stats {
     uint64_t queries = 0;
+    /// Successful live-mode mutations (zero in the static modes).
+    uint64_t documents_inserted = 0;
+    uint64_t documents_removed = 0;
     PreparedQueryCache::Stats cache;
     /// Buffer-pool counters of the attached packed database (all zero
     /// when the service runs over in-memory structures).
     pagestore::BufferPoolStats buffer;
   };
 
-  /// All three structures must outlive the service and are treated as
-  /// immutable (see the threading model above). `indexes` is any
-  /// IndexSource — DatabaseIndexes or a pagestore::PackedDb; `database`
-  /// may be nullptr in the packed case (base documents live in
-  /// node-record pages, reached through the store).
+  /// Static mode: all three structures must outlive the service and are
+  /// treated as immutable (see the threading model above). `indexes` is
+  /// any IndexSource — DatabaseIndexes or a pagestore::PackedDb;
+  /// `database` may be nullptr in the packed case (base documents live
+  /// in node-record pages, reached through the store).
   QueryService(const xml::Database* database,
                const index::IndexSource* indexes,
                const storage::DocumentStore* store,
                const QueryServiceOptions& options = {});
+
+  /// Live mode: queries and document mutations interleave against `live`
+  /// (which must outlive the service) under the service's reader-writer
+  /// lock. The service is the live database's only synchronization —
+  /// don't mutate it directly while the service exists.
+  explicit QueryService(storage::LiveDatabase* live,
+                        const QueryServiceOptions& options = {});
+
+  /// Live mode only: inserts (or replaces) the named document and
+  /// invalidates cached PDTs of exactly the views that reference it.
+  /// In-flight cursors keep their snapshot. InvalidArgument on a
+  /// static-mode service.
+  Status InsertDocument(const std::string& name, const std::string& xml_text);
+
+  /// Live mode only: removes the named document. Queries against views
+  /// referencing it then fail per-slot with NotFound until it returns.
+  Status RemoveDocument(const std::string& name);
 
   /// Attaches the buffer pool whose counters stats() should report —
   /// call once, right after construction, when serving a packed db. The
@@ -119,15 +153,41 @@ class QueryService {
  private:
   struct RegisteredView {
     std::string text;
-    uint64_t version = 0;  // part of the cache key
+    uint64_t version = 0;  // bumped by RegisterView; part of the cache key
+    /// Bumped by InsertDocument/RemoveDocument of a referenced document;
+    /// the other half of the cache key's version pair.
+    uint64_t data_version = 0;
+    /// fn:doc() names the view reads, extracted at registration. When
+    /// extraction fails (view outside the QPT subset) `docs_known` stays
+    /// false and every mutation conservatively bumps the view.
+    std::vector<std::string> source_docs;
+    bool docs_known = false;
   };
 
-  engine::ViewSearchEngine engine_;
+  /// Shared bookkeeping of both mutation entry points: `mutate` runs
+  /// under the exclusive data lock; on success the affected views' data
+  /// epochs bump and `counter` advances.
+  Status ApplyMutation(const std::string& name,
+                       const std::function<Status()>& mutate,
+                       std::atomic<uint64_t>* counter);
+
+  // Static-mode pointers; in live mode these are re-read from live_
+  // under the data lock on every query.
+  const xml::Database* database_ = nullptr;
+  const index::IndexSource* indexes_ = nullptr;
+  const storage::DocumentStore* store_ = nullptr;
+  storage::LiveDatabase* live_ = nullptr;
+  /// Live mode: queries hold shared, mutations hold exclusive. Lock
+  /// order: data_mu_ first, views_mu_ nested inside it (both OpenSearch
+  /// and ApplyMutation) — never take data_mu_ while holding views_mu_.
+  mutable std::shared_mutex data_mu_;
   const pagestore::BufferPool* pool_stats_ = nullptr;
   mutable std::shared_mutex views_mu_;
   std::map<std::string, RegisteredView> views_;
   PreparedQueryCache cache_;
   std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> removes_{0};
   ThreadPool pool_;  // last: workers must stop before members above die
 };
 

@@ -27,22 +27,6 @@ const Document* DocumentStore::Resolve(uint32_t root_component) const {
   return it == docs_.end() ? nullptr : it->second.get();
 }
 
-namespace {
-
-void CopyRecursive(const Document& source, NodeIndex source_index,
-                   Document* target, NodeIndex target_parent) {
-  const xml::Node& node = source.node(source_index);
-  NodeIndex copied = target_parent == xml::kInvalidNode
-                         ? target->CreateRoot(node.tag)
-                         : target->AddChild(target_parent, node.tag);
-  target->node(copied).text = node.text;
-  for (NodeIndex child : node.children) {
-    CopyRecursive(source, child, target, copied);
-  }
-}
-
-}  // namespace
-
 Status DocumentStore::CopySubtree(uint32_t root_component,
                                   const xml::DeweyId& id,
                                   xml::Document* target,
@@ -65,7 +49,7 @@ Status DocumentStore::CopySubtree(uint32_t root_component,
   if (source == xml::kInvalidNode) {
     return Status::NotFound("no element " + id.ToString());
   }
-  CopyRecursive(*doc, source, target, target_parent);
+  xml::CopySubtreeInto(*doc, source, target, target_parent);
   CountFetch(xml::SubtreeByteLength(*doc, source), 0, 0, accounting);
   return Status::OK();
 }

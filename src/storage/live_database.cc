@@ -1,0 +1,62 @@
+#include "storage/live_database.h"
+
+#include <utility>
+
+#include "xml/parser.h"
+
+namespace quickview::storage {
+
+LiveDatabase::LiveDatabase()
+    : db_(std::make_shared<xml::Database>()),
+      indexes_(std::make_unique<index::DatabaseIndexes>()),
+      store_(std::make_shared<const DocumentStore>(*db_)) {}
+
+LiveDatabase::LiveDatabase(std::shared_ptr<xml::Database> initial)
+    : db_(std::move(initial)),
+      indexes_(index::BuildDatabaseIndexes(*db_)),
+      store_(std::make_shared<const DocumentStore>(*db_)) {}
+
+Status LiveDatabase::InsertDocument(const std::string& name,
+                                    const std::string& xml_text) {
+  std::shared_ptr<xml::Document> old_doc = db_->GetDocumentShared(name);
+  // Replacements keep their root Dewey component so the document's "path
+  // ordinal" stays stable across versions; new names get a fresh one. The
+  // parse happens before any state changes: a bad document leaves the
+  // corpus, the indexes and the published snapshot untouched.
+  uint32_t root_component = old_doc != nullptr ? old_doc->root_component()
+                                               : db_->NextRootComponent();
+  QUICKVIEW_ASSIGN_OR_RETURN(std::shared_ptr<xml::Document> doc,
+                             xml::ParseXml(xml_text, root_component));
+
+  if (old_doc != nullptr) {
+    // In-place incremental maintenance: remove the old version's postings
+    // and path entries from the live B+-trees, insert the new version's.
+    index::DocumentIndexes* doc_indexes = indexes_->GetMutable(name);
+    doc_indexes->RemoveDocument(*old_doc);
+    doc_indexes->AddDocument(*doc);
+    db_->RemoveDocument(name);
+  } else {
+    indexes_->Put(name, index::BuildDocumentIndexes(*doc));
+  }
+  db_->AddDocument(name, std::move(doc));
+  store_ = std::make_shared<const DocumentStore>(*db_);
+  return Status::OK();
+}
+
+Status LiveDatabase::RemoveDocument(const std::string& name) {
+  if (!db_->RemoveDocument(name)) {
+    return Status::NotFound("no document named '" + name + "'");
+  }
+  indexes_->Remove(name);
+  store_ = std::make_shared<const DocumentStore>(*db_);
+  return Status::OK();
+}
+
+std::vector<std::string> LiveDatabase::document_names() const {
+  std::vector<std::string> out;
+  out.reserve(db_->documents().size());
+  for (const auto& [name, doc] : db_->documents()) out.push_back(name);
+  return out;
+}
+
+}  // namespace quickview::storage

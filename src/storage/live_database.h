@@ -1,0 +1,87 @@
+// LiveDatabase: the mutable face of an in-memory corpus — documents, their
+// per-document path/inverted indices, and a copy-on-write DocumentStore
+// snapshot chain. Queries over a static corpus never needed a write path;
+// a service ingesting and deleting documents while queries run does, and
+// it must maintain the indexes incrementally instead of rebuilding them.
+//
+//   InsertDocument(name, xml)  parse -> assign the document's root Dewey
+//                              component (reused on replacement, fresh
+//                              otherwise — the "path ordinal" every id in
+//                              the document starts with) -> per-document
+//                              index maintenance (posting removal + re-add
+//                              in place for replacements, a fresh bulk
+//                              build for new names) -> publish a new store
+//                              snapshot.
+//   RemoveDocument(name)       drop the document, its indices and its
+//                              store entry.
+//
+// Snapshot isolation: every mutation publishes a NEW DocumentStore that
+// shares the unchanged documents by shared_ptr; readers that captured the
+// previous snapshot (open cursors) keep materializing from the exact
+// corpus state they were opened against, including removed documents. A
+// failed mutation (bad XML, unknown name) changes nothing — readers can
+// never observe a half-applied update.
+//
+// Thread safety: externally synchronized. Writers must be exclusive
+// against readers of database()/indexes()/store(); QueryService wraps a
+// LiveDatabase in its writer lock. Snapshots returned by store() are
+// immutable and safe to use lock-free after capture.
+#ifndef QUICKVIEW_STORAGE_LIVE_DATABASE_H_
+#define QUICKVIEW_STORAGE_LIVE_DATABASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/index_builder.h"
+#include "storage/document_store.h"
+#include "xml/dom.h"
+
+namespace quickview::storage {
+
+class LiveDatabase {
+ public:
+  /// Starts empty (documents arrive through InsertDocument).
+  LiveDatabase();
+
+  /// Adopts an existing corpus: shares its documents, builds their
+  /// indices, publishes the first store snapshot.
+  explicit LiveDatabase(std::shared_ptr<xml::Database> initial);
+
+  LiveDatabase(const LiveDatabase&) = delete;
+  LiveDatabase& operator=(const LiveDatabase&) = delete;
+
+  /// Parses `xml_text` and registers it under `name`. An existing name is
+  /// replaced in place: its root Dewey component is kept, its old postings
+  /// and path entries are removed from the live B+-trees and the new
+  /// document's are inserted. A new name gets the smallest unused root
+  /// component and a bulk-built index. ParseError on bad input (state
+  /// untouched).
+  Status InsertDocument(const std::string& name, const std::string& xml_text);
+
+  /// Unregisters `name`, dropping its indices and store entry. NotFound
+  /// if absent. Store snapshots captured earlier keep the document alive.
+  Status RemoveDocument(const std::string& name);
+
+  /// Current corpus / index surface. Valid only under the external reader
+  /// lock (a mutation may replace per-document indexes in place).
+  const xml::Database* database() const { return db_.get(); }
+  const index::DatabaseIndexes* indexes() const { return indexes_.get(); }
+
+  /// Current immutable store snapshot. Capture under the reader lock;
+  /// safe to fetch from lock-free afterwards (open cursors pin it).
+  std::shared_ptr<const DocumentStore> store() const { return store_; }
+
+  std::vector<std::string> document_names() const;
+
+ private:
+  std::shared_ptr<xml::Database> db_;
+  std::unique_ptr<index::DatabaseIndexes> indexes_;
+  std::shared_ptr<const DocumentStore> store_;
+};
+
+}  // namespace quickview::storage
+
+#endif  // QUICKVIEW_STORAGE_LIVE_DATABASE_H_

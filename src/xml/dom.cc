@@ -76,12 +76,33 @@ std::vector<NodeIndex> Document::SubtreeNodes(NodeIndex start) const {
   return out;
 }
 
+NodeIndex CopySubtreeInto(const Document& source, NodeIndex source_index,
+                          Document* target, NodeIndex target_parent) {
+  const Node& node = source.node(source_index);
+  NodeIndex copied = target_parent == kInvalidNode
+                         ? target->CreateRoot(node.tag)
+                         : target->AddChild(target_parent, node.tag);
+  target->node(copied).text = node.text;
+  for (NodeIndex child : node.children) {
+    CopySubtreeInto(source, child, target, copied);
+  }
+  return copied;
+}
+
 void Database::AddDocument(const std::string& name,
                            std::shared_ptr<Document> doc) {
   assert(doc != nullptr);
   assert(by_root_.find(doc->root_component()) == by_root_.end());
   by_root_[doc->root_component()] = name;
   documents_[name] = std::move(doc);
+}
+
+bool Database::RemoveDocument(const std::string& name) {
+  auto it = documents_.find(name);
+  if (it == documents_.end()) return false;
+  by_root_.erase(it->second->root_component());
+  documents_.erase(it);
+  return true;
 }
 
 const Document* Database::GetDocument(const std::string& name) const {

@@ -99,6 +99,15 @@ class Document {
   std::vector<Node> nodes_;
 };
 
+/// Copies the subtree of `source` rooted at `source_index` into `target`
+/// as a child of `target_parent` (or as the root when `target_parent` is
+/// kInvalidNode and `target` is empty). The copy gets fresh contiguous
+/// Dewey ordinals under the target position. Returns the copy's index.
+/// Shared by the in-memory DocumentStore fetch path, the packed-database
+/// delta overlay, and pack compaction.
+NodeIndex CopySubtreeInto(const Document& source, NodeIndex source_index,
+                          Document* target, NodeIndex target_parent);
+
 /// A named collection of documents (the database instance D of §2.1).
 /// Each document is registered under the name used by fn:doc() in views
 /// and is assigned a distinct root Dewey component.
@@ -107,6 +116,11 @@ class Database {
   /// Adds `doc` under `name`; the document's root component must be unique
   /// within the database.
   void AddDocument(const std::string& name, std::shared_ptr<Document> doc);
+
+  /// Unregisters the document stored under `name`; returns whether it
+  /// existed. Shared_ptr holders (store snapshots, open cursors) keep the
+  /// removed document alive.
+  bool RemoveDocument(const std::string& name);
 
   /// nullptr if absent.
   const Document* GetDocument(const std::string& name) const;

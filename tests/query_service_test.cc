@@ -164,6 +164,45 @@ TEST_F(QueryServiceTest, ReplacingViewInvalidatesCachedPdts) {
   EXPECT_NE(before->stats.view_results, after->stats.view_results);
 }
 
+TEST_F(QueryServiceTest, SameSignatureViewsNeverCrossHit) {
+  // Two views with IDENTICAL text produce identical plan signatures;
+  // only the view-name half of the cache key separates their entries.
+  // Updating one must invalidate its entries alone — the sibling keeps
+  // hitting its own (still correct) PDTs, and neither ever serves the
+  // other's.
+  auto service = MakeService(/*threads=*/1);
+  ASSERT_TRUE(service->RegisterView("alpha", workload::BookRevView()).ok());
+  ASSERT_TRUE(service->RegisterView("beta", workload::BookRevView()).ok());
+  BatchQuery alpha{"alpha", {"xml"}, engine::SearchOptions{}};
+  BatchQuery beta{"beta", {"xml"}, engine::SearchOptions{}};
+
+  auto alpha_before = service->SearchOne(alpha);
+  ASSERT_TRUE(alpha_before.ok());
+  auto beta_before = service->SearchOne(beta);
+  ASSERT_TRUE(beta_before.ok());
+  // Same text, same plan — but distinct cache entries (2 misses).
+  EXPECT_EQ(service->stats().cache.misses, 2u);
+  ExpectSameResponse(*alpha_before, *beta_before);
+
+  // Update beta to a different view; alpha's cached entry must survive
+  // AND keep answering with the old (still registered) text.
+  const std::string new_view =
+      "for $b in fn:doc(books.xml)/books//book return $b";
+  ASSERT_TRUE(service->RegisterView("beta", new_view).ok());
+  auto alpha_after = service->SearchOne(alpha);
+  ASSERT_TRUE(alpha_after.ok());
+  EXPECT_EQ(service->stats().cache.misses, 2u);  // alpha: cache hit
+  ExpectSameResponse(*alpha_before, *alpha_after);
+
+  auto beta_after = service->SearchOne(beta);
+  ASSERT_TRUE(beta_after.ok());
+  EXPECT_EQ(service->stats().cache.misses, 3u);  // beta: rebuilt
+  auto expected = engine_->SearchView(new_view, beta.keywords, beta.options);
+  ASSERT_TRUE(expected.ok());
+  ExpectSameResponse(*expected, *beta_after);
+  EXPECT_NE(beta_after->stats.view_results, alpha_after->stats.view_results);
+}
+
 TEST_F(QueryServiceTest, UnknownViewIsPerSlotError) {
   auto service = MakeService(/*threads=*/2);
   std::vector<BatchQuery> batch{

@@ -1,0 +1,244 @@
+// Live updates under concurrency: mutator threads insert/replace/remove
+// documents through QueryService while query threads search, so the
+// writer lock, the per-view data epochs, the COW store snapshots and the
+// cursor leases all get exercised cross-thread. Runs under the TSan CI
+// leg. The correctness claims:
+//   - mutations of documents no registered view reads never perturb
+//     query responses (and never invalidate their cached PDTs);
+//   - every response under concurrent replacement equals the response of
+//     exactly one corpus version — never a torn mix of two (snapshot
+//     atomicity);
+//   - a cursor opened before the storm drains the corpus version it was
+//     opened against.
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/result_cursor.h"
+#include "engine/view_search_engine.h"
+#include "index/index_builder.h"
+#include "service/query_service.h"
+#include "storage/document_store.h"
+#include "storage/live_database.h"
+#include "xml/parser.h"
+
+namespace quickview {
+namespace {
+
+std::string BooksXml(int generation, int count) {
+  std::string out = "<books>";
+  for (int i = 0; i < count; ++i) {
+    out += "<book><isbn>isbn-" + std::to_string(i) +
+           "</isbn><title>xml search generation " +
+           std::to_string(generation) +
+           "</title><year>2001</year></book>";
+  }
+  out += "</books>";
+  return out;
+}
+
+const std::string kBooksView =
+    "for $b in fn:doc(books.xml)/books//book return $b";
+
+/// Serial ground truth for one corpus version, computed with a fresh
+/// from-scratch engine.
+engine::SearchResponse ExpectedFor(const std::string& books_xml,
+                                   const std::vector<std::string>& keywords,
+                                   const engine::SearchOptions& options) {
+  auto db = std::make_shared<xml::Database>();
+  auto parsed = xml::ParseXml(books_xml, 1);
+  EXPECT_TRUE(parsed.ok());
+  db->AddDocument("books.xml", *parsed);
+  auto indexes = index::BuildDatabaseIndexes(*db);
+  storage::DocumentStore store(*db);
+  engine::ViewSearchEngine engine(db.get(), indexes.get(), &store);
+  auto response = engine.SearchView(kBooksView, keywords, options);
+  EXPECT_TRUE(response.ok()) << response.status().ToString();
+  return std::move(*response);
+}
+
+bool SameHits(const engine::SearchResponse& expected,
+              const engine::SearchResponse& actual) {
+  if (expected.hits.size() != actual.hits.size()) return false;
+  for (size_t i = 0; i < expected.hits.size(); ++i) {
+    if (expected.hits[i].xml != actual.hits[i].xml) return false;
+    if (expected.hits[i].score != actual.hits[i].score) return false;
+  }
+  return expected.stats.view_results == actual.stats.view_results &&
+         expected.stats.matching_results == actual.stats.matching_results;
+}
+
+TEST(UpdateConcurrencyTest, UnrelatedMutationsNeverPerturbQueries) {
+  storage::LiveDatabase live;
+  service::QueryServiceOptions options;
+  options.threads = 4;
+  service::QueryService service(&live, options);
+  ASSERT_TRUE(service.InsertDocument("books.xml", BooksXml(0, 6)).ok());
+  ASSERT_TRUE(service.RegisterView("books", kBooksView).ok());
+
+  service::BatchQuery query{"books", {"xml", "search"},
+                            engine::SearchOptions{}};
+  engine::SearchResponse expected =
+      ExpectedFor(BooksXml(0, 6), query.keywords, query.options);
+  // Warm the single plan serially so the miss counter below is exact
+  // (no warm-up race between the reader threads).
+  ASSERT_TRUE(service.SearchOne(query).ok());
+  ASSERT_EQ(service.stats().cache.misses, 1u);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  // Mutators hammer documents the view never reads: inserts, in-place
+  // replacements and removals, all invisible to the query results.
+  std::vector<std::thread> mutators;
+  for (int m = 0; m < 2; ++m) {
+    mutators.emplace_back([&service, &failures, m] {
+      for (int i = 0; i < 60; ++i) {
+        std::string name = "scratch" + std::to_string(m) + ".xml";
+        if (!service
+                 .InsertDocument(name, "<notes><note>v" +
+                                           std::to_string(i) +
+                                           "</note></notes>")
+                 .ok()) {
+          failures.fetch_add(1);
+        }
+        if (i % 5 == 4 && !service.RemoveDocument(name).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&service, &query, &expected, &failures, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto response = service.SearchOne(query);
+        if (!response.ok() || !SameHits(expected, *response)) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : mutators) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // The view's documents never changed: the warm PDT entry stayed valid
+  // through 100+ unrelated mutations.
+  EXPECT_EQ(service.stats().cache.misses, 1u);
+  EXPECT_GE(service.stats().documents_inserted, 120u);
+}
+
+TEST(UpdateConcurrencyTest, ConcurrentReplacementsAreSnapshotAtomic) {
+  constexpr int kVersions = 4;
+  storage::LiveDatabase live;
+  service::QueryServiceOptions options;
+  options.threads = 4;
+  service::QueryService service(&live, options);
+  ASSERT_TRUE(service.InsertDocument("books.xml", BooksXml(0, 4)).ok());
+  ASSERT_TRUE(service.RegisterView("books", kBooksView).ok());
+
+  service::BatchQuery query{"books", {"xml"}, engine::SearchOptions{}};
+  query.options.top_k = 16;
+  // Each corpus version has a distinct book count AND generation marker,
+  // so any torn read (indexes of one version, store of another) could
+  // not reproduce any expected response.
+  std::vector<engine::SearchResponse> expected;
+  for (int v = 0; v < kVersions; ++v) {
+    expected.push_back(
+        ExpectedFor(BooksXml(v, 4 + v), query.keywords, query.options));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::thread mutator([&service, &failures] {
+    for (int i = 0; i < 40; ++i) {
+      int v = i % kVersions;
+      if (!service.InsertDocument("books.xml", BooksXml(v, 4 + v)).ok()) {
+        failures.fetch_add(1);
+      }
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&service, &query, &expected, &failures, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto response = service.SearchOne(query);
+        if (!response.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        bool matched = false;
+        for (const engine::SearchResponse& candidate : expected) {
+          if (SameHits(candidate, *response)) {
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  mutator.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(service.stats().documents_inserted, 41u);
+}
+
+TEST(UpdateConcurrencyTest, CursorDrainsItsSnapshotThroughTheStorm) {
+  storage::LiveDatabase live;
+  service::QueryServiceOptions options;
+  options.threads = 2;
+  service::QueryService service(&live, options);
+  ASSERT_TRUE(service.InsertDocument("books.xml", BooksXml(0, 8)).ok());
+  ASSERT_TRUE(service.RegisterView("books", kBooksView).ok());
+
+  service::BatchQuery query{"books", {"xml"}, engine::SearchOptions{}};
+  query.options.top_k = 8;
+  engine::SearchResponse expected =
+      ExpectedFor(BooksXml(0, 8), query.keywords, query.options);
+
+  auto cursor = service.OpenSearch(query);
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  auto first = (*cursor)->FetchNext(2);
+  ASSERT_TRUE(first.ok());
+
+  // Replace and finally REMOVE the very document the cursor reads,
+  // while draining it page by page from this thread.
+  std::thread mutator([&service] {
+    for (int i = 1; i <= 10; ++i) {
+      ASSERT_TRUE(
+          service.InsertDocument("books.xml", BooksXml(i, 3)).ok());
+    }
+    ASSERT_TRUE(service.RemoveDocument("books.xml").ok());
+  });
+
+  std::vector<engine::SearchHit> drained = std::move(*first);
+  while (!(*cursor)->Done()) {
+    auto page = (*cursor)->FetchNext(1);
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    for (engine::SearchHit& hit : *page) drained.push_back(std::move(hit));
+  }
+  mutator.join();
+
+  ASSERT_EQ(drained.size(), expected.hits.size());
+  for (size_t i = 0; i < drained.size(); ++i) {
+    EXPECT_EQ(drained[i].xml, expected.hits[i].xml) << "hit " << i;
+    EXPECT_EQ(drained[i].score, expected.hits[i].score) << "hit " << i;
+  }
+  // The corpus the cursor saw is gone for new queries.
+  auto after = service.SearchOne(query);
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace quickview

@@ -34,6 +34,14 @@
 //       db): Open -> FetchNext page by page, showing that store fetches
 //       (the only base-data access) accrue per page instead of up
 //       front — with a packed db, so do page reads.
+//   quickview_cli append <db.qvpack> <name> <xml-file>
+//       Append an inserted (or replaced) document to the pack's delta
+//       side log; the next open overlays it over the packed corpus.
+//   quickview_cli tombstone <db.qvpack> <name>
+//       Append a deletion record for <name> to the delta side log.
+//   quickview_cli compact <in.qvpack> <out.qvpack>
+//       Fold <in>'s delta log into a fresh pack: byte-identical to
+//       packing the surviving corpus directly, with no side log.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -49,6 +57,7 @@
 #include "engine/result_cursor.h"
 #include "engine/view_search_engine.h"
 #include "index/index_builder.h"
+#include "pagestore/delta_log.h"
 #include "pagestore/pack.h"
 #include "pagestore/packed_db.h"
 #include "service/query_service.h"
@@ -82,7 +91,10 @@ int Usage() {
                "    (keyword queries on stdin, one comma-separated "
                "list per line)\n"
                "  quickview_cli page [<db.qvpack>] [--keywords k1,k2] "
-               "[--page N] [--top N] [--any] [--frames N] [--demo-view]\n");
+               "[--page N] [--top N] [--any] [--frames N] [--demo-view]\n"
+               "  quickview_cli append <db.qvpack> <name> <xml-file>\n"
+               "  quickview_cli tombstone <db.qvpack> <name>\n"
+               "  quickview_cli compact <in.qvpack> <out.qvpack>\n");
   return 2;
 }
 
@@ -326,6 +338,16 @@ Result<Backend> OpenBackend(const Flags& flags, const std::string& source) {
     std::printf("opened %s: %u pages, %zu documents, %zu-frame pool\n",
                 source.c_str(), backend.packed->file().page_count(),
                 backend.packed->document_names().size(), flags.frames);
+    const pagestore::PackedDb::DeltaStats& delta =
+        backend.packed->delta_stats();
+    if (delta.inserts + delta.tombstones != 0) {
+      std::printf(
+          "delta log: %llu inserts, %llu tombstones applied "
+          "(%zu overlay documents, %zu packed documents masked)\n",
+          static_cast<unsigned long long>(delta.inserts),
+          static_cast<unsigned long long>(delta.tombstones),
+          delta.overlay_documents, delta.masked_base_documents);
+    }
     return backend;
   } else {
     QUICKVIEW_ASSIGN_OR_RETURN(backend.db, storage::LoadDatabase(source));
@@ -398,6 +420,56 @@ int CmdPack(const Flags& flags) {
       pagestore::kPageSize,
       static_cast<unsigned long long>((*reopened)->page_count()) *
           pagestore::kPageSize);
+  return 0;
+}
+
+int CmdAppend(const Flags& flags) {
+  if (flags.positional.size() != 3) return Usage();
+  const std::string& pack = flags.positional[0];
+  const std::string& name = flags.positional[1];
+  if (!IsPackedPath(pack)) {
+    std::fprintf(stderr, "append: first argument must be a .qvpack file\n");
+    return 2;
+  }
+  auto xml_text = ReadFile(flags.positional[2]);
+  if (!xml_text.ok()) return Fail(xml_text.status());
+  Status appended = pagestore::PackAppend(pack, name, *xml_text);
+  if (!appended.ok()) return Fail(appended);
+  std::printf("appended '%s' (%zu bytes) to %s\n", name.c_str(),
+              xml_text->size(), pagestore::DeltaLogPath(pack).c_str());
+  return 0;
+}
+
+int CmdTombstone(const Flags& flags) {
+  if (flags.positional.size() != 2) return Usage();
+  const std::string& pack = flags.positional[0];
+  const std::string& name = flags.positional[1];
+  if (!IsPackedPath(pack)) {
+    std::fprintf(stderr,
+                 "tombstone: first argument must be a .qvpack file\n");
+    return 2;
+  }
+  Status buried = pagestore::PackTombstone(pack, name);
+  if (!buried.ok()) return Fail(buried);
+  std::printf("tombstoned '%s' in %s\n", name.c_str(),
+              pagestore::DeltaLogPath(pack).c_str());
+  return 0;
+}
+
+int CmdCompact(const Flags& flags) {
+  if (flags.positional.size() != 2) return Usage();
+  const std::string& in = flags.positional[0];
+  const std::string& out = flags.positional[1];
+  if (!IsPackedPath(in) || !IsPackedPath(out)) {
+    std::fprintf(stderr, "compact: both arguments must be .qvpack files\n");
+    return 2;
+  }
+  Status compacted = pagestore::CompactPack(in, out);
+  if (!compacted.ok()) return Fail(compacted);
+  auto reopened = pagestore::PagedFile::Open(out);
+  if (!reopened.ok()) return Fail(reopened.status());
+  std::printf("compacted %s -> %s: %u pages of %u bytes\n", in.c_str(),
+              out.c_str(), (*reopened)->page_count(), pagestore::kPageSize);
   return 0;
 }
 
@@ -629,6 +701,9 @@ int main(int argc, char** argv) {
   if (command == "basesearch") return CmdBaseSearch(flags);
   if (command == "demo") return CmdDemo();
   if (command == "pack") return CmdPack(flags);
+  if (command == "append") return CmdAppend(flags);
+  if (command == "tombstone") return CmdTombstone(flags);
+  if (command == "compact") return CmdCompact(flags);
   if (command == "serve") return CmdServe(flags);
   if (command == "page") return CmdPage(flags);
   return Usage();
