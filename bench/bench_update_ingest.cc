@@ -23,6 +23,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "common/sync.h"
 #include "service/query_service.h"
 #include "storage/live_database.h"
 #include "workload/bookrev_generator.h"
@@ -55,6 +56,10 @@ void BM_InsertThroughput(benchmark::State& state) {
   storage::LiveDatabase live;
   int generation = 0;
   for (auto _ : state) {
+    // Direct LiveDatabase use: the bench is the writer, so it takes the
+    // corpus writer lock itself (exactly what QueryService does per
+    // mutation; uncontended here).
+    qv::WriterLock lock(live.mu());
     Status inserted = live.InsertDocument(
         "ingest" + std::to_string(generation) + ".xml",
         IngestDocXml(generation, books_per_doc));
@@ -84,11 +89,15 @@ BENCHMARK(BM_InsertThroughput)
 void BM_ReplaceThroughput(benchmark::State& state) {
   const int books_per_doc = static_cast<int>(state.range(0));
   storage::LiveDatabase live;
-  Status seeded =
-      live.InsertDocument("hot.xml", IngestDocXml(0, books_per_doc));
-  if (!seeded.ok()) abort();
+  {
+    qv::WriterLock lock(live.mu());
+    Status seeded =
+        live.InsertDocument("hot.xml", IngestDocXml(0, books_per_doc));
+    if (!seeded.ok()) abort();
+  }
   int generation = 1;
   for (auto _ : state) {
+    qv::WriterLock lock(live.mu());
     Status replaced = live.InsertDocument(
         "hot.xml", IngestDocXml(generation++, books_per_doc));
     if (!replaced.ok()) {
@@ -124,6 +133,7 @@ void BM_QueryLatencyDuringIngest(benchmark::State& state) {
 
   std::string reviews_text;
   if (replacing) {
+    qv::ReaderLock lock(live.mu());
     reviews_text =
         xml::Serialize(*live.database()->GetDocument("reviews.xml"));
   }

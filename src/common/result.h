@@ -12,8 +12,10 @@ namespace quickview {
 
 /// Holds either a value of type T or an error Status. A Result is never
 /// constructed from an OK status.
+/// [[nodiscard]] for the same reason as Status: dropping a Result drops
+/// both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so functions can `return value;` / `return status;`.
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -21,7 +21,10 @@ enum class StatusCode {
 };
 
 /// Outcome of an operation: kOk, or an error code plus message.
-class Status {
+/// [[nodiscard]]: silently dropping a Status hides failures (a missed
+/// NotFound became a wrong answer, not an error, in early harnesses) —
+/// callers must check, propagate, or explicitly discard a return.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)

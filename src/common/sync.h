@@ -1,0 +1,209 @@
+// Annotated synchronization primitives — the ONLY place in quickview
+// allowed to name std::mutex and friends (tools/lint.py enforces this).
+//
+// Every wrapper carries Clang thread-safety attributes, so a clang build
+// with -Wthread-safety (the CI `analyze` leg adds it, with -Werror)
+// proves the lock discipline statically on every compile: a member
+// declared QV_GUARDED_BY(mu_) cannot be touched without mu_ held, a
+// function declared QV_REQUIRES(mu_) cannot be called without it, and a
+// scoped lock cannot leak past its capability. Under GCC (and any other
+// compiler) the attributes expand to nothing and the wrappers compile to
+// exactly the std primitives they hold.
+//
+// Idiom:
+//
+//   class Table {
+//    public:
+//     void Put(std::string key) QV_EXCLUDES(mu_) {
+//       qv::MutexLock lock(mu_);
+//       rows_.push_back(std::move(key));
+//     }
+//    private:
+//     qv::Mutex mu_;
+//     std::vector<std::string> rows_ QV_GUARDED_BY(mu_);
+//   };
+//
+// Suppression policy: QV_NO_THREAD_SAFETY_ANALYSIS is a last resort for
+// lock flow the analysis cannot follow (conditional locking joined
+// across branches, locks handed between objects). Every use must carry a
+// comment justifying why the analysis cannot see the invariant and what
+// enforces it instead (see README "Static analysis").
+#ifndef QUICKVIEW_COMMON_SYNC_H_
+#define QUICKVIEW_COMMON_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// ---------------------------------------------------------------------------
+// Attribute macros (clang Thread Safety Analysis; no-ops elsewhere).
+// ---------------------------------------------------------------------------
+#if defined(__clang__)
+#define QV_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define QV_THREAD_ANNOTATION_(x)  // not supported by this compiler
+#endif
+
+/// Declares a type to be a lockable capability ("mutex", "shared_mutex").
+#define QV_CAPABILITY(x) QV_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type whose lifetime holds (and releases) a capability.
+#define QV_SCOPED_CAPABILITY QV_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only with the named capability held
+/// (shared suffices for reads, exclusive is required for writes).
+#define QV_GUARDED_BY(x) QV_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the named capability.
+#define QV_PT_GUARDED_BY(x) QV_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Caller must hold the capability exclusively / shared before the call.
+#define QV_REQUIRES(...) \
+  QV_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define QV_REQUIRES_SHARED(...) \
+  QV_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires / releases the capability (lock-shaped functions).
+#define QV_ACQUIRE(...) QV_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define QV_ACQUIRE_SHARED(...) \
+  QV_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define QV_RELEASE(...) QV_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define QV_RELEASE_SHARED(...) \
+  QV_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define QV_TRY_ACQUIRE(...) \
+  QV_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function takes it itself —
+/// self-deadlock guard). QV_LOCKS_EXCLUDED is the legacy spelling.
+#define QV_EXCLUDES(...) QV_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define QV_LOCKS_EXCLUDED(...) QV_EXCLUDES(__VA_ARGS__)
+
+/// Function returns a reference to the named capability (accessor idiom:
+/// lets callers lock another object's mutex under analysis).
+#define QV_RETURN_CAPABILITY(x) QV_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Runtime assertion that the capability is held (trusted by analysis).
+#define QV_ASSERT_CAPABILITY(x) \
+  QV_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Lock-order documentation (checked under -Wthread-safety-beta only).
+#define QV_ACQUIRED_BEFORE(...) \
+  QV_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define QV_ACQUIRED_AFTER(...) \
+  QV_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Opts a function out of the analysis. Needs a justifying comment.
+#define QV_NO_THREAD_SAFETY_ANALYSIS \
+  QV_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace quickview::sync {
+
+class CondVar;
+
+/// Exclusive mutex (std::mutex with a capability attribute).
+class QV_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() QV_ACQUIRE() { mu_.lock(); }
+  void Unlock() QV_RELEASE() { mu_.unlock(); }
+  bool TryLock() QV_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// Reader-writer mutex. Writers use Lock/WriterLock (exclusive), readers
+/// LockShared/ReaderLock (shared).
+class QV_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() QV_ACQUIRE() { mu_.lock(); }
+  void Unlock() QV_RELEASE() { mu_.unlock(); }
+  void LockShared() QV_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() QV_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  friend class ReaderLock;
+  friend class WriterLock;
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock on a Mutex. Supports temporary manual
+/// Unlock()/Lock() pairs (the worker-loop idiom) and CondVar waits; the
+/// destructor releases whatever is still held.
+class QV_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) QV_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() QV_RELEASE() {}
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily drop the lock (e.g. to run a task); pair with Lock().
+  void Unlock() QV_RELEASE() { lock_.unlock(); }
+  void Lock() QV_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Scoped shared (read) lock on a SharedMutex.
+class QV_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) QV_ACQUIRE_SHARED(mu)
+      : lock_(mu.mu_) {}
+  ~ReaderLock() QV_RELEASE() {}
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  std::shared_lock<std::shared_mutex> lock_;
+};
+
+/// Scoped exclusive (write) lock on a SharedMutex.
+class QV_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) QV_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~WriterLock() QV_RELEASE() {}
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  std::unique_lock<std::shared_mutex> lock_;
+};
+
+/// Condition variable for qv::Mutex. Wait takes the MutexLock the caller
+/// holds; from the analysis' point of view the lock is held across the
+/// wait (it is released and reacquired inside, invisibly — which is
+/// exactly the invariant the caller may rely on). Prefer the explicit
+///   while (!predicate) cv.Wait(lock);
+/// loop over a predicate lambda: the loop body is analyzed against the
+/// held lock, a lambda would need its own annotations.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace quickview::sync
+
+/// Call-site spelling: qv::Mutex, qv::MutexLock lock(mu_), ...
+namespace qv = quickview::sync;
+
+#endif  // QUICKVIEW_COMMON_SYNC_H_

@@ -9,7 +9,7 @@ BufferPool::BufferPool(const PagedFile* file, const BufferPoolOptions& options)
     : file_(file), budget_(options.frames == 0 ? 1 : options.frames) {}
 
 Result<PagePin> BufferPool::Fetch(PageId id, PageAccounting* acct) const {
-  std::unique_lock<std::mutex> lock(mu_);
+  qv::MutexLock lock(mu_);
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
@@ -48,7 +48,7 @@ Result<PagePin> BufferPool::Fetch(PageId id, PageAccounting* acct) const {
 }
 
 BufferPoolStats BufferPool::stats() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  qv::MutexLock lock(mu_);
   BufferPoolStats out;
   out.hits = hits_;
   out.misses = misses_;

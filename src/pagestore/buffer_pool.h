@@ -10,10 +10,10 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "pagestore/page.h"
 #include "pagestore/paged_file.h"
 
@@ -42,9 +42,10 @@ class BufferPool final : public PageSource {
   /// evicting the least-recently-used unpinned frame when over budget).
   /// `acct`, when non-null, receives this call's hit/miss accounting on
   /// top of the pool-global counters.
-  Result<PagePin> Fetch(PageId id, PageAccounting* acct) const override;
+  Result<PagePin> Fetch(PageId id, PageAccounting* acct) const override
+      QV_EXCLUDES(mu_);
 
-  BufferPoolStats stats() const;
+  BufferPoolStats stats() const QV_EXCLUDES(mu_);
   size_t frame_budget() const { return budget_; }
 
  private:
@@ -56,12 +57,13 @@ class BufferPool final : public PageSource {
   const PagedFile* file_;
   size_t budget_;
 
-  mutable std::mutex mu_;
-  mutable std::list<PageId> lru_;  // front = most recently used
-  mutable std::unordered_map<PageId, Frame> frames_;
-  mutable uint64_t hits_ = 0;
-  mutable uint64_t misses_ = 0;
-  mutable uint64_t evictions_ = 0;
+  mutable qv::Mutex mu_;
+  // front = most recently used
+  mutable std::list<PageId> lru_ QV_GUARDED_BY(mu_);
+  mutable std::unordered_map<PageId, Frame> frames_ QV_GUARDED_BY(mu_);
+  mutable uint64_t hits_ QV_GUARDED_BY(mu_) = 0;
+  mutable uint64_t misses_ QV_GUARDED_BY(mu_) = 0;
+  mutable uint64_t evictions_ QV_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace quickview::pagestore

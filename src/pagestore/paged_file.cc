@@ -16,6 +16,12 @@ constexpr char kMagic[8] = {'Q', 'V', 'P', 'A', 'C', 'K', '1', '\n'};
 constexpr uint32_t kFormatVersion = 1;
 
 std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  // strerror is not reentrant, but every caller is on an error path that
+  // already holds the file's single-writer invariant, and glibc returns
+  // thread-local storage here; strerror_r's two incompatible signatures
+  // are not worth that. (concurrency-mt-unsafe is globally off in
+  // .clang-tidy for this one site — keep the marker if it returns.)
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   return what + " " + path + ": " + std::strerror(errno);
 }
 

@@ -30,7 +30,7 @@ PreparedQueryCache::Shard& PreparedQueryCache::ShardFor(
 std::shared_ptr<const engine::PreparedQuery> PreparedQueryCache::Get(
     const std::string& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  qv::MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -46,7 +46,7 @@ void PreparedQueryCache::Put(
     std::shared_ptr<const engine::PreparedQuery> prepared) {
   if (capacity_ == 0 || prepared == nullptr) return;
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  qv::MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     // Concurrent builders racing on the same key: keep the incumbent
@@ -85,7 +85,7 @@ void PreparedQueryCache::EvictLocked(Shard* shard) {
 
 void PreparedQueryCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    qv::MutexLock lock(shard->mu);
     total_entries_.fetch_sub(shard->lru.size(), std::memory_order_relaxed);
     for (const Entry& entry : shard->lru) {
       total_bytes_.fetch_sub(entry.prepared->memory_bytes,
@@ -106,7 +106,7 @@ PreparedQueryCache::Stats PreparedQueryCache::stats() const {
 size_t PreparedQueryCache::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    qv::MutexLock lock(shard->mu);
     total += shard->lru.size();
   }
   return total;

@@ -23,11 +23,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "engine/view_search_engine.h"
 
 namespace quickview::service {
@@ -75,13 +75,14 @@ class PreparedQueryCache {
     std::shared_ptr<const engine::PreparedQuery> prepared;
   };
   struct Shard {
-    std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    qv::Mutex mu;
+    std::list<Entry> lru QV_GUARDED_BY(mu);  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index
+        QV_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const std::string& key);
-  void EvictLocked(Shard* shard);
+  void EvictLocked(Shard* shard) QV_REQUIRES(shard->mu);
 
   size_t capacity_;     // global entry budget (0 = caching disabled)
   uint64_t max_bytes_;  // global PDT-byte budget (0 = entries-only)

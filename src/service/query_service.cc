@@ -1,9 +1,7 @@
 #include "service/query_service.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <exception>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -54,7 +52,7 @@ Status QueryService::RegisterView(const std::string& name,
     docs_known = true;
     for (const qpt::Qpt& q : *qpts) source_docs.push_back(q.source_doc);
   }
-  std::unique_lock<std::shared_mutex> lock(views_mu_);
+  qv::WriterLock lock(views_mu_);
   RegisteredView& view = views_[name];
   ++view.version;
   view.text = view_text;
@@ -63,21 +61,24 @@ Status QueryService::RegisterView(const std::string& name,
   return Status::OK();
 }
 
-Status QueryService::ApplyMutation(const std::string& name,
-                                   const std::function<Status()>& mutate,
+Status QueryService::ApplyMutation(Mutation op, const std::string& name,
+                                   const std::string& xml_text,
                                    std::atomic<uint64_t>* counter) {
   if (live_ == nullptr) {
     return Status::InvalidArgument(
         "document mutations require a live-mode QueryService (constructed "
         "over a storage::LiveDatabase)");
   }
-  std::unique_lock<std::shared_mutex> data_lock(data_mu_);
-  QUICKVIEW_RETURN_IF_ERROR(mutate());
+  qv::WriterLock data_lock(live_->mu());
+  Status applied = op == Mutation::kInsert
+                       ? live_->InsertDocument(name, xml_text)
+                       : live_->RemoveDocument(name);
+  QUICKVIEW_RETURN_IF_ERROR(applied);
   counter->fetch_add(1, std::memory_order_relaxed);
   // Bump the data epoch of every view that reads `name` (or whose doc
   // set is unknown): their cache keys change, so stale PDTs can never
   // serve the new corpus state. Other views' entries stay warm.
-  std::unique_lock<std::shared_mutex> views_lock(views_mu_);
+  qv::WriterLock views_lock(views_mu_);
   for (auto& [view_name, view] : views_) {
     if (!view.docs_known ||
         std::find(view.source_docs.begin(), view.source_docs.end(), name) !=
@@ -90,14 +91,11 @@ Status QueryService::ApplyMutation(const std::string& name,
 
 Status QueryService::InsertDocument(const std::string& name,
                                     const std::string& xml_text) {
-  return ApplyMutation(
-      name, [&] { return live_->InsertDocument(name, xml_text); },
-      &inserts_);
+  return ApplyMutation(Mutation::kInsert, name, xml_text, &inserts_);
 }
 
 Status QueryService::RemoveDocument(const std::string& name) {
-  return ApplyMutation(name, [&] { return live_->RemoveDocument(name); },
-                       &removes_);
+  return ApplyMutation(Mutation::kRemove, name, /*xml_text=*/"", &removes_);
 }
 
 Result<std::unique_ptr<engine::ResultCursor>> QueryService::OpenSearch(
@@ -120,36 +118,40 @@ Result<std::unique_ptr<engine::ResultCursor>> QueryService::OpenSearch(
                                      keyword);
     }
   }
-  // Live mode: hold the data lock shared across planning, PDT build and
-  // evaluation, so this query sees the corpus entirely before or after
-  // any concurrent mutation, never in between; pin the store snapshot
-  // so lazy materialization stays valid after the lock drops.
-  std::shared_lock<std::shared_mutex> data_lock;
-  const xml::Database* database = database_;
-  const index::IndexSource* indexes = indexes_;
-  std::shared_ptr<const storage::DocumentStore> snapshot;
-  const storage::DocumentStore* store = store_;
+  // Live mode: hold the corpus lock shared across planning, PDT build
+  // and evaluation, so this query sees the corpus entirely before or
+  // after any concurrent mutation, never in between; the snapshot lease
+  // keeps lazy materialization valid after the lock drops. Static mode:
+  // the surface is immutable construction state, no lock exists.
   if (live_ != nullptr) {
-    data_lock = std::shared_lock<std::shared_mutex>(data_mu_);
-    database = live_->database();
-    indexes = live_->indexes();
-    snapshot = live_->store();
-    store = snapshot.get();
+    qv::ReaderLock data_lock(live_->mu());
+    std::shared_ptr<const storage::DocumentStore> snapshot = live_->store();
+    const storage::DocumentStore* store = snapshot.get();
+    return PrepareCursor(query, live_->database(), live_->indexes(), store,
+                         std::move(snapshot));
   }
+  return PrepareCursor(query, database_, indexes_, store_, /*lease=*/nullptr);
+}
+
+Result<std::unique_ptr<engine::ResultCursor>> QueryService::PrepareCursor(
+    const BatchQuery& query, const xml::Database* database,
+    const index::IndexSource* indexes, const storage::DocumentStore* store,
+    std::shared_ptr<const storage::DocumentStore> lease) {
   engine::ViewSearchEngine engine(database, indexes, store);
 
-  // The view (and crucially its data epoch) is read under the SAME data
-  // lock hold that captured the corpus above — mutations bump the epoch
-  // while holding the lock exclusively, so epoch d in the cache key
-  // always means "PDTs built from corpus state d". Reading it before
-  // the lock could pair a cached pre-update PreparedQuery with a
-  // post-update store snapshot: a torn result no corpus version ever
-  // produced. Lock order is data_mu_ -> views_mu_, same as mutations.
+  // The view (and crucially its data epoch) is read under the SAME
+  // corpus-lock hold that captured the surface in OpenSearch — mutations
+  // bump the epoch while holding that lock exclusively, so epoch d in
+  // the cache key always means "PDTs built from corpus state d". Reading
+  // it outside the hold could pair a cached pre-update PreparedQuery
+  // with a post-update store snapshot: a torn result no corpus version
+  // ever produced. Lock order is live_->mu() -> views_mu_, same as
+  // mutations.
   std::string view_text;
   uint64_t view_version = 0;
   uint64_t data_version = 0;
   {
-    std::shared_lock<std::shared_mutex> lock(views_mu_);
+    qv::ReaderLock lock(views_mu_);
     auto it = views_.find(query.view);
     if (it == views_.end()) {
       return Status::NotFound("no view registered as '" + query.view + "'");
@@ -194,7 +196,7 @@ Result<std::unique_ptr<engine::ResultCursor>> QueryService::OpenSearch(
   // the store-snapshot lease below completes the cursor's snapshot.
   QUICKVIEW_ASSIGN_OR_RETURN(std::unique_ptr<engine::ResultCursor> cursor,
                              engine.Open(std::move(prepared), query.options));
-  if (snapshot != nullptr) cursor->AddLease(std::move(snapshot));
+  if (lease != nullptr) cursor->AddLease(std::move(lease));
   return cursor;
 }
 
@@ -212,9 +214,12 @@ std::vector<Result<engine::SearchResponse>> QueryService::SearchBatch(
   if (queries.empty()) return responses;
 
   // Per-batch completion barrier, so concurrent batches from different
-  // client threads don't wait on each other's tasks.
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  // client threads don't wait on each other's tasks. (`done` is guarded
+  // by `done_mu`; they are locals captured by reference, which the
+  // static analysis cannot express — the explicit while-Wait loop below
+  // keeps the protocol obvious instead.)
+  qv::Mutex done_mu;
+  qv::CondVar done_cv;
   size_t done = 0;
   for (size_t i = 0; i < queries.size(); ++i) {
     pool_.Submit([this, &queries, &responses, &done_mu, &done_cv, &done, i] {
@@ -229,12 +234,14 @@ std::vector<Result<engine::SearchResponse>> QueryService::SearchBatch(
       } catch (...) {
         responses[i] = Status::Internal("query threw a non-std exception");
       }
-      std::lock_guard<std::mutex> lock(done_mu);
-      if (++done == queries.size()) done_cv.notify_all();
+      qv::MutexLock lock(done_mu);
+      if (++done == queries.size()) done_cv.NotifyAll();
     });
   }
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return done == queries.size(); });
+  qv::MutexLock lock(done_mu);
+  while (done != queries.size()) {
+    done_cv.Wait(lock);
+  }
   return responses;
 }
 

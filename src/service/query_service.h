@@ -15,11 +15,12 @@
 //  - in the static modes (raw database/indexes/store pointers, packed
 //    db) those structures are immutable after construction and shared by
 //    every worker;
-//  - in live mode (constructed over a storage::LiveDatabase) the service
-//    owns a reader-writer lock: queries plan, build PDTs and evaluate
-//    under the shared side, InsertDocument/RemoveDocument mutate under
-//    the exclusive side, so a query sees the corpus entirely before or
-//    entirely after any update — never in between. Each mutation bumps a
+//  - in live mode (constructed over a storage::LiveDatabase) queries
+//    plan, build PDTs and evaluate under the shared side of the live
+//    database's own reader-writer lock (LiveDatabase::mu()), while
+//    InsertDocument/RemoveDocument mutate under the exclusive side, so a
+//    query sees the corpus entirely before or entirely after any update
+//    — never in between. Each mutation bumps a
 //    data epoch on exactly the views that reference the mutated
 //    document; the epoch is part of the PreparedQueryCache key, so only
 //    those views' cached PDTs are invalidated. Cursors opened before an
@@ -38,14 +39,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "engine/result_cursor.h"
 #include "engine/view_search_engine.h"
 #include "index/index_builder.h"
@@ -105,11 +105,12 @@ class QueryService {
   /// invalidates cached PDTs of exactly the views that reference it.
   /// In-flight cursors keep their snapshot. InvalidArgument on a
   /// static-mode service.
-  Status InsertDocument(const std::string& name, const std::string& xml_text);
+  Status InsertDocument(const std::string& name, const std::string& xml_text)
+      QV_EXCLUDES(views_mu_);
 
   /// Live mode only: removes the named document. Queries against views
   /// referencing it then fail per-slot with NotFound until it returns.
-  Status RemoveDocument(const std::string& name);
+  Status RemoveDocument(const std::string& name) QV_EXCLUDES(views_mu_);
 
   /// Attaches the buffer pool whose counters stats() should report —
   /// call once, right after construction, when serving a packed db. The
@@ -121,7 +122,8 @@ class QueryService {
   /// Registers (or replaces) a view under `name`. Replacing a view bumps
   /// its cache-key version, so stale PDTs can never serve the new text.
   /// Not intended to race with in-flight batches against the same name.
-  Status RegisterView(const std::string& name, const std::string& view_text);
+  Status RegisterView(const std::string& name, const std::string& view_text)
+      QV_EXCLUDES(views_mu_);
 
   /// Opens a cursor over the query's ranked result stream on the calling
   /// thread: plan -> cached (or fresh) PDTs -> evaluate + score. No hit
@@ -132,7 +134,7 @@ class QueryService {
   /// database/index/store) must merely outlive it. The cursor yields at
   /// most query.options.top_k hits.
   Result<std::unique_ptr<engine::ResultCursor>> OpenSearch(
-      const BatchQuery& query);
+      const BatchQuery& query) QV_EXCLUDES(views_mu_);
 
   /// Executes the whole batch on the pool; response i answers query i.
   /// Individual failures are per-slot errors, not batch failures.
@@ -164,26 +166,41 @@ class QueryService {
     bool docs_known = false;
   };
 
-  /// Shared bookkeeping of both mutation entry points: `mutate` runs
-  /// under the exclusive data lock; on success the affected views' data
-  /// epochs bump and `counter` advances.
-  Status ApplyMutation(const std::string& name,
-                       const std::function<Status()>& mutate,
+  enum class Mutation { kInsert, kRemove };
+
+  /// Shared body of both mutation entry points: applies the insert or
+  /// remove under the live database's exclusive lock; on success the
+  /// affected views' data epochs bump (under the same exclusive hold, so
+  /// epoch d in a cache key always means "built from corpus state d")
+  /// and `counter` advances.
+  Status ApplyMutation(Mutation op, const std::string& name,
+                       const std::string& xml_text,
                        std::atomic<uint64_t>* counter);
 
+  /// The tail of OpenSearch once the corpus surface is fixed: plan,
+  /// fetch-or-build PDTs, open the cursor. In live mode the caller holds
+  /// the live database's shared lock across this call and passes the
+  /// captured surface in (`lease` pins the store snapshot beyond the
+  /// lock); in static mode the surface is the immutable construction
+  /// state and no lock is involved.
+  Result<std::unique_ptr<engine::ResultCursor>> PrepareCursor(
+      const BatchQuery& query, const xml::Database* database,
+      const index::IndexSource* indexes, const storage::DocumentStore* store,
+      std::shared_ptr<const storage::DocumentStore> lease)
+      QV_EXCLUDES(views_mu_);
+
   // Static-mode pointers; in live mode these are re-read from live_
-  // under the data lock on every query.
+  // under its lock on every query.
   const xml::Database* database_ = nullptr;
   const index::IndexSource* indexes_ = nullptr;
   const storage::DocumentStore* store_ = nullptr;
   storage::LiveDatabase* live_ = nullptr;
-  /// Live mode: queries hold shared, mutations hold exclusive. Lock
-  /// order: data_mu_ first, views_mu_ nested inside it (both OpenSearch
-  /// and ApplyMutation) — never take data_mu_ while holding views_mu_.
-  mutable std::shared_mutex data_mu_;
   const pagestore::BufferPool* pool_stats_ = nullptr;
-  mutable std::shared_mutex views_mu_;
-  std::map<std::string, RegisteredView> views_;
+  /// Lock order: live_->mu() first, views_mu_ nested inside it (both
+  /// PrepareCursor and ApplyMutation) — never take live_->mu() while
+  /// holding views_mu_.
+  mutable qv::SharedMutex views_mu_;
+  std::map<std::string, RegisteredView> views_ QV_GUARDED_BY(views_mu_);
   PreparedQueryCache cache_;
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> inserts_{0};

@@ -15,10 +15,10 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    qv::MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -26,26 +26,30 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    qv::MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  qv::MutexLock lock(mu_);
+  while (!(queue_.empty() && active_ == 0)) {
+    idle_cv_.Wait(lock);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  qv::MutexLock lock(mu_);
   while (true) {
-    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    while (!stop_ && queue_.empty()) {
+      work_cv_.Wait(lock);
+    }
     if (queue_.empty()) break;  // stop_ set and nothing left to run
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
     ++active_;
-    lock.unlock();
+    lock.Unlock();
     try {
       task();
     } catch (...) {
@@ -55,9 +59,9 @@ void ThreadPool::WorkerLoop() {
       // QueryService::SearchBatch converts exceptions to per-slot
       // Status there.
     }
-    lock.lock();
+    lock.Lock();
     --active_;
-    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    if (queue_.empty() && active_ == 0) idle_cv_.NotifyAll();
   }
 }
 

@@ -6,12 +6,12 @@
 #ifndef QUICKVIEW_SERVICE_THREAD_POOL_H_
 #define QUICKVIEW_SERVICE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace quickview::service {
 
@@ -28,24 +28,24 @@ class ThreadPool {
 
   /// Enqueues `task` for execution on some worker. Safe from any thread,
   /// including from within a task.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) QV_EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and every worker is idle. Tasks
   /// submitted while draining are waited for too.
-  void Drain();
+  void Drain() QV_EXCLUDES(mu_);
 
   int thread_count() const { return static_cast<int>(workers_.size()); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() QV_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait for tasks / stop
-  std::condition_variable idle_cv_;   // Drain waits for quiescence
-  std::deque<std::function<void()>> queue_;
-  int active_ = 0;  // tasks currently executing
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
+  qv::Mutex mu_;
+  qv::CondVar work_cv_;  // workers wait for tasks / stop
+  qv::CondVar idle_cv_;  // Drain waits for quiescence
+  std::deque<std::function<void()>> queue_ QV_GUARDED_BY(mu_);
+  int active_ QV_GUARDED_BY(mu_) = 0;  // tasks currently executing
+  bool stop_ QV_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // written only in the constructor
 };
 
 }  // namespace quickview::service

@@ -14,7 +14,12 @@
 // counters are relaxed atomics; callers that need per-query accounting
 // (meaningless to derive from deltas of a shared counter under
 // concurrency) pass a local `Stats* accounting` that each fetch also
-// accumulates into.
+// accumulates into. There is deliberately no mutex here — and so
+// nothing for common/sync.h's QV_GUARDED_BY vocabulary to annotate: the
+// only shared mutable state is those atomics. Publication of a NEW
+// store (live mode replaces the snapshot wholesale) is what needs a
+// lock, and that lock lives in LiveDatabase (see live_database.h),
+// where the snapshot pointer is annotated against it.
 #ifndef QUICKVIEW_STORAGE_DOCUMENT_STORE_H_
 #define QUICKVIEW_STORAGE_DOCUMENT_STORE_H_
 

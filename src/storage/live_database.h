@@ -22,10 +22,16 @@
 // failed mutation (bad XML, unknown name) changes nothing — readers can
 // never observe a half-applied update.
 //
-// Thread safety: externally synchronized. Writers must be exclusive
-// against readers of database()/indexes()/store(); QueryService wraps a
-// LiveDatabase in its writer lock. Snapshots returned by store() are
-// immutable and safe to use lock-free after capture.
+// Thread safety: the database OWNS its reader-writer lock but callers
+// drive it — mutations and multi-call read sequences must span one
+// critical section (a query must see the corpus entirely before or
+// entirely after an update, and QueryService bumps view data epochs
+// under the same exclusive hold as the mutation they tag). The lock
+// discipline is compiler-enforced: every accessor is QV_REQUIRES(mu())
+// and clang's thread-safety analysis rejects call sites that don't hold
+// it — take a qv::ReaderLock/WriterLock on mu() first. Snapshots
+// returned by store() are immutable and safe to use lock-free after
+// capture.
 #ifndef QUICKVIEW_STORAGE_LIVE_DATABASE_H_
 #define QUICKVIEW_STORAGE_LIVE_DATABASE_H_
 
@@ -35,6 +41,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "index/index_builder.h"
 #include "storage/document_store.h"
 #include "xml/dom.h"
@@ -53,33 +60,49 @@ class LiveDatabase {
   LiveDatabase(const LiveDatabase&) = delete;
   LiveDatabase& operator=(const LiveDatabase&) = delete;
 
+  /// The corpus lock. Readers hold it shared across every database()/
+  /// indexes()/store() sequence that must see one corpus state; writers
+  /// hold it exclusively across InsertDocument/RemoveDocument (plus any
+  /// bookkeeping that must publish atomically with the mutation, e.g.
+  /// QueryService's view data epochs).
+  qv::SharedMutex& mu() const QV_RETURN_CAPABILITY(mu_) { return mu_; }
+
   /// Parses `xml_text` and registers it under `name`. An existing name is
   /// replaced in place: its root Dewey component is kept, its old postings
   /// and path entries are removed from the live B+-trees and the new
   /// document's are inserted. A new name gets the smallest unused root
   /// component and a bulk-built index. ParseError on bad input (state
   /// untouched).
-  Status InsertDocument(const std::string& name, const std::string& xml_text);
+  Status InsertDocument(const std::string& name, const std::string& xml_text)
+      QV_REQUIRES(mu_);
 
   /// Unregisters `name`, dropping its indices and store entry. NotFound
   /// if absent. Store snapshots captured earlier keep the document alive.
-  Status RemoveDocument(const std::string& name);
+  Status RemoveDocument(const std::string& name) QV_REQUIRES(mu_);
 
-  /// Current corpus / index surface. Valid only under the external reader
-  /// lock (a mutation may replace per-document indexes in place).
-  const xml::Database* database() const { return db_.get(); }
-  const index::DatabaseIndexes* indexes() const { return indexes_.get(); }
+  /// Current corpus / index surface. Pointers are valid only while the
+  /// shared lock is held (a mutation may replace per-document indexes in
+  /// place).
+  const xml::Database* database() const QV_REQUIRES_SHARED(mu_) {
+    return db_.get();
+  }
+  const index::DatabaseIndexes* indexes() const QV_REQUIRES_SHARED(mu_) {
+    return indexes_.get();
+  }
 
-  /// Current immutable store snapshot. Capture under the reader lock;
+  /// Current immutable store snapshot. Capture under the shared lock;
   /// safe to fetch from lock-free afterwards (open cursors pin it).
-  std::shared_ptr<const DocumentStore> store() const { return store_; }
+  std::shared_ptr<const DocumentStore> store() const QV_REQUIRES_SHARED(mu_) {
+    return store_;
+  }
 
-  std::vector<std::string> document_names() const;
+  std::vector<std::string> document_names() const QV_REQUIRES_SHARED(mu_);
 
  private:
-  std::shared_ptr<xml::Database> db_;
-  std::unique_ptr<index::DatabaseIndexes> indexes_;
-  std::shared_ptr<const DocumentStore> store_;
+  mutable qv::SharedMutex mu_;
+  std::shared_ptr<xml::Database> db_ QV_GUARDED_BY(mu_);
+  std::unique_ptr<index::DatabaseIndexes> indexes_ QV_GUARDED_BY(mu_);
+  std::shared_ptr<const DocumentStore> store_ QV_GUARDED_BY(mu_);
 };
 
 }  // namespace quickview::storage

@@ -92,7 +92,7 @@ TEST(BTreeTest, StatsCountNodeVisits) {
     tree.Insert("key" + std::to_string(i), "v");
   }
   tree.ResetStats();
-  tree.Get("key2500", nullptr);
+  EXPECT_TRUE(tree.Get("key2500", nullptr));
   EXPECT_GE(tree.stats().nodes_visited, static_cast<uint64_t>(tree.height()));
 }
 

@@ -1,0 +1,38 @@
+// Negative-compile case: touching a QV_GUARDED_BY member without its
+// lock must fail under clang -Wthread-safety -Werror. The control build
+// (no QV_NEGATIVE) takes the lock and must compile — proving any failure
+// of the violation build comes from the thread-safety gate itself.
+// Driven by tests/negative/negative_compile_check.cmake (clang only; the
+// annotations are no-ops under GCC, where this gate cannot bite).
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+#ifdef QV_NEGATIVE
+    ++n_;  // VIOLATION: n_ is QV_GUARDED_BY(mu_) and mu_ is not held.
+#else
+    qv::MutexLock lock(mu_);
+    ++n_;
+#endif
+  }
+
+  int Total() const {
+    qv::MutexLock lock(mu_);
+    return n_;
+  }
+
+ private:
+  mutable qv::Mutex mu_;
+  int n_ QV_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Bump();
+  return counter.Total() == 1 ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+# Negative-compile harness: proves a compile-time gate actually bites.
+#
+# Invoked as a ctest (see tests/CMakeLists.txt):
+#   cmake -DCOMPILER=<c++> -DSOURCE=<file.cc> -DINCLUDE_DIR=<src>
+#         "-DFLAGS=-std=c++20 -Wall ... -Werror"
+#         -P negative_compile_check.cmake
+#
+# The source file carries BOTH sides of the experiment, switched by the
+# QV_NEGATIVE preprocessor define:
+#   1. control: compiled WITHOUT -DQV_NEGATIVE, it must COMPILE — this
+#      pins the failure below on the violation, not on a stale include
+#      path or an unrelated warning;
+#   2. violation: compiled WITH -DQV_NEGATIVE, it must FAIL to compile —
+#      the gate (thread-safety analysis, [[nodiscard]] + -Werror) bites.
+#
+# -fsyntax-only keeps it a pure front-end check (no objects, no links).
+
+foreach(var COMPILER SOURCE INCLUDE_DIR FLAGS)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "negative_compile_check.cmake: ${var} not set")
+  endif()
+endforeach()
+
+separate_arguments(flag_list UNIX_COMMAND "${FLAGS}")
+
+execute_process(
+  COMMAND ${COMPILER} ${flag_list} -I${INCLUDE_DIR} -fsyntax-only ${SOURCE}
+  RESULT_VARIABLE control_rc
+  OUTPUT_VARIABLE control_out
+  ERROR_VARIABLE control_err)
+if(NOT control_rc EQUAL 0)
+  message(FATAL_ERROR
+    "control build of ${SOURCE} FAILED — the harness is broken (fix the "
+    "test file or flags before trusting the violation leg):\n"
+    "${control_out}\n${control_err}")
+endif()
+
+execute_process(
+  COMMAND ${COMPILER} ${flag_list} -DQV_NEGATIVE -I${INCLUDE_DIR}
+          -fsyntax-only ${SOURCE}
+  RESULT_VARIABLE violation_rc
+  OUTPUT_VARIABLE violation_out
+  ERROR_VARIABLE violation_err)
+if(violation_rc EQUAL 0)
+  message(FATAL_ERROR
+    "violation build of ${SOURCE} COMPILED — the gate does not bite; the "
+    "static-analysis net has a hole")
+endif()
+
+message(STATUS
+  "gate bites: ${SOURCE} control compiles, violation is rejected")

@@ -1,0 +1,27 @@
+// Negative-compile case: ignoring a [[nodiscard]] Status or Result<T>
+// return must fail under -Werror (GCC and clang both enforce this one).
+// The control build (no QV_NEGATIVE) checks both returns and must
+// compile. Driven by tests/negative/negative_compile_check.cmake.
+#include "common/result.h"
+#include "common/status.h"
+
+namespace {
+
+quickview::Status Touch() { return quickview::Status::OK(); }
+
+quickview::Result<int> Parse() { return 42; }
+
+}  // namespace
+
+int main() {
+#ifdef QV_NEGATIVE
+  Touch();  // VIOLATION: discarded [[nodiscard]] Status.
+  Parse();  // VIOLATION: discarded [[nodiscard]] Result<int>.
+  return 0;
+#else
+  if (!Touch().ok()) return 1;
+  quickview::Result<int> parsed = Parse();
+  if (!parsed.ok()) return 1;
+  return parsed.value() == 42 ? 0 : 1;
+#endif
+}

@@ -29,6 +29,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/sync.h"
 #include "engine/result_cursor.h"
 #include "engine/view_search_engine.h"
 #include "index/index_builder.h"
@@ -363,7 +364,12 @@ TEST(UpdateDifferentialTest, RandomizedUpdatesMatchFreshRebuild) {
 
     // --- differential check against a from-scratch rebuild --------------
     RebuiltEngine fresh(model);
-    ExpectSameIndexState(*live.indexes(), *fresh.indexes, context);
+    {
+      // Direct index access outside the service: hold the corpus lock
+      // shared, as any reader of LiveDatabase surfaces must.
+      qv::ReaderLock live_lock(live.mu());
+      ExpectSameIndexState(*live.indexes(), *fresh.indexes, context);
+    }
 
     std::vector<service::BatchQuery> batch = MakeQueryBatch("bookrev");
     std::vector<Result<engine::SearchResponse>> responses =
