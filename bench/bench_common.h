@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -59,6 +60,19 @@ inline Fixture& GetFixture(const workload::InexOptions& opts) {
     it = cache->emplace(key, std::move(fixture)).first;
   }
   return *it->second;
+}
+
+/// View + keywords through the unified entry point (the benches measure
+/// the same pipeline the old SearchView wrapper delegated to).
+inline Result<engine::SearchResponse> ExecuteView(
+    const engine::ViewSearchEngine& engine, const std::string& view,
+    const std::vector<std::string>& keywords,
+    const engine::SearchOptions& options) {
+  engine::SearchRequest request;
+  request.view = view;
+  request.keywords = keywords;
+  request.options = options;
+  return engine.Execute(request);
 }
 
 /// Attaches the paper's Fig 14 module breakdown to a benchmark state

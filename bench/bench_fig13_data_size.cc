@@ -31,7 +31,7 @@ void BM_Efficient(benchmark::State& state) {
   Fixture& fixture = GetFixture(OptsForScale(state.range(0)));
   engine::SearchResponse last;
   for (auto _ : state) {
-    last = DieOnError(fixture.efficient->SearchView(
+    last = DieOnError(ExecuteView(*fixture.efficient,
                           DefaultView(), Keywords(), engine::SearchOptions{}),
                       "efficient");
   }

@@ -16,7 +16,7 @@ void BM_Keywords(benchmark::State& state) {
   options.conjunctive = false;  // keep the match set stable across counts
   engine::SearchResponse last;
   for (auto _ : state) {
-    last = DieOnError(fixture.efficient->SearchView(view, keywords, options),
+    last = DieOnError(ExecuteView(*fixture.efficient, view, keywords, options),
                       "efficient");
   }
   ReportTimings(state, last);

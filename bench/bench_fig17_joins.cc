@@ -16,7 +16,7 @@ void BM_Joins(benchmark::State& state) {
   auto keywords = workload::KeywordsForTier(workload::KeywordTier::kMedium);
   engine::SearchResponse last;
   for (auto _ : state) {
-    last = DieOnError(fixture.efficient->SearchView(
+    last = DieOnError(ExecuteView(*fixture.efficient,
                           view, keywords, engine::SearchOptions{}),
                       "efficient");
   }

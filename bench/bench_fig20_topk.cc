@@ -15,7 +15,7 @@ void BM_TopK(benchmark::State& state) {
   options.top_k = static_cast<size_t>(state.range(0));
   engine::SearchResponse last;
   for (auto _ : state) {
-    last = DieOnError(fixture.efficient->SearchView(view, keywords, options),
+    last = DieOnError(ExecuteView(*fixture.efficient, view, keywords, options),
                       "efficient");
   }
   ReportTimings(state, last);

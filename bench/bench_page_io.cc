@@ -111,7 +111,7 @@ void RunPackedCold(benchmark::State& state, size_t fetch_all) {
         cursor->FetchNext(fetch_all ? cursor->pending() : kPage),
         "FetchNext");
     benchmark::DoNotOptimize(hits);
-    last = cursor->stats();
+    last = cursor->stats().search;
     last_pool = packed->pool().stats();
   }
   ReportPageIo(state, last, last_pool);
@@ -149,7 +149,7 @@ void BM_PageIoInMemoryFirst10(benchmark::State& state) {
     auto cursor = DieOnError(engine.Open(prepared, options), "Open");
     auto hits = DieOnError(cursor->FetchNext(kPage), "FetchNext");
     benchmark::DoNotOptimize(hits);
-    last = cursor->stats();
+    last = cursor->stats().search;
   }
   state.counters["matches"] =
       benchmark::Counter(static_cast<double>(last.matching_results));

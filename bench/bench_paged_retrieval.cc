@@ -86,7 +86,7 @@ void BM_PagedFirst10Cold(benchmark::State& state) {
     auto cursor = DieOnError(query_service->OpenSearch(query), "OpenSearch");
     auto page = DieOnError(cursor->FetchNext(kPage), "FetchNext");
     benchmark::DoNotOptimize(page);
-    last = cursor->stats();
+    last = cursor->stats().search;
   }
   ReportStats(state, last);
 }
@@ -103,7 +103,7 @@ void BM_PagedFirst10Warm(benchmark::State& state) {
     auto cursor = DieOnError(query_service->OpenSearch(query), "OpenSearch");
     auto page = DieOnError(cursor->FetchNext(kPage), "FetchNext");
     benchmark::DoNotOptimize(page);
-    last = cursor->stats();
+    last = cursor->stats().search;
   }
   ReportStats(state, last);
 }
@@ -121,7 +121,7 @@ void BM_PagedDrainAllWarm(benchmark::State& state) {
     auto everything =
         DieOnError(cursor->FetchNext(cursor->pending()), "FetchNext");
     benchmark::DoNotOptimize(everything);
-    last = cursor->stats();
+    last = cursor->stats().search;
   }
   ReportStats(state, last);
 }

@@ -22,7 +22,7 @@ void BM_FullPipelineSelection(benchmark::State& state) {
   auto keywords = workload::KeywordsForTier(workload::KeywordTier::kMedium);
   engine::SearchResponse last;
   for (auto _ : state) {
-    last = DieOnError(fixture.efficient->SearchView(
+    last = DieOnError(ExecuteView(*fixture.efficient,
                           SelectionView(), keywords, engine::SearchOptions{}),
                       "full");
   }

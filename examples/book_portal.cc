@@ -31,7 +31,11 @@ int main() {
   for (const auto& keywords : queries) {
     engine::SearchOptions options;
     options.top_k = 3;
-    auto eff = efficient.SearchView(view, keywords, options);
+    engine::SearchRequest request;
+    request.view = view;
+    request.keywords = keywords;
+    request.options = options;
+    auto eff = efficient.Execute(request);
     auto base = naive.SearchView(view, keywords, options);
     if (!eff.ok() || !base.ok()) {
       std::fprintf(stderr, "error: %s / %s\n",

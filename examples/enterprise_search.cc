@@ -48,10 +48,11 @@ int main() {
                           {"principal (full archive)", 0}};
 
   for (const Level& level : levels) {
-    engine::SearchOptions options;
-    options.top_k = 2;
-    auto response = engine.SearchView(ClearanceView(level.min_year),
-                                      {"ieee", "computing"}, options);
+    engine::SearchRequest request;
+    request.view = ClearanceView(level.min_year);
+    request.keywords = {"ieee", "computing"};
+    request.options.top_k = 2;
+    auto response = engine.Execute(request);
     if (!response.ok()) {
       std::fprintf(stderr, "%s: %s\n", level.name,
                    response.status().ToString().c_str());

@@ -52,10 +52,11 @@ int main() {
   };
 
   for (const User& user : users) {
-    engine::SearchOptions options;
-    options.top_k = 3;
-    auto response = engine.SearchView(UserView(user.group, user.min_year),
-                                      user.interests, options);
+    engine::SearchRequest request;
+    request.view = UserView(user.group, user.min_year);
+    request.keywords = user.interests;
+    request.options.top_k = 3;
+    auto response = engine.Execute(request);
     if (!response.ok()) {
       std::fprintf(stderr, "%s: %s\n", user.name,
                    response.status().ToString().c_str());

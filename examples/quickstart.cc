@@ -68,11 +68,15 @@ int main() {
   auto indexes = index::BuildDatabaseIndexes(db);
   storage::DocumentStore store(db);
 
-  // 3-4. Ranked keyword search over the virtual view.
+  // 3-4. Ranked keyword search over the virtual view, through the one
+  // unified entry point: a SearchRequest names the view, keywords and
+  // ranking options.
   engine::ViewSearchEngine engine(&db, indexes.get(), &store);
-  engine::SearchOptions options;
-  options.top_k = 5;
-  auto response = engine.SearchView(kView, {"xml", "search"}, options);
+  engine::SearchRequest request;
+  request.view = kView;
+  request.keywords = {"xml", "search"};
+  request.options.top_k = 5;
+  auto response = engine.Execute(request);
   if (!response.ok()) {
     std::fprintf(stderr, "search: %s\n",
                  response.status().ToString().c_str());

@@ -1,0 +1,73 @@
+// CancellationToken: the cooperative stop signal threaded through the
+// sharded query pipeline (modeled on the interrupt channel of OceanBase's
+// PX coordinator: the coordinator trips one flag, every worker polls it
+// at stage boundaries and unwinds with a typed status instead of
+// finishing work nobody will read).
+//
+// Two trip conditions share one token:
+//   - Cancel(): explicit — a caller abandoning a cursor, the merged
+//     cursor having satisfied its top-k budget, or a failed sibling
+//     shard triggering fail-fast;
+//   - a deadline: armed once at query admission (SearchRequest.deadline),
+//     checked on every poll, so a query that overstays its budget stops
+//     inside whichever stage it is in.
+//
+// Polling is a relaxed atomic load plus (when armed) one steady_clock
+// read — cheap enough for per-candidate granularity. The token carries
+// no synchronization duties beyond the flag itself: shard results are
+// published through the ShardGroup's lock, never through the token.
+#ifndef QUICKVIEW_COMMON_CANCELLATION_H_
+#define QUICKVIEW_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "common/status.h"
+
+namespace quickview {
+
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Requests cooperative stop. Idempotent; safe from any thread.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// Arms the deadline; pass before handing the token to workers (the
+  /// deadline itself is not synchronized, only read afterwards).
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+
+  /// True once Cancel() was called or the armed deadline passed.
+  bool Fired() const {
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// The typed error a worker returns when it observes the token: an
+  /// explicit Cancel() wins over the deadline (fail-fast and abandoned
+  /// cursors are deliberate; DeadlineExceeded means "too slow").
+  Status ToStatus() const {
+    if (cancelled_.load(std::memory_order_acquire)) {
+      return Status::Cancelled("query cancelled");
+    }
+    return Status::DeadlineExceeded("query deadline exceeded");
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;  // written before workers see the token
+};
+
+}  // namespace quickview
+
+#endif  // QUICKVIEW_COMMON_CANCELLATION_H_

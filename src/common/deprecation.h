@@ -1,0 +1,17 @@
+// Deprecation plumbing for the staged API migrations. Entry points kept
+// only as byte-identical compatibility wrappers are marked
+// [[deprecated]]; the whole tree builds with -Werror, so any internal
+// caller that has not migrated breaks the build. The parity tests that
+// PROVE the wrappers byte-identical are the one sanctioned caller — they
+// wrap the calls in QV_SUPPRESS_DEPRECATED_BEGIN/END (both GCC and clang
+// honor the GCC pragma spelling).
+#ifndef QUICKVIEW_COMMON_DEPRECATION_H_
+#define QUICKVIEW_COMMON_DEPRECATION_H_
+
+#define QV_SUPPRESS_DEPRECATED_BEGIN                               \
+  _Pragma("GCC diagnostic push") _Pragma(                          \
+      "GCC diagnostic ignored \"-Wdeprecated-declarations\"")
+
+#define QV_SUPPRESS_DEPRECATED_END _Pragma("GCC diagnostic pop")
+
+#endif  // QUICKVIEW_COMMON_DEPRECATION_H_

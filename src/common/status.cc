@@ -17,6 +17,10 @@ const char* CodeName(StatusCode code) {
       return "Unsupported";
     case StatusCode::kEvalError:
       return "EvalError";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -17,6 +17,8 @@ enum class StatusCode {
   kParseError,       // malformed XML or XQuery input
   kUnsupported,      // outside the Appendix A grammar / supported axes
   kEvalError,        // runtime query-evaluation failure (e.g. unbound var)
+  kCancelled,        // work stopped because a cancellation token fired
+  kDeadlineExceeded,  // work stopped because its deadline passed
   kInternal,
 };
 
@@ -45,6 +47,12 @@ class [[nodiscard]] Status {
   }
   static Status EvalError(std::string msg) {
     return Status(StatusCode::kEvalError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

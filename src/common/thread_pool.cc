@@ -1,9 +1,9 @@
-#include "service/thread_pool.h"
+#include "common/thread_pool.h"
 
 #include <algorithm>
 #include <utility>
 
-namespace quickview::service {
+namespace quickview {
 
 ThreadPool::ThreadPool(int threads) {
   int count = std::max(1, threads);
@@ -30,6 +30,27 @@ void ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
   }
   work_cv_.NotifyOne();
+}
+
+bool ThreadPool::RunOneQueued() {
+  std::function<void()> task;
+  {
+    qv::MutexLock lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+  }
+  try {
+    task();
+  } catch (...) {
+    // Same contract as WorkerLoop: a task's exception must not take the
+    // helping thread down; tasks that need the error catch it inside.
+  }
+  qv::MutexLock lock(mu_);
+  --active_;
+  if (queue_.empty() && active_ == 0) idle_cv_.NotifyAll();
+  return true;
 }
 
 void ThreadPool::Drain() {
@@ -65,4 +86,4 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-}  // namespace quickview::service
+}  // namespace quickview

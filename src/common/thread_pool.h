@@ -1,10 +1,17 @@
 // A fixed-size thread pool: N workers draining one FIFO task queue. The
 // service layer sizes it once at startup (paper-scale serving wants a
 // bounded number of executors, not a thread per request) and submits
-// closures; Drain() gives batch callers a completion barrier without
-// per-task futures.
-#ifndef QUICKVIEW_SERVICE_THREAD_POOL_H_
-#define QUICKVIEW_SERVICE_THREAD_POOL_H_
+// closures; the sharded query coordinator fans per-shard work onto the
+// same pool. Drain() gives batch callers a completion barrier without
+// per-task futures; RunOneQueued() lets a caller that is itself blocked
+// on queued work help execute it instead of deadlocking the pool (a
+// coordinator running ON a worker thread must never sleep while its
+// subtasks sit behind it in the queue).
+//
+// Lives in common/ because both the service layer (batch execution) and
+// the engine layer (per-shard fan-out) schedule onto it.
+#ifndef QUICKVIEW_COMMON_THREAD_POOL_H_
+#define QUICKVIEW_COMMON_THREAD_POOL_H_
 
 #include <deque>
 #include <functional>
@@ -13,7 +20,7 @@
 
 #include "common/sync.h"
 
-namespace quickview::service {
+namespace quickview {
 
 class ThreadPool {
  public:
@@ -29,6 +36,15 @@ class ThreadPool {
   /// Enqueues `task` for execution on some worker. Safe from any thread,
   /// including from within a task.
   void Submit(std::function<void()> task) QV_EXCLUDES(mu_);
+
+  /// Pops one queued task (FIFO) and runs it on the CALLING thread;
+  /// returns false immediately when the queue is empty. This is the
+  /// work-stealing escape hatch for nested waits: a task that blocks on
+  /// other tasks of the same pool calls this in its wait loop, so the
+  /// pool makes progress even when every worker is parked in such a
+  /// wait. The stolen task may be anything in the queue, not necessarily
+  /// one the caller is waiting on.
+  bool RunOneQueued() QV_EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and every worker is idle. Tasks
   /// submitted while draining are waited for too.
@@ -48,6 +64,6 @@ class ThreadPool {
   std::vector<std::thread> workers_;  // written only in the constructor
 };
 
-}  // namespace quickview::service
+}  // namespace quickview
 
-#endif  // QUICKVIEW_SERVICE_THREAD_POOL_H_
+#endif  // QUICKVIEW_COMMON_THREAD_POOL_H_

@@ -1,0 +1,88 @@
+// MergedRankedStream: the k-way merge over per-shard RankedStreams that
+// makes sharded execution stream like the single-shard engine. Each shard
+// scores its own candidates and parks them in its own lazily-heapified
+// RankedStream; this class holds a small tournament heap over the shard
+// HEADS only, so Pop() is O(log n_shard) shard-head comparisons plus one
+// O(log n_candidates) pop inside the winning shard. Nothing beyond the
+// current head of each shard is ever ordered — the merge frontier is as
+// lazy as the per-shard streams underneath it, which is what preserves
+// the "fetch 10, pay for 10" guarantee across shards.
+//
+// Order contract: highest score first; ties break by (shard asc,
+// position asc). With the ordered contiguous corpus partition the engine
+// uses, shard-then-position order IS global view order, so draining a
+// merged stream reproduces the unsharded engine's total order exactly.
+#ifndef QUICKVIEW_ENGINE_MERGED_RANKED_STREAM_H_
+#define QUICKVIEW_ENGINE_MERGED_RANKED_STREAM_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "engine/ranked_stream.h"
+
+namespace quickview::engine {
+
+class MergedRankedStream {
+ public:
+  struct Entry {
+    double score = 0;
+    size_t shard = 0;
+    size_t position = 0;  // within that shard's candidate vector
+  };
+
+  /// Adds the next shard's stream; shards are numbered in call order and
+  /// the numbering is the tie-break, so add them in corpus order. All
+  /// shards must be added before the first Pop.
+  void AddShard(RankedStream stream) {
+    size_t shard = shards_.size();
+    shards_.push_back(std::move(stream));
+    if (!shards_.back().Empty()) {
+      RankedStream::Entry head = shards_.back().Pop();
+      heads_.push_back(Entry{head.score, shard, head.position});
+      std::push_heap(heads_.begin(), heads_.end(), After);
+    }
+  }
+
+  bool Empty() const { return heads_.empty(); }
+
+  /// Entries not yet popped, across all shards.
+  size_t Size() const {
+    size_t total = heads_.size();
+    for (const RankedStream& s : shards_) total += s.Size();
+    return total;
+  }
+
+  /// Removes and returns the globally best remaining entry, then refills
+  /// the winner shard's seat in the tournament. Undefined when Empty().
+  Entry Pop() {
+    assert(!heads_.empty());
+    std::pop_heap(heads_.begin(), heads_.end(), After);
+    Entry best = heads_.back();
+    heads_.pop_back();
+    RankedStream& source = shards_[best.shard];
+    if (!source.Empty()) {
+      RankedStream::Entry head = source.Pop();
+      heads_.push_back(Entry{head.score, best.shard, head.position});
+      std::push_heap(heads_.begin(), heads_.end(), After);
+    }
+    return best;
+  }
+
+ private:
+  /// Max-heap "less than": a ranks after b.
+  static bool After(const Entry& a, const Entry& b) {
+    if (a.score != b.score) return a.score < b.score;
+    if (a.shard != b.shard) return a.shard > b.shard;
+    return a.position > b.position;
+  }
+
+  std::vector<RankedStream> shards_;  // per-shard tails (heads removed)
+  std::vector<Entry> heads_;          // tournament heap, one seat per shard
+};
+
+}  // namespace quickview::engine
+
+#endif  // QUICKVIEW_ENGINE_MERGED_RANKED_STREAM_H_

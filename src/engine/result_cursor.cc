@@ -18,31 +18,50 @@ double MsSince(Clock::time_point start) {
 
 }  // namespace
 
+ResultCursor::~ResultCursor() {
+  // Release the token for any caller-side work still watching it. Shard
+  // tasks completed inside Open (the barrier), so this never races
+  // engine work.
+  if (cancel_ != nullptr) cancel_->Cancel();
+}
+
 Result<std::vector<SearchHit>> ResultCursor::FetchNext(size_t n) {
   Clock::time_point start = Clock::now();
   std::vector<SearchHit> page;
   size_t want = std::min(n, pending());
   page.reserve(want);
   while (page.size() < want) {
-    RankedStream::Entry best = stream_.Pop();
-    const scoring::ScoredResult& candidate = candidates_[best.position];
+    MergedRankedStream::Entry best = stream_.Pop();
+    Slice& slice = slices_[best.shard];
+    const scoring::ScoredResult& candidate = slice.candidates[best.position];
     SearchHit hit;
     hit.score = candidate.score;
     hit.tf = candidate.tf;
     hit.byte_length = candidate.byte_length;
-    // The fetch: the pipeline's only base-data access, accounted per hit.
+    // The fetch: the pipeline's only base-data access, accounted per hit
+    // against BOTH the global counters and the owning shard's.
     storage::DocumentStore::Stats fetches;
     QUICKVIEW_ASSIGN_OR_RETURN(
-        hit.xml, scoring::MaterializeToXml(candidate.result, store_,
-                                           &fetches));
-    stats_.store_fetches += fetches.fetch_calls;
-    stats_.store_bytes += fetches.bytes_fetched;
-    stats_.pages_read += fetches.pages_read;
-    stats_.buffer_hits += fetches.buffer_hits;
+        hit.xml,
+        scoring::MaterializeToXml(candidate.result, slice.store, &fetches));
+    stats_.search.store_fetches += fetches.fetch_calls;
+    stats_.search.store_bytes += fetches.bytes_fetched;
+    stats_.search.pages_read += fetches.pages_read;
+    stats_.search.buffer_hits += fetches.buffer_hits;
+    if (best.shard < stats_.shards.size()) {
+      ShardStats& shard = stats_.shards[best.shard];
+      shard.store_fetches += fetches.fetch_calls;
+      shard.store_bytes += fetches.bytes_fetched;
+      shard.pages_read += fetches.pages_read;
+      shard.buffer_hits += fetches.buffer_hits;
+    }
     page.push_back(std::move(hit));
     ++fetched_;
   }
-  timings_.post_ms += MsSince(start);
+  stats_.timings.post_ms += MsSince(start);
+  // Budget satisfied: release the token so cooperating work (and any
+  // caller watching it) stops — the cursor will never ask for more.
+  if (fetched_ >= limit_ && cancel_ != nullptr) cancel_->Cancel();
   return page;
 }
 
@@ -50,8 +69,8 @@ Result<SearchResponse> DrainToResponse(ResultCursor* cursor) {
   SearchResponse response;
   QUICKVIEW_ASSIGN_OR_RETURN(response.hits,
                              cursor->FetchNext(cursor->pending()));
-  response.timings = cursor->timings();
-  response.stats = cursor->stats();
+  response.timings = cursor->stats().timings;
+  response.stats = cursor->stats().search;
   return response;
 }
 

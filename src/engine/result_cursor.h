@@ -1,21 +1,28 @@
 // ResultCursor: the pull-based result surface of the engine (paper
 // §4.2.2.2 taken to its API conclusion). ViewSearchEngine::Open runs the
 // cheap whole-stream stages once — evaluation over the PDTs, scoring,
-// ranked-candidate heap — and hands back a cursor; each FetchNext(n) pops
-// the next n candidates in score order and materializes exactly those
-// from the document store. Materialization is the ONLY base-data access
+// per-shard ranked heaps merged under one tournament frontier — and
+// hands back a cursor; each FetchNext(n) pops the next n entries in
+// global score order and materializes exactly those from the owning
+// shard's document store. Materialization is the ONLY base-data access
 // of the pipeline, so a hit that is never fetched costs zero store
-// fetches — observable in stats().store_fetches, which grows with the
-// cursor instead of being paid up front. This is what makes "10 more"
-// pagination incremental: the ranked stream is computed once, and each
-// page touches base data only for its own hits.
+// fetches — observable in stats().search.store_fetches globally and in
+// stats().shards[i] per shard: fetching the global top 10 touches only
+// the pages of the shards those 10 hits live on. This is what makes
+// "10 more" pagination incremental at any shard count.
 //
-// Lifetime: the cursor pins the PreparedQuery (PDTs) via shared_ptr and
-// the evaluator's result arena via shared_ptr, so it stays valid after
-// the PreparedQueryCache evicts the entry or the engine's caller moves
-// on. The Database, indexes and DocumentStore the engine was built over
-// must still outlive the cursor (they are immutable, service-lifetime
+// Lifetime: the cursor pins every shard's PreparedQuery (PDTs) and
+// evaluator result arena via shared_ptr, so it stays valid after the
+// PreparedQueryCache evicts entries or the engine's caller moves on. The
+// Databases, indexes and DocumentStores the engine was built over must
+// still outlive the cursor (they are immutable, service-lifetime
 // structures).
+//
+// Cancellation: the cursor co-owns the query's CancellationToken. It
+// fires the token once the top_k budget is satisfied and again on
+// destruction, so caller-side work cooperating on the same token stops
+// when the cursor is done with it. (Shard tasks themselves finished
+// inside Open — the barrier — so firing here never races engine work.)
 //
 // Error handling: a failed FetchNext returns the error and leaves the
 // cursor in an unspecified (but destructible) state; discard it.
@@ -27,8 +34,10 @@
 #include <memory>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
-#include "engine/ranked_stream.h"
+#include "engine/engine_stats.h"
+#include "engine/merged_ranked_stream.h"
 #include "engine/view_search_engine.h"
 #include "scoring/scorer.h"
 #include "storage/document_store.h"
@@ -40,12 +49,13 @@ class ResultCursor {
  public:
   ResultCursor(const ResultCursor&) = delete;
   ResultCursor& operator=(const ResultCursor&) = delete;
+  ~ResultCursor();
 
   /// Returns the next (up to) `n` hits in descending score order,
-  /// materializing each from the document store as it is returned.
-  /// Returns fewer than `n` — possibly zero — once the ranked stream or
-  /// the cursor's top_k budget is exhausted. Splitting one fetch into
-  /// several smaller ones yields the identical hit sequence.
+  /// materializing each from its shard's document store as it is
+  /// returned. Returns fewer than `n` — possibly zero — once the merged
+  /// stream or the cursor's top_k budget is exhausted. Splitting one
+  /// fetch into several smaller ones yields the identical hit sequence.
   Result<std::vector<SearchHit>> FetchNext(size_t n);
 
   /// True once every hit the cursor will ever yield has been fetched.
@@ -60,23 +70,33 @@ class ResultCursor {
     return std::min(budget, stream_.Size());
   }
 
-  /// Cumulative module timings: qpt/pdt from the PreparedQuery, eval from
-  /// Open, post growing with every fetch (scoring + materialization) —
-  /// drained, they match the batch pipeline's Fig-14 breakdown.
-  const ModuleTimings& timings() const { return timings_; }
+  /// The unified stats answer. stats().search and stats().shards[i]
+  /// counters for view/matching results, PDT work and view bytes are
+  /// final at Open; store/page counters count only the hits fetched so
+  /// far (the lazy-materialization guarantee). stats().timings is the
+  /// Fig-14 wall-clock view (per-module MAX over shards), post_ms
+  /// growing with every fetch.
+  const EngineStats& stats() const { return stats_; }
 
-  /// Cumulative stats. view_results / matching_results / view_bytes / pdt
-  /// are final at Open; store_fetches / store_bytes count only the hits
-  /// fetched so far (the lazy-materialization guarantee).
-  const SearchStats& stats() const { return stats_; }
+  /// The prepared query of shard 0 — on an unsharded engine, THE
+  /// prepared query this cursor executes. The cursor keeps every shard's
+  /// prepared query alive.
+  const PreparedQuery& prepared() const { return *slices_[0].prepared; }
 
-  /// The prepared query this cursor executes (the cursor keeps it alive).
-  const PreparedQuery& prepared() const { return *prepared_; }
+  /// Number of executed shards behind this cursor (slot order ==
+  /// executed-shard order: all shards, or just the hinted one).
+  size_t shard_slices() const { return slices_.size(); }
+
+  /// Shared ownership of slot `slot`'s prepared query — how the service
+  /// layer caches PDTs the engine built on the fly during Open.
+  std::shared_ptr<const PreparedQuery> SharedPrepared(size_t slot) const {
+    return slices_[slot].prepared;
+  }
 
   /// Pins `lease` for the cursor's lifetime — the same shared_ptr scheme
-  /// that already pins the PreparedQuery and the evaluator arena, extended
+  /// that already pins the PreparedQueries and evaluator arenas, extended
   /// to caller-owned state. The service layer attaches the DocumentStore
-  /// snapshot a live database published at Open time, so updates applied
+  /// snapshots a live database published at Open time, so updates applied
   /// after Open can never invalidate what this cursor materializes from
   /// (the snapshot-isolation guarantee).
   void AddLease(std::shared_ptr<const void> lease) {
@@ -87,22 +107,30 @@ class ResultCursor {
   friend class ViewSearchEngine;
   ResultCursor() = default;
 
-  std::shared_ptr<const PreparedQuery> prepared_;  // pins the PDTs
-  std::shared_ptr<const xml::Document> result_arena_;  // constructed nodes
+  /// One shard's execution product. `candidates` is in shard view order;
+  /// the merged stream's (shard, position) entries index into it.
+  struct Slice {
+    std::shared_ptr<const PreparedQuery> prepared;       // pins the PDTs
+    std::shared_ptr<const xml::Document> arena;  // constructed nodes
+    const storage::DocumentStore* store = nullptr;
+    std::vector<scoring::ScoredResult> candidates;
+  };
+
+  std::vector<Slice> slices_;  // corpus order (== stats_.shards order)
   std::vector<std::shared_ptr<const void>> leases_;  // caller-pinned state
-  const storage::DocumentStore* store_ = nullptr;
-  std::vector<scoring::ScoredResult> candidates_;  // view order, unsorted
-  RankedStream stream_;  // positions into candidates_
-  size_t limit_ = 0;     // total hit budget (SearchOptions::top_k)
+  MergedRankedStream stream_;
+  std::shared_ptr<CancellationToken> cancel_;  // fired at budget / dtor
+  size_t limit_ = 0;  // total hit budget (SearchOptions::top_k)
   size_t fetched_ = 0;
-  ModuleTimings timings_;
-  SearchStats stats_;
+  EngineStats stats_;
 };
 
 /// Drains `cursor` into the batch response shape: every remaining hit,
-/// plus the cursor's cumulative timings and stats. On a fresh cursor this
-/// reproduces the pre-cursor ExecutePrepared output byte for byte — it is
-/// the compatibility path under Search / SearchView / SearchBatch.
+/// plus the cursor's cumulative timings and stats (the legacy flat pair,
+/// taken from EngineStats). On a fresh cursor this reproduces the
+/// batch-pipeline output byte for byte at any shard count — it is the
+/// compatibility path under Execute / SearchBatch and the deprecated
+/// trio.
 Result<SearchResponse> DrainToResponse(ResultCursor* cursor);
 
 }  // namespace quickview::engine

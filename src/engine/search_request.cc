@@ -1,0 +1,39 @@
+#include "engine/search_request.h"
+
+namespace quickview::engine {
+
+Status ValidateSearchOptions(const SearchOptions& options) {
+  if (options.top_k == 0) {
+    return Status::InvalidArgument(
+        "top_k must be at least 1 (a zero-result search is a caller bug)");
+  }
+  return Status::OK();
+}
+
+Status SearchRequest::Validate() const {
+  if (query.empty() && view.empty()) {
+    return Status::InvalidArgument(
+        "SearchRequest needs a query or a view: set exactly one");
+  }
+  if (!query.empty() && !view.empty()) {
+    return Status::InvalidArgument(
+        "SearchRequest has both a query and a view: set exactly one");
+  }
+  if (!query.empty() && !keywords.empty()) {
+    return Status::InvalidArgument(
+        "keywords accompany the view form; a full query embeds its own "
+        "ftcontains list");
+  }
+  if (!view.empty() && keywords.empty()) {
+    return Status::InvalidArgument(
+        "view-form SearchRequest requires a non-empty keyword list");
+  }
+  QV_RETURN_IF_ERROR(ValidateSearchOptions(options));
+  if (shard < -1) {
+    return Status::InvalidArgument(
+        "shard hint must be -1 (all shards) or a shard number");
+  }
+  return Status::OK();
+}
+
+}  // namespace quickview::engine

@@ -1,9 +1,14 @@
 #include "engine/view_search_engine.h"
 
+#include <algorithm>
+#include <cassert>
 #include <chrono>
+#include <optional>
 #include <utility>
 
 #include "common/strings.h"
+#include "common/sync.h"
+#include "common/thread_pool.h"
 #include "engine/result_cursor.h"
 #include "qpt/generate_qpt.h"
 #include "scoring/scorer.h"
@@ -50,14 +55,69 @@ void AppendQptSignature(const qpt::Qpt& qpt, std::string* out) {
   }
 }
 
+// Fixed-slot completion barrier for the per-shard fan-out (the PX-style
+// coordinator's result channel): each shard task fills its slot exactly
+// once; the coordinator waits for all slots, HELPING the pool drain its
+// queue meanwhile — the coordinator often IS a pool task (SearchBatch),
+// and parking it while its own subtasks sit queued behind it would
+// deadlock a saturated pool.
+template <typename T>
+class Gather {
+ public:
+  explicit Gather(size_t n) : slots_(n) {}
+
+  void Set(size_t i, T value) {
+    qv::MutexLock lock(mu_);
+    slots_[i].emplace(std::move(value));
+    ++done_;
+    // Notify while still holding the lock: a waiter that observes
+    // completion may destroy this object the instant the lock frees.
+    cv_.NotifyAll();
+  }
+
+  void Wait(ThreadPool* pool) {
+    if (pool != nullptr) {
+      for (;;) {
+        {
+          qv::MutexLock lock(mu_);
+          if (done_ == slots_.size()) return;
+        }
+        // Queue empty means every unfinished slot's task is already
+        // running on some worker; safe to park on the condvar below.
+        if (!pool->RunOneQueued()) break;
+      }
+    }
+    qv::MutexLock lock(mu_);
+    while (done_ < slots_.size()) cv_.Wait(lock);
+  }
+
+  /// Only after Wait returned.
+  T Take(size_t i) {
+    qv::MutexLock lock(mu_);
+    return std::move(*slots_[i]);
+  }
+
+ private:
+  qv::Mutex mu_;
+  qv::CondVar cv_;
+  std::vector<std::optional<T>> slots_ QV_GUARDED_BY(mu_);
+  size_t done_ QV_GUARDED_BY(mu_) = 0;
+};
+
 }  // namespace
 
-Status ValidateSearchOptions(const SearchOptions& options) {
-  if (options.top_k == 0) {
-    return Status::InvalidArgument(
-        "top_k must be at least 1 (a zero-result search is a caller bug)");
-  }
-  return Status::OK();
+struct ViewSearchEngine::ShardEval {
+  std::shared_ptr<const PreparedQuery> prepared;
+  std::shared_ptr<const xml::Document> arena;  // evaluator-constructed nodes
+  scoring::CandidateSet set;
+  double eval_ms = 0;
+  double collect_ms = 0;
+};
+
+ViewSearchEngine::ViewSearchEngine(std::vector<ShardContext> shards,
+                                   ThreadPool* pool)
+    : shards_(std::move(shards)), pool_(pool) {
+  assert(!shards_.empty());
 }
 
 std::string PlanSignature(const std::vector<qpt::Qpt>& qpts,
@@ -111,14 +171,28 @@ Result<QueryPlan> ViewSearchEngine::PlanQuery(const std::string& query) const {
 }
 
 Result<std::shared_ptr<const PreparedQuery>> ViewSearchEngine::BuildPdts(
-    QueryPlan plan) const {
+    QueryPlan plan, int shard) const {
+  return BuildPdtsImpl(std::move(plan), shard, /*cancel=*/nullptr);
+}
+
+Result<std::shared_ptr<const PreparedQuery>> ViewSearchEngine::BuildPdtsImpl(
+    QueryPlan plan, int shard, const CancellationToken* cancel) const {
+  if (shard < 0 || shard >= shard_count()) {
+    return Status::InvalidArgument(
+        "BuildPdts shard " + std::to_string(shard) +
+        " out of range: engine has " + std::to_string(shard_count()) +
+        " shard(s)");
+  }
+  const index::IndexSource* indexes =
+      shards_[static_cast<size_t>(shard)].indexes;
   Clock::time_point start = Clock::now();
   auto prepared = std::make_shared<PreparedQuery>();
   prepared->plan = std::move(plan);
   prepared->pdts.reserve(prepared->plan.qpts.size());
   for (const qpt::Qpt& q : prepared->plan.qpts) {
+    if (cancel != nullptr && cancel->Fired()) return cancel->ToStatus();
     std::optional<index::DocumentIndexView> doc_indexes =
-        indexes_->GetView(q.source_doc);
+        indexes->GetView(q.source_doc);
     if (!doc_indexes.has_value()) {
       return Status::NotFound("no indexes for document '" + q.source_doc +
                               "'");
@@ -141,55 +215,265 @@ Result<std::shared_ptr<const PreparedQuery>> ViewSearchEngine::BuildPdts(
   return std::shared_ptr<const PreparedQuery>(std::move(prepared));
 }
 
+Result<ViewSearchEngine::ShardEval> ViewSearchEngine::EvaluateShard(
+    size_t shard, std::shared_ptr<const PreparedQuery> prepared,
+    const CancellationToken* cancel) const {
+  ShardEval eval;
+  eval.prepared = std::move(prepared);
+  const QueryPlan& plan = eval.prepared->plan;
+
+  // --- Evaluate the rewritten query over this shard's PDTs ---
+  Clock::time_point start = Clock::now();
+  xquery::Evaluator evaluator(shards_[shard].database);
+  for (size_t i = 0; i < plan.qpts.size(); ++i) {
+    evaluator.OverrideDocument(plan.qpts[i].occurrence_name,
+                               eval.prepared->pdts[i].get());
+  }
+  QUICKVIEW_ASSIGN_OR_RETURN(xquery::Sequence view_results,
+                             evaluator.Evaluate(plan.kq.view));
+  // Constructed elements live in the evaluator's arena; the candidates
+  // reference it, so the eval (and later the cursor) takes shared
+  // ownership.
+  eval.arena = evaluator.result_doc_shared();
+  eval.eval_ms = MsSince(start);
+
+  // --- Collect raw keyword statistics (phase 1 of the phased scorer;
+  // idf needs the whole corpus, so scoring waits for every shard) ---
+  start = Clock::now();
+  QUICKVIEW_ASSIGN_OR_RETURN(
+      eval.set,
+      scoring::CollectCandidates(view_results, plan.kq.keywords, cancel));
+  eval.collect_ms = MsSince(start);
+  return eval;
+}
+
+Result<std::unique_ptr<ResultCursor>> ViewSearchEngine::FinalizeCursor(
+    std::vector<ShardEval> evals, const std::vector<size_t>& shard_ids,
+    size_t top_k, std::shared_ptr<CancellationToken> token) const {
+  Clock::time_point start = Clock::now();
+  auto cursor = std::unique_ptr<ResultCursor>(new ResultCursor());
+  cursor->cancel_ = std::move(token);
+  cursor->limit_ = top_k;
+
+  // The plan is identical across shards (same text, deterministic
+  // planner); read query-level facts from the first one.
+  const QueryPlan& plan = evals[0].prepared->plan;
+
+  // --- Global idf: integer counts summed across shards, divided once —
+  // bit-identical to scoring the concatenated view in a single pass ---
+  uint64_t total_candidates = 0;
+  std::vector<uint64_t> df(plan.kq.keywords.size(), 0);
+  double collect_ms_max = 0;
+  for (const ShardEval& eval : evals) {
+    total_candidates += eval.set.candidates.size();
+    scoring::AccumulateDf(eval.set, &df);
+    collect_ms_max = std::max(collect_ms_max, eval.collect_ms);
+  }
+  const std::vector<double> idf = scoring::ComputeIdf(total_candidates, df);
+
+  EngineStats& stats = cursor->stats_;
+  const CancellationToken* cancel =
+      cursor->cancel_ == nullptr ? nullptr : cursor->cancel_.get();
+  for (size_t p = 0; p < evals.size(); ++p) {
+    ShardEval& eval = evals[p];
+    QUICKVIEW_ASSIGN_OR_RETURN(
+        std::vector<scoring::ScoredResult> kept,
+        scoring::FilterAndScore(std::move(eval.set.candidates), idf,
+                                plan.kq.conjunctive, cancel));
+
+    ShardStats shard_stats;
+    shard_stats.shard = static_cast<int>(shard_ids[p]);
+    shard_stats.view_results = eval.set.sequence_size;
+    shard_stats.matching_results = kept.size();
+    shard_stats.pdt_ms = eval.prepared->pdt_ms;
+    shard_stats.eval_ms = eval.eval_ms;
+    stats.shards.push_back(shard_stats);
+
+    stats.search.view_results += eval.set.sequence_size;
+    stats.search.matching_results += kept.size();
+    stats.search.view_bytes += eval.set.view_bytes;
+    const pdt::PdtBuildStats& pdt_stats = eval.prepared->pdt_stats;
+    stats.search.pdt.ids_processed += pdt_stats.ids_processed;
+    stats.search.pdt.nodes_emitted += pdt_stats.nodes_emitted;
+    stats.search.pdt.peak_ct_nodes += pdt_stats.peak_ct_nodes;
+    stats.search.pdt.index_probes += pdt_stats.index_probes;
+    stats.search.pdt.pdt_bytes += pdt_stats.pdt_bytes;
+    // Fig-14 wall clock: parallel stages report the slowest shard.
+    stats.timings.qpt_ms =
+        std::max(stats.timings.qpt_ms, eval.prepared->plan.qpt_ms);
+    stats.timings.pdt_ms =
+        std::max(stats.timings.pdt_ms, eval.prepared->pdt_ms);
+    stats.timings.eval_ms = std::max(stats.timings.eval_ms, eval.eval_ms);
+
+    // Per-shard lazily-heapified stream; the merged frontier pops across
+    // them in global (score desc, shard asc, position asc) order.
+    RankedStream stream;
+    stream.Reserve(kept.size());
+    for (size_t i = 0; i < kept.size(); ++i) stream.Push(kept[i].score, i);
+    cursor->stream_.AddShard(std::move(stream));
+
+    ResultCursor::Slice slice;
+    slice.prepared = std::move(eval.prepared);
+    slice.arena = std::move(eval.arena);
+    slice.store = shards_[shard_ids[p]].store;
+    slice.candidates = std::move(kept);
+    cursor->slices_.push_back(std::move(slice));
+  }
+  stats.timings.post_ms += collect_ms_max + MsSince(start);
+  return cursor;
+}
+
+Result<std::unique_ptr<ResultCursor>> ViewSearchEngine::Open(
+    const SearchRequest& request) const {
+  return OpenImpl(request, {});
+}
+
+Result<std::unique_ptr<ResultCursor>> ViewSearchEngine::Open(
+    const SearchRequest& request,
+    std::vector<std::shared_ptr<const PreparedQuery>> prepared) const {
+  return OpenImpl(request, prepared);
+}
+
+Result<std::unique_ptr<ResultCursor>> ViewSearchEngine::OpenImpl(
+    const SearchRequest& request,
+    const std::vector<std::shared_ptr<const PreparedQuery>>& prepared)
+    const {
+  QV_RETURN_IF_ERROR(request.Validate());
+  if (request.shard >= shard_count()) {
+    return Status::InvalidArgument(
+        "shard hint " + std::to_string(request.shard) +
+        " out of range: engine has " + std::to_string(shard_count()) +
+        " shard(s)");
+  }
+  std::vector<size_t> selected;
+  if (request.shard >= 0) {
+    selected.push_back(static_cast<size_t>(request.shard));
+  } else {
+    for (size_t i = 0; i < shards_.size(); ++i) selected.push_back(i);
+  }
+  if (!prepared.empty() && prepared.size() != selected.size()) {
+    return Status::InvalidArgument(
+        "prepared-query vector must have one entry per executed shard (" +
+        std::to_string(selected.size()) + "), got " +
+        std::to_string(prepared.size()));
+  }
+
+  std::shared_ptr<CancellationToken> token = request.cancel;
+  if (token == nullptr) token = std::make_shared<CancellationToken>();
+  if (request.deadline.has_value()) {
+    token->SetDeadline(Clock::now() + *request.deadline);
+  }
+
+  const std::string query_text =
+      !request.query.empty()
+          ? request.query
+          : ComposeKeywordQuery(request.view, request.keywords,
+                                request.options.conjunctive);
+
+  // --- Fan out: per-shard plan/PDT/eval/collect tasks ---
+  const size_t n = selected.size();
+  Gather<Result<ShardEval>> gather(n);
+  auto run_shard = [&](size_t slot) -> Result<ShardEval> {
+    const size_t shard = selected[slot];
+    if (token->Fired()) return token->ToStatus();
+    std::shared_ptr<const PreparedQuery> pq =
+        slot < prepared.size() ? prepared[slot] : nullptr;
+    if (pq == nullptr) {
+      // Parsing is query-proportional and deterministic, so each shard
+      // re-plans from the same text instead of sharing one move-only
+      // plan: every PreparedQuery stays self-contained for the caches.
+      QUICKVIEW_ASSIGN_OR_RETURN(QueryPlan plan, PlanQuery(query_text));
+      QUICKVIEW_ASSIGN_OR_RETURN(
+          pq, BuildPdtsImpl(std::move(plan), static_cast<int>(shard),
+                            token.get()));
+    }
+    return EvaluateShard(shard, std::move(pq), token.get());
+  };
+  auto run_into_slot = [&](size_t slot) {
+    Result<ShardEval> result = run_shard(slot);
+    if (!result.ok() && result.status().code() != StatusCode::kCancelled &&
+        result.status().code() != StatusCode::kDeadlineExceeded) {
+      token->Cancel();  // fail fast: stop the sibling shards
+    }
+    gather.Set(slot, std::move(result));
+  };
+  const bool parallel = pool_ != nullptr && n > 1;
+  for (size_t slot = 0; slot < n; ++slot) {
+    if (parallel) {
+      pool_->Submit([&run_into_slot, slot] { run_into_slot(slot); });
+    } else {
+      run_into_slot(slot);
+    }
+  }
+  // The barrier. After this no shard task is queued or running.
+  gather.Wait(parallel ? pool_ : nullptr);
+
+  // --- Fold per-shard outcomes into one typed status: the first REAL
+  // shard error wins (annotated with its shard); Cancelled /
+  // DeadlineExceeded only surface when nothing harder caused them ---
+  std::vector<Result<ShardEval>> results;
+  results.reserve(n);
+  for (size_t slot = 0; slot < n; ++slot) {
+    results.push_back(gather.Take(slot));
+  }
+  for (size_t slot = 0; slot < n; ++slot) {
+    const Status& status = results[slot].status();
+    if (status.ok() || status.code() == StatusCode::kCancelled ||
+        status.code() == StatusCode::kDeadlineExceeded) {
+      continue;
+    }
+    if (shards_.size() > 1) {
+      return Status(status.code(),
+                    "shard " + std::to_string(selected[slot]) + ": " +
+                        status.message());
+    }
+    return status;
+  }
+  for (size_t slot = 0; slot < n; ++slot) {
+    if (!results[slot].ok()) return results[slot].status();
+  }
+
+  std::vector<ShardEval> evals;
+  evals.reserve(n);
+  for (size_t slot = 0; slot < n; ++slot) {
+    evals.push_back(std::move(results[slot]).value());
+  }
+  return FinalizeCursor(std::move(evals), selected, request.options.top_k,
+                        std::move(token));
+}
+
 Result<std::unique_ptr<ResultCursor>> ViewSearchEngine::Open(
     std::shared_ptr<const PreparedQuery> prepared,
     const SearchOptions& options) const {
   if (prepared == nullptr) {
     return Status::InvalidArgument("Open requires a prepared query");
   }
-  QUICKVIEW_RETURN_IF_ERROR(ValidateSearchOptions(options));
-
-  auto cursor = std::unique_ptr<ResultCursor>(new ResultCursor());
-  cursor->prepared_ = std::move(prepared);
-  cursor->store_ = store_;
-  cursor->limit_ = options.top_k;
-  const QueryPlan& plan = cursor->prepared_->plan;
-  cursor->timings_.qpt_ms = plan.qpt_ms;
-  cursor->timings_.pdt_ms = cursor->prepared_->pdt_ms;
-  cursor->stats_.pdt = cursor->prepared_->pdt_stats;
-
-  // --- Evaluate the rewritten query over the PDTs ---
-  Clock::time_point start = Clock::now();
-  xquery::Evaluator evaluator(database_);
-  for (size_t i = 0; i < plan.qpts.size(); ++i) {
-    evaluator.OverrideDocument(plan.qpts[i].occurrence_name,
-                               cursor->prepared_->pdts[i].get());
+  QV_RETURN_IF_ERROR(ValidateSearchOptions(options));
+  if (shards_.size() > 1) {
+    return Status::InvalidArgument(
+        "single-PreparedQuery Open is only valid on an unsharded engine; "
+        "use Open(SearchRequest, per-shard prepared queries)");
   }
-  QUICKVIEW_ASSIGN_OR_RETURN(xquery::Sequence view_results,
-                             evaluator.Evaluate(plan.kq.view));
-  // Constructed elements live in the evaluator's arena; the candidates
-  // reference it, so the cursor takes shared ownership.
-  cursor->result_arena_ = evaluator.result_doc_shared();
-  cursor->timings_.eval_ms = MsSince(start);
-
-  // --- Score everything, rank nothing: candidates go into the heap and
-  // leave it (already materialization-free) only when fetched ---
-  start = Clock::now();
-  scoring::ScoringOutcome outcome = scoring::ScoreCandidates(
-      view_results, plan.kq.keywords, plan.kq.conjunctive);
-  cursor->stats_.view_results = view_results.size();
-  cursor->stats_.matching_results = outcome.ranked.size();
-  cursor->stats_.view_bytes = outcome.view_bytes;
-  cursor->candidates_ = std::move(outcome.ranked);
-  cursor->stream_.Reserve(cursor->candidates_.size());
-  for (size_t i = 0; i < cursor->candidates_.size(); ++i) {
-    cursor->stream_.Push(cursor->candidates_[i].score, i);
-  }
-  cursor->timings_.post_ms += MsSince(start);
-  return cursor;
+  QUICKVIEW_ASSIGN_OR_RETURN(
+      ShardEval eval, EvaluateShard(0, std::move(prepared), nullptr));
+  std::vector<ShardEval> evals;
+  evals.push_back(std::move(eval));
+  return FinalizeCursor(std::move(evals), {0}, options.top_k, nullptr);
 }
 
-Result<SearchResponse> ViewSearchEngine::ExecutePrepared(
+Result<SearchResponse> ViewSearchEngine::Execute(
+    const SearchRequest& request) const {
+  return ExecuteImpl(request);
+}
+
+Result<SearchResponse> ViewSearchEngine::ExecuteImpl(
+    const SearchRequest& request) const {
+  QUICKVIEW_ASSIGN_OR_RETURN(std::unique_ptr<ResultCursor> cursor,
+                             OpenImpl(request, {}));
+  return DrainToResponse(cursor.get());
+}
+
+Result<SearchResponse> ViewSearchEngine::ExecutePreparedImpl(
     std::shared_ptr<const PreparedQuery> prepared,
     const SearchOptions& options) const {
   QUICKVIEW_ASSIGN_OR_RETURN(std::unique_ptr<ResultCursor> cursor,
@@ -197,12 +481,18 @@ Result<SearchResponse> ViewSearchEngine::ExecutePrepared(
   return DrainToResponse(cursor.get());
 }
 
+Result<SearchResponse> ViewSearchEngine::ExecutePrepared(
+    std::shared_ptr<const PreparedQuery> prepared,
+    const SearchOptions& options) const {
+  return ExecutePreparedImpl(std::move(prepared), options);
+}
+
 Result<SearchResponse> ViewSearchEngine::Search(
     const std::string& query, const SearchOptions& options) const {
-  QUICKVIEW_ASSIGN_OR_RETURN(QueryPlan plan, PlanQuery(query));
-  QUICKVIEW_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedQuery> prepared,
-                             BuildPdts(std::move(plan)));
-  return ExecutePrepared(std::move(prepared), options);
+  SearchRequest request;
+  request.query = query;
+  request.options = options;
+  return ExecuteImpl(request);
 }
 
 Result<SearchResponse> ViewSearchEngine::SearchView(
@@ -212,8 +502,11 @@ Result<SearchResponse> ViewSearchEngine::SearchView(
     return Status::InvalidArgument(
         "SearchView requires a non-empty keyword list");
   }
-  return Search(ComposeKeywordQuery(view_text, keywords, options.conjunctive),
-                options);
+  SearchRequest request;
+  request.view = view_text;
+  request.keywords = keywords;
+  request.options = options;
+  return ExecuteImpl(request);
 }
 
 }  // namespace quickview::engine

@@ -4,20 +4,27 @@
 //         -> unmodified evaluation over PDTs -> scoring -> top-k
 //         -> materialization (the only base-data access).
 //
-// The pipeline is split into three stages so a service layer can cache
-// the expensive middle stage across queries:
+// One engine serves one corpus, which may be a single (database, indexes,
+// store) triple or an ordered list of shards of one logical corpus. The
+// unified entry point is Open(SearchRequest): it validates once, plans
+// once, fans PDT generation + evaluation + statistics collection out per
+// shard (on the engine's ThreadPool when it has one), folds the integer
+// keyword statistics into ONE global idf, and returns a ResultCursor
+// whose MergedRankedStream pops hits in exactly the order the unsharded
+// engine would produce — sharding is an execution strategy, never a
+// semantic: responses are byte-identical at any shard count.
+//
+// The pipeline stays split into cacheable stages:
 //   PlanQuery       parse + QPT generation + canonical plan signature
 //                   (cost proportional to the query, never the data);
-//   BuildPdts       PrepareLists + GeneratePdt per QPT (the data-
-//                   dependent stage; its PreparedQuery output is
-//                   immutable and shareable across threads);
-//   Open            evaluation over the PDTs + scoring + ranked-candidate
-//                   heap, returning a ResultCursor (per-query state only;
-//                   const and safe to run concurrently against one
-//                   PreparedQuery). Hits are materialized lazily, per
-//                   ResultCursor::FetchNext call.
-// ExecutePrepared = Open + drain; Search() composes the stages and
-// preserves the original single-query behavior byte for byte.
+//   BuildPdts       PrepareLists + GeneratePdt per QPT against ONE
+//                   shard's indexes (the data-dependent stage; its
+//                   PreparedQuery output is immutable and shareable);
+//   Open            evaluation + scoring + ranked merge, returning a
+//                   ResultCursor. Hits are materialized lazily, per
+//                   ResultCursor::FetchNext call, shard by shard.
+// The historical Search / SearchView / ExecutePrepared trio survives as
+// thin [[deprecated]] wrappers with byte-identical behavior.
 #ifndef QUICKVIEW_ENGINE_VIEW_SEARCH_ENGINE_H_
 #define QUICKVIEW_ENGINE_VIEW_SEARCH_ENGINE_H_
 
@@ -27,23 +34,19 @@
 #include <vector>
 
 #include "common/result.h"
+#include "engine/engine_stats.h"
+#include "engine/search_request.h"
 #include "index/index_builder.h"
 #include "pdt/generate_pdt.h"
 #include "storage/document_store.h"
 #include "xml/dom.h"
 #include "xquery/ast.h"
 
+namespace quickview {
+class ThreadPool;  // common/thread_pool.h
+}  // namespace quickview
+
 namespace quickview::engine {
-
-struct SearchOptions {
-  size_t top_k = 10;        // must be >= 1 (see ValidateSearchOptions)
-  bool conjunctive = true;  // all keywords vs any keyword
-};
-
-/// API-boundary validation shared by every search entry point (engine and
-/// service): InvalidArgument for top_k == 0 — a request for zero results
-/// is a caller bug, not a query to run.
-Status ValidateSearchOptions(const SearchOptions& options);
 
 /// One ranked, fully materialized result.
 struct SearchHit {
@@ -51,34 +54,6 @@ struct SearchHit {
   std::vector<uint64_t> tf;  // per query keyword
   uint64_t byte_length = 0;
   std::string xml;  // serialized materialized result
-};
-
-/// Wall-clock per module, for the Fig 14 breakdown.
-struct ModuleTimings {
-  double qpt_ms = 0;   // parse + QPT generation
-  double pdt_ms = 0;   // PrepareLists + GeneratePdt (or baseline analogue)
-  double eval_ms = 0;  // query evaluation (incl. any view materialization)
-  double post_ms = 0;  // scoring + top-k materialization
-
-  double total_ms() const { return qpt_ms + pdt_ms + eval_ms + post_ms; }
-};
-
-struct SearchStats {
-  size_t view_results = 0;      // |V(D)|
-  size_t matching_results = 0;  // after keyword semantics
-  pdt::PdtBuildStats pdt;       // aggregated over all QPTs
-  uint64_t store_fetches = 0;   // base-data accesses
-  uint64_t store_bytes = 0;
-  /// Disk-backed execution only (zero over in-memory stores): node-record
-  /// pages pulled from the packed file for this query's materialized hits,
-  /// and buffer-pool hits those fetches scored. Grows lazily with the
-  /// cursor, like store_fetches.
-  uint64_t pages_read = 0;
-  uint64_t buffer_hits = 0;
-  /// Total bytes of the fully materialized view V(D) — what a
-  /// materialize-first engine must produce; the Efficient engine's
-  /// actual footprint is pdt.pdt_bytes + store_bytes instead.
-  uint64_t view_bytes = 0;
 };
 
 struct SearchResponse {
@@ -98,8 +73,9 @@ struct QueryPlan {
   double qpt_ms = 0;
 };
 
-/// A plan plus its generated PDTs. Immutable after BuildPdts returns;
-/// any number of threads may ExecutePrepared against one instance.
+/// A plan plus its generated PDTs — for ONE shard (an unsharded corpus
+/// is the one-shard case). Immutable after BuildPdts returns; any number
+/// of threads may open cursors against one instance.
 struct PreparedQuery {
   QueryPlan plan;
   std::vector<std::shared_ptr<xml::Document>> pdts;
@@ -111,77 +87,144 @@ struct PreparedQuery {
 
 /// Canonical signature of the PDT inputs: QPT shapes (tags, axes,
 /// annotations, predicates) plus keywords and conjunctive flag. Two
-/// queries with equal signatures need byte-identical PDTs.
+/// queries with equal signatures need byte-identical PDTs (per shard).
 std::string PlanSignature(const std::vector<qpt::Qpt>& qpts,
                           const std::vector<std::string>& keywords,
                           bool conjunctive);
 
 /// Renders the canonical Fig-2 keyword query for a view text and keyword
-/// list (keywords are lowercased). Shared by SearchView and the service
-/// layer so cache keys and executed queries cannot drift apart.
+/// list (keywords are lowercased). Shared by the request path and the
+/// service layer so cache keys and executed queries cannot drift apart.
 std::string ComposeKeywordQuery(const std::string& view_text,
                                 const std::vector<std::string>& keywords,
                                 bool conjunctive);
+
+/// One shard of the corpus: its own database, indexes and store, all
+/// outliving the engine. `database` may be nullptr when every queried
+/// document is rewritten over PDTs (the packed path, where base
+/// documents exist only as node-record pages). Shards must be listed in
+/// corpus order — the ordered contiguous partition is what makes the
+/// merged ranked order equal the unsharded order.
+struct ShardContext {
+  const xml::Database* database = nullptr;
+  const index::IndexSource* indexes = nullptr;
+  const storage::DocumentStore* store = nullptr;
+};
 
 class ResultCursor;  // engine/result_cursor.h
 
 class ViewSearchEngine {
  public:
-  /// All three structures must outlive the engine. They are treated as
-  /// immutable; the engine itself is stateless beyond these pointers, so
-  /// one engine may serve queries from many threads at once. `indexes` is
-  /// any IndexSource — the in-memory DatabaseIndexes or a packed on-disk
-  /// database (pagestore::PackedDb). `database` may be nullptr when every
-  /// queried document is rewritten over PDTs (the packed path, where base
-  /// documents exist only as node-record pages).
+  /// Unsharded corpus: one (database, indexes, store) triple, all
+  /// outliving the engine and treated as immutable. The engine itself is
+  /// stateless beyond these pointers, so one engine may serve queries
+  /// from many threads at once. `indexes` is any IndexSource — the
+  /// in-memory DatabaseIndexes or a packed on-disk database
+  /// (pagestore::PackedDb).
   ViewSearchEngine(const xml::Database* database,
                    const index::IndexSource* indexes,
                    const storage::DocumentStore* store)
-      : database_(database), indexes_(indexes), store_(store) {}
+      : shards_{ShardContext{database, indexes, store}} {}
 
-  /// Full Fig-2-style query: "let $view := ... for $v in $view where $v
-  /// ftcontains('k1' & 'k2') return $v". A thin compatibility wrapper:
-  /// plans, builds PDTs, opens a cursor and drains it to a batch
-  /// response.
-  Result<SearchResponse> Search(const std::string& query,
-                                const SearchOptions& options) const;
+  /// Sharded corpus, in corpus order. `pool` (may be nullptr: shards run
+  /// sequentially on the calling thread) executes per-shard work; it is
+  /// shared infrastructure and must outlive the engine. Every shard's
+  /// structures must outlive the engine and any cursor opened from it.
+  explicit ViewSearchEngine(std::vector<ShardContext> shards,
+                            ThreadPool* pool = nullptr);
 
-  /// View text + keywords given separately (keywords are lowercased
-  /// internally; the list must be non-empty). Same wrapper semantics as
-  /// Search().
-  Result<SearchResponse> SearchView(const std::string& view_text,
-                                    const std::vector<std::string>& keywords,
-                                    const SearchOptions& options) const;
+  /// THE search entry point. Validates the request once, plans, builds
+  /// (or reuses) per-shard PDTs, evaluates and scores every shard —
+  /// concurrently when the engine has a pool — and returns a cursor over
+  /// the merged ranked stream. No hit is materialized (no base data is
+  /// touched) until FetchNext asks for it. Open is a barrier: when it
+  /// returns, stats()/pending() are final (modulo lazily-growing fetch
+  /// counters) and no shard work is running. On cancellation, deadline
+  /// expiry, or a shard failure, every sibling shard task is stopped via
+  /// the request's token before Open returns the typed error
+  /// (Cancelled / DeadlineExceeded / the first shard's error, annotated
+  /// with its shard number).
+  Result<std::unique_ptr<ResultCursor>> Open(const SearchRequest& request) const;
 
-  /// Stage 1: parse + QPT generation + signature.
+  /// Open with caller-provided per-shard PreparedQueries (the service
+  /// layer's cache hits). `prepared` must have exactly one entry per
+  /// EXECUTED shard — all of them, or just the hinted one — each built
+  /// by BuildPdts against that shard (null entries are built on the
+  /// fly). Entries must all share one plan signature matching the
+  /// request.
+  Result<std::unique_ptr<ResultCursor>> Open(
+      const SearchRequest& request,
+      std::vector<std::shared_ptr<const PreparedQuery>> prepared) const;
+
+  /// Open + drain, for batch callers.
+  Result<SearchResponse> Execute(const SearchRequest& request) const;
+
+  /// Stage 1: parse + QPT generation + signature. Shard-independent.
   Result<QueryPlan> PlanQuery(const std::string& query) const;
 
-  /// Stage 2: PDT generation for every QPT of the plan.
-  Result<std::shared_ptr<const PreparedQuery>> BuildPdts(
-      QueryPlan plan) const;
+  /// Stage 2: PDT generation for every QPT of the plan, against shard
+  /// `shard`'s indexes (0 = the only shard of an unsharded engine).
+  Result<std::shared_ptr<const PreparedQuery>> BuildPdts(QueryPlan plan,
+                                                         int shard = 0) const;
 
-  /// Stage 3, cursor form: evaluates the plan over its PDTs, scores every
-  /// view result, and returns a cursor over the ranked stream. No hit is
-  /// materialized (no base data is touched) until FetchNext asks for it.
-  /// The cursor yields at most `options.top_k` hits in total and keeps
-  /// the PreparedQuery alive for its own lifetime, so it survives cache
+  /// Stage 3, single-shard cursor form: evaluates the plan over its PDTs,
+  /// scores every view result, and returns a cursor over the ranked
+  /// stream. Only valid on a one-shard engine (sharded engines go
+  /// through Open(request, prepared) so idf spans the corpus). The
+  /// cursor yields at most `options.top_k` hits in total and keeps the
+  /// PreparedQuery alive for its own lifetime, so it survives cache
   /// eviction on the caller's side. `options.conjunctive` is overridden
-  /// by the query's own connective, as in Search().
+  /// by the query's own connective.
   Result<std::unique_ptr<ResultCursor>> Open(
       std::shared_ptr<const PreparedQuery> prepared,
       const SearchOptions& options) const;
 
-  /// Stage 3, batch form: Open + drain. Fills the response's qpt/pdt
-  /// timings and PDT stats from `prepared` (the cost of building what was
-  /// executed; a caching caller may have paid it on an earlier query).
+  /// Compatibility wrapper for the full Fig-2-style query: plans, builds
+  /// PDTs, opens and drains. Byte-identical to Execute() with
+  /// SearchRequest{.query = query, .options = options}.
+  [[deprecated("build a SearchRequest and call Execute(request)")]]
+  Result<SearchResponse> Search(const std::string& query,
+                                const SearchOptions& options) const;
+
+  /// Compatibility wrapper for view text + keywords. Byte-identical to
+  /// Execute() with SearchRequest{.view = view_text, .keywords =
+  /// keywords, .options = options}.
+  [[deprecated("build a SearchRequest and call Execute(request)")]]
+  Result<SearchResponse> SearchView(const std::string& view_text,
+                                    const std::vector<std::string>& keywords,
+                                    const SearchOptions& options) const;
+
+  /// Compatibility wrapper: Open(prepared, options) + drain.
+  [[deprecated(
+      "call Open(request, prepared) and drain, or Execute(request)")]]
   Result<SearchResponse> ExecutePrepared(
       std::shared_ptr<const PreparedQuery> prepared,
       const SearchOptions& options) const;
 
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+
  private:
-  const xml::Database* database_;
-  const index::IndexSource* indexes_;
-  const storage::DocumentStore* store_;
+  struct ShardEval;  // one shard's evaluation product (defined in .cc)
+
+  Result<std::unique_ptr<ResultCursor>> OpenImpl(
+      const SearchRequest& request,
+      const std::vector<std::shared_ptr<const PreparedQuery>>& prepared)
+      const;
+  Result<SearchResponse> ExecuteImpl(const SearchRequest& request) const;
+  Result<SearchResponse> ExecutePreparedImpl(
+      std::shared_ptr<const PreparedQuery> prepared,
+      const SearchOptions& options) const;
+  Result<std::shared_ptr<const PreparedQuery>> BuildPdtsImpl(
+      QueryPlan plan, int shard, const CancellationToken* cancel) const;
+  Result<ShardEval> EvaluateShard(
+      size_t shard, std::shared_ptr<const PreparedQuery> prepared,
+      const CancellationToken* cancel) const;
+  Result<std::unique_ptr<ResultCursor>> FinalizeCursor(
+      std::vector<ShardEval> evals, const std::vector<size_t>& shard_ids,
+      size_t top_k, std::shared_ptr<CancellationToken> token) const;
+
+  std::vector<ShardContext> shards_;  // corpus order; size >= 1
+  ThreadPool* pool_ = nullptr;        // per-shard execution; may be null
 };
 
 }  // namespace quickview::engine

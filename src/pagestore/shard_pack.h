@@ -1,0 +1,50 @@
+// Sharded pack files: PackShardedDb partitions a database (see
+// storage/shard_set.h for the scheme) and writes one .qvpack per shard
+// plus a small text manifest — `<base>.qvset` — naming them in shard
+// order:
+//   qvset 1
+//   shards <N>
+//   shard <i> <pack file name, relative to the manifest's directory>
+// storage::ShardSet::OpenPacked reads the manifest back and opens every
+// shard pack with its slice of the buffer-pool budget.
+#ifndef QUICKVIEW_PAGESTORE_SHARD_PACK_H_
+#define QUICKVIEW_PAGESTORE_SHARD_PACK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/shard_set.h"
+#include "xml/dom.h"
+
+namespace quickview::pagestore {
+
+struct ShardManifest {
+  int shards = 0;
+  /// One pack file per shard, in shard order, relative to the manifest's
+  /// directory.
+  std::vector<std::string> pack_files;
+};
+
+/// `path` may be given with or without the .qvset extension; the
+/// manifest always lands at `<base>.qvset`.
+std::string ShardManifestPath(const std::string& path);
+
+/// Pack file path for shard `shard` of the set at `path`:
+/// `<base>.shard<i>.qvpack`.
+std::string ShardPackPath(const std::string& path, int shard);
+
+Status WriteShardManifest(const std::string& path,
+                          const ShardManifest& manifest);
+Result<ShardManifest> ReadShardManifest(const std::string& path);
+
+/// Partitions `database` per `spec`, builds each shard's indexes, packs
+/// every shard to `<base>.shard<i>.qvpack` and writes `<base>.qvset`.
+/// Existing files at those paths are overwritten.
+Status PackShardedDb(const xml::Database& database,
+                     const storage::ShardingSpec& spec,
+                     const std::string& path);
+
+}  // namespace quickview::pagestore
+
+#endif  // QUICKVIEW_PAGESTORE_SHARD_PACK_H_

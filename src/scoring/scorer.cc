@@ -68,13 +68,15 @@ void ComputeResultStatistics(const xquery::NodeHandle& result,
   Walk(*result.doc, result.effective_index(), keywords, tf, byte_length);
 }
 
-ScoringOutcome ScoreCandidates(const xquery::Sequence& view_results,
-                               const std::vector<std::string>& keywords,
-                               bool conjunctive) {
-  ScoringOutcome outcome;
-  std::vector<ScoredResult> all;
-  all.reserve(view_results.size());
+Result<CandidateSet> CollectCandidates(
+    const xquery::Sequence& view_results,
+    const std::vector<std::string>& keywords,
+    const CancellationToken* cancel) {
+  CandidateSet set;
+  set.sequence_size = view_results.size();
+  set.candidates.reserve(view_results.size());
   for (size_t i = 0; i < view_results.size(); ++i) {
+    if (cancel != nullptr && cancel->Fired()) return cancel->ToStatus();
     const xquery::NodeHandle* handle =
         std::get_if<xquery::NodeHandle>(&view_results[i]);
     if (handle == nullptr) continue;  // atomic items are never results
@@ -82,25 +84,41 @@ ScoringOutcome ScoreCandidates(const xquery::Sequence& view_results,
     r.result = *handle;
     r.view_position = i;
     ComputeResultStatistics(*handle, keywords, &r.tf, &r.byte_length);
-    outcome.view_bytes += r.byte_length;
-    all.push_back(std::move(r));
+    set.view_bytes += r.byte_length;
+    set.candidates.push_back(std::move(r));
   }
+  return set;
+}
 
-  // idf over the entire view result (|V(D)| / df), as if materialized.
-  const double total = static_cast<double>(all.size());
-  std::vector<double> idf(keywords.size(), 0.0);
-  for (size_t k = 0; k < keywords.size(); ++k) {
-    uint64_t df = 0;
-    for (const ScoredResult& r : all) {
-      if (r.tf[k] > 0) ++df;
+void AccumulateDf(const CandidateSet& set, std::vector<uint64_t>* df) {
+  if (!set.candidates.empty() && df->size() < set.candidates[0].tf.size()) {
+    df->resize(set.candidates[0].tf.size(), 0);
+  }
+  for (const ScoredResult& r : set.candidates) {
+    for (size_t k = 0; k < r.tf.size(); ++k) {
+      if (r.tf[k] > 0) ++(*df)[k];
     }
-    idf[k] = df == 0 ? 0.0 : total / static_cast<double>(df);
   }
+}
 
+std::vector<double> ComputeIdf(uint64_t total_candidates,
+                               const std::vector<uint64_t>& df) {
+  const double total = static_cast<double>(total_candidates);
+  std::vector<double> idf(df.size(), 0.0);
+  for (size_t k = 0; k < df.size(); ++k) {
+    idf[k] = df[k] == 0 ? 0.0 : total / static_cast<double>(df[k]);
+  }
+  return idf;
+}
+
+Result<std::vector<ScoredResult>> FilterAndScore(
+    std::vector<ScoredResult> candidates, const std::vector<double>& idf,
+    bool conjunctive, const CancellationToken* cancel) {
   std::vector<ScoredResult> kept;
-  for (ScoredResult& r : all) {
+  for (ScoredResult& r : candidates) {
+    if (cancel != nullptr && cancel->Fired()) return cancel->ToStatus();
     bool matches = conjunctive;
-    for (size_t k = 0; k < keywords.size(); ++k) {
+    for (size_t k = 0; k < r.tf.size(); ++k) {
       if (conjunctive) {
         if (r.tf[k] == 0) {
           matches = false;
@@ -112,13 +130,36 @@ ScoringOutcome ScoreCandidates(const xquery::Sequence& view_results,
     }
     if (!matches) continue;
     double raw = 0;
-    for (size_t k = 0; k < keywords.size(); ++k) {
+    for (size_t k = 0; k < r.tf.size(); ++k) {
       raw += static_cast<double>(r.tf[k]) * idf[k];
     }
     r.score = raw / std::sqrt(static_cast<double>(r.byte_length) + 1.0);
     kept.push_back(std::move(r));
   }
-  outcome.ranked = std::move(kept);
+  return kept;
+}
+
+ScoringOutcome ScoreCandidates(const xquery::Sequence& view_results,
+                               const std::vector<std::string>& keywords,
+                               bool conjunctive) {
+  // Recomposed from the phased API so the one-shard path and the sharded
+  // path run literally the same arithmetic. No cancellation token: the
+  // synchronous path cannot fail, so the Results below are always values.
+  Result<CandidateSet> collected =
+      CollectCandidates(view_results, keywords, /*cancel=*/nullptr);
+  CandidateSet set;
+  if (collected.ok()) set = std::move(collected).value();
+
+  std::vector<uint64_t> df(keywords.size(), 0);
+  AccumulateDf(set, &df);
+  const std::vector<double> idf =
+      ComputeIdf(static_cast<uint64_t>(set.candidates.size()), df);
+
+  ScoringOutcome outcome;
+  outcome.view_bytes = set.view_bytes;
+  Result<std::vector<ScoredResult>> kept = FilterAndScore(
+      std::move(set.candidates), idf, conjunctive, /*cancel=*/nullptr);
+  if (kept.ok()) outcome.ranked = std::move(kept).value();
   return outcome;
 }
 

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
+#include "common/result.h"
 #include "xquery/evaluator.h"
 
 namespace quickview::scoring {
@@ -67,6 +69,57 @@ ScoringOutcome ScoreResults(const xquery::Sequence& view_results,
 ScoringOutcome ScoreCandidates(const xquery::Sequence& view_results,
                                const std::vector<std::string>& keywords,
                                bool conjunctive);
+
+// ---------------------------------------------------------------------
+// Phased scoring — the shard-composable decomposition of ScoreCandidates.
+//
+// idf must be computed over the ENTIRE view sequence, so a sharded
+// engine cannot score shard-locally: each shard collects raw statistics
+// (phase 1), the coordinator sums the integer counts and derives idf
+// once (phase 2), then each shard's candidates are filtered and scored
+// against the global idf (phase 3). Because all cross-shard aggregation
+// happens on integers, the derived doubles — and therefore every score —
+// are bit-identical to the single-sequence path, which is itself
+// recomposed from the same three phases.
+
+/// Phase-1 output: raw per-candidate statistics, no keyword semantics or
+/// scores applied yet. `candidates` is in view order with view_position
+/// local to the walked sequence (a sharded coordinator re-bases it by
+/// the shard's cumulative offset).
+struct CandidateSet {
+  std::vector<ScoredResult> candidates;
+  /// Length of the walked sequence INCLUDING atomic items that never
+  /// become candidates — the |V(D)| the stats surface reports.
+  size_t sequence_size = 0;
+  /// Total byte length over the walked view results (ScoringOutcome
+  /// semantics, per shard).
+  uint64_t view_bytes = 0;
+};
+
+/// Phase 1: walks every view result collecting tf vectors and byte
+/// lengths. Polls `cancel` (if non-null) between results and returns
+/// its typed status when it fires.
+Result<CandidateSet> CollectCandidates(
+    const xquery::Sequence& view_results,
+    const std::vector<std::string>& keywords,
+    const CancellationToken* cancel = nullptr);
+
+/// Phase 2a: folds one candidate set's per-keyword document frequencies
+/// into `df` (resized to the tf width on first use).
+void AccumulateDf(const CandidateSet& set, std::vector<uint64_t>* df);
+
+/// Phase 2b: idf(k) = total_candidates / df(k), 0 when df(k) == 0 —
+/// the exact arithmetic of ScoreCandidates, fed with globally summed
+/// integer counts.
+std::vector<double> ComputeIdf(uint64_t total_candidates,
+                               const std::vector<uint64_t>& df);
+
+/// Phase 3: applies conjunctive/disjunctive keyword semantics and the
+/// TF-IDF score against a (possibly global) idf vector. Survivors keep
+/// their input order. Polls `cancel` between candidates like phase 1.
+Result<std::vector<ScoredResult>> FilterAndScore(
+    std::vector<ScoredResult> candidates, const std::vector<double>& idf,
+    bool conjunctive, const CancellationToken* cancel = nullptr);
 
 /// Truncates a scored list to the top k (list is already sorted).
 void TakeTopK(std::vector<ScoredResult>* results, size_t k);

@@ -37,6 +37,19 @@ QueryService::QueryService(storage::LiveDatabase* live,
       cache_(options.cache),
       pool_(ResolveThreads(options.threads)) {}
 
+QueryService::QueryService(const storage::ShardSet* shards,
+                           const QueryServiceOptions& options)
+    : shards_(shards),
+      shard_epochs_(shards->size()),
+      cache_(options.cache),
+      pool_(ResolveThreads(options.threads)) {}
+
+void QueryService::InvalidateShard(int shard) {
+  if (shard < 0 || shard >= static_cast<int>(shard_epochs_.size())) return;
+  shard_epochs_[static_cast<size_t>(shard)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
 Status QueryService::RegisterView(const std::string& name,
                                   const std::string& view_text) {
   // Validate eagerly so a bad view fails registration, not every query.
@@ -101,13 +114,18 @@ Status QueryService::RemoveDocument(const std::string& name) {
 Result<std::unique_ptr<engine::ResultCursor>> QueryService::OpenSearch(
     const BatchQuery& query) {
   queries_.fetch_add(1, std::memory_order_relaxed);
-  // Boundary validation: a search with no keywords or a zero top_k is a
-  // caller bug — reject it with a clear message before any planning.
-  QUICKVIEW_RETURN_IF_ERROR(engine::ValidateSearchOptions(query.options));
-  if (query.keywords.empty()) {
-    return Status::InvalidArgument("query against view '" + query.view +
-                                   "' has an empty keyword list");
-  }
+  // Boundary validation, hoisted into the ONE implementation every entry
+  // point shares (SearchRequest::Validate): empty keyword list, zero
+  // top_k and a nonsense shard hint are caller bugs, rejected with a
+  // typed InvalidArgument before any planning. At this boundary the
+  // request's `view` carries the registered view NAME (the engine
+  // boundary re-validates with the view text later, identically).
+  engine::SearchRequest boundary;
+  boundary.view = query.view;
+  boundary.keywords = query.keywords;
+  boundary.options = query.options;
+  boundary.shard = query.shard;
+  QUICKVIEW_RETURN_IF_ERROR(boundary.Validate());
   // Keywords are spliced into single-quoted XQuery string literals; a
   // quote would break out of the literal and rewrite the query shape
   // (the serve CLI feeds keywords straight from stdin). The grammar has
@@ -118,6 +136,7 @@ Result<std::unique_ptr<engine::ResultCursor>> QueryService::OpenSearch(
                                      keyword);
     }
   }
+  if (shards_ != nullptr) return PrepareShardedCursor(query);
   // Live mode: hold the corpus lock shared across planning, PDT build
   // and evaluation, so this query sees the corpus entirely before or
   // after any concurrent mutation, never in between; the snapshot lease
@@ -131,6 +150,40 @@ Result<std::unique_ptr<engine::ResultCursor>> QueryService::OpenSearch(
                          std::move(snapshot));
   }
   return PrepareCursor(query, database_, indexes_, store_, /*lease=*/nullptr);
+}
+
+Result<QueryService::ViewSnapshot> QueryService::SnapshotView(
+    const std::string& name) {
+  qv::ReaderLock lock(views_mu_);
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    return Status::NotFound("no view registered as '" + name + "'");
+  }
+  ViewSnapshot snapshot;
+  snapshot.text = it->second.text;
+  snapshot.version = it->second.version;
+  snapshot.data_version = it->second.data_version;
+  return snapshot;
+}
+
+std::string QueryService::BaseCacheKey(const std::string& view_name,
+                                       const ViewSnapshot& view,
+                                       const std::string& signature) {
+  // Length-prefix the view name so no name can collide with another
+  // name + version suffix; the plan signature is injective on its own.
+  // The version pair (registration version '.' data epoch) makes both
+  // view replacement and document mutations unreachable-key
+  // invalidations: stale entries age out of the LRU, never serve again.
+  std::string key = std::to_string(view_name.size());
+  key.push_back(':');
+  key.append(view_name);
+  key.push_back('#');
+  key.append(std::to_string(view.version));
+  key.push_back('.');
+  key.append(std::to_string(view.data_version));
+  key.push_back('\x1f');
+  key.append(signature);
+  return key;
 }
 
 Result<std::unique_ptr<engine::ResultCursor>> QueryService::PrepareCursor(
@@ -147,19 +200,7 @@ Result<std::unique_ptr<engine::ResultCursor>> QueryService::PrepareCursor(
   // with a post-update store snapshot: a torn result no corpus version
   // ever produced. Lock order is live_->mu() -> views_mu_, same as
   // mutations.
-  std::string view_text;
-  uint64_t view_version = 0;
-  uint64_t data_version = 0;
-  {
-    qv::ReaderLock lock(views_mu_);
-    auto it = views_.find(query.view);
-    if (it == views_.end()) {
-      return Status::NotFound("no view registered as '" + query.view + "'");
-    }
-    view_text = it->second.text;
-    view_version = it->second.version;
-    data_version = it->second.data_version;
-  }
+  QUICKVIEW_ASSIGN_OR_RETURN(ViewSnapshot view, SnapshotView(query.view));
 
   // The hit path deliberately re-plans (parse + QPT generation; cost
   // proportional to the query text, never the data) so the cache stays
@@ -167,24 +208,10 @@ Result<std::unique_ptr<engine::ResultCursor>> QueryService::PrepareCursor(
   // If planning ever shows up in warm-path profiles, add a first-level
   // key on (view#version, keywords, connective) in front of this.
   std::string full_query = engine::ComposeKeywordQuery(
-      view_text, query.keywords, query.options.conjunctive);
+      view.text, query.keywords, query.options.conjunctive);
   QUICKVIEW_ASSIGN_OR_RETURN(engine::QueryPlan plan,
                              engine.PlanQuery(full_query));
-
-  // Length-prefix the view name so no name can collide with another
-  // name + version suffix; the plan signature is injective on its own.
-  // The version pair (registration version '.' data epoch) makes both
-  // view replacement and document mutations unreachable-key
-  // invalidations: stale entries age out of the LRU, never serve again.
-  std::string key = std::to_string(query.view.size());
-  key.push_back(':');
-  key.append(query.view);
-  key.push_back('#');
-  key.append(std::to_string(view_version));
-  key.push_back('.');
-  key.append(std::to_string(data_version));
-  key.push_back('\x1f');
-  key.append(plan.signature);
+  std::string key = BaseCacheKey(query.view, view, plan.signature);
 
   std::shared_ptr<const engine::PreparedQuery> prepared = cache_.Get(key);
   if (prepared == nullptr) {
@@ -200,11 +227,86 @@ Result<std::unique_ptr<engine::ResultCursor>> QueryService::PrepareCursor(
   return cursor;
 }
 
+Result<std::unique_ptr<engine::ResultCursor>>
+QueryService::PrepareShardedCursor(const BatchQuery& query) {
+  QUICKVIEW_ASSIGN_OR_RETURN(ViewSnapshot view, SnapshotView(query.view));
+
+  std::vector<engine::ShardContext> contexts;
+  contexts.reserve(shards_->size());
+  for (size_t i = 0; i < shards_->size(); ++i) {
+    const storage::Shard& shard = shards_->shard(i);
+    contexts.push_back(engine::ShardContext{
+        shard.database.get(), shard.index_source(), shard.store.get()});
+  }
+  engine::ViewSearchEngine engine(std::move(contexts), &pool_);
+
+  engine::SearchRequest request;
+  request.view = view.text;
+  request.keywords = query.keywords;
+  request.options = query.options;
+  request.shard = query.shard;
+
+  // Plan once on the calling thread for the cache key's signature (each
+  // shard task re-plans from the same text inside Open, so every cached
+  // PreparedQuery stays self-contained).
+  std::string full_query = engine::ComposeKeywordQuery(
+      view.text, query.keywords, query.options.conjunctive);
+  QUICKVIEW_ASSIGN_OR_RETURN(engine::QueryPlan plan,
+                             engine.PlanQuery(full_query));
+  const std::string base = BaseCacheKey(query.view, view, plan.signature);
+
+  // Executed shards: all of them, or just the hinted one. An
+  // out-of-range hint leaves `selected` empty and lets Open return its
+  // typed range error.
+  std::vector<size_t> selected;
+  if (query.shard < 0) {
+    for (size_t i = 0; i < shards_->size(); ++i) selected.push_back(i);
+  } else if (query.shard < static_cast<int>(shards_->size())) {
+    selected.push_back(static_cast<size_t>(query.shard));
+  }
+
+  // Per-shard cache keys: the shared prefix plus "/s<i>#<epoch_i>", so
+  // one plan warms one entry per shard and InvalidateShard retires
+  // exactly one shard's entries. Hits ride into Open; misses stay null
+  // and the engine builds them — in parallel with each other.
+  std::vector<std::string> keys;
+  std::vector<std::shared_ptr<const engine::PreparedQuery>> prepared;
+  keys.reserve(selected.size());
+  prepared.reserve(selected.size());
+  for (size_t shard : selected) {
+    std::string key = base;
+    key += "/s";
+    key += std::to_string(shard);
+    key.push_back('#');
+    key += std::to_string(
+        shard_epochs_[shard].load(std::memory_order_relaxed));
+    prepared.push_back(cache_.Get(key));
+    keys.push_back(std::move(key));
+  }
+
+  QUICKVIEW_ASSIGN_OR_RETURN(std::unique_ptr<engine::ResultCursor> cursor,
+                             engine.Open(request, prepared));
+  // Backfill the shards the engine had to build, so the next query over
+  // them hits. (A concurrent InvalidateShard may have retired a key in
+  // the meantime; the Put then lands on an unreachable key and ages out
+  // — never serves stale.)
+  for (size_t slot = 0; slot < keys.size(); ++slot) {
+    if (prepared[slot] == nullptr) {
+      cache_.Put(keys[slot], cursor->SharedPrepared(slot));
+    }
+  }
+  return cursor;
+}
+
 Result<engine::SearchResponse> QueryService::SearchOne(
     const BatchQuery& query) {
   QUICKVIEW_ASSIGN_OR_RETURN(std::unique_ptr<engine::ResultCursor> cursor,
                              OpenSearch(query));
-  return engine::DrainToResponse(cursor.get());
+  Result<engine::SearchResponse> response =
+      engine::DrainToResponse(cursor.get());
+  // Drained queries feed the service-lifetime stats().engine aggregate.
+  if (response.ok()) FoldEngineStats(cursor->stats());
+  return response;
 }
 
 std::vector<Result<engine::SearchResponse>> QueryService::SearchBatch(
@@ -245,13 +347,80 @@ std::vector<Result<engine::SearchResponse>> QueryService::SearchBatch(
   return responses;
 }
 
+void QueryService::FoldEngineStats(const engine::EngineStats& stats) {
+  qv::MutexLock lock(stats_mu_);
+  engine::SearchStats& search = engine_stats_.search;
+  search.view_results += stats.search.view_results;
+  search.matching_results += stats.search.matching_results;
+  search.pdt.ids_processed += stats.search.pdt.ids_processed;
+  search.pdt.nodes_emitted += stats.search.pdt.nodes_emitted;
+  search.pdt.peak_ct_nodes =
+      std::max(search.pdt.peak_ct_nodes, stats.search.pdt.peak_ct_nodes);
+  search.pdt.index_probes += stats.search.pdt.index_probes;
+  search.pdt.pdt_bytes += stats.search.pdt.pdt_bytes;
+  search.store_fetches += stats.search.store_fetches;
+  search.store_bytes += stats.search.store_bytes;
+  search.pages_read += stats.search.pages_read;
+  search.buffer_hits += stats.search.buffer_hits;
+  search.view_bytes += stats.search.view_bytes;
+  engine_stats_.timings.qpt_ms += stats.timings.qpt_ms;
+  engine_stats_.timings.pdt_ms += stats.timings.pdt_ms;
+  engine_stats_.timings.eval_ms += stats.timings.eval_ms;
+  engine_stats_.timings.post_ms += stats.timings.post_ms;
+  for (const engine::ShardStats& s : stats.shards) {
+    engine::ShardStats* slot = nullptr;
+    for (engine::ShardStats& have : engine_stats_.shards) {
+      if (have.shard == s.shard) {
+        slot = &have;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      engine_stats_.shards.emplace_back();
+      slot = &engine_stats_.shards.back();
+      slot->shard = s.shard;
+    }
+    slot->view_results += s.view_results;
+    slot->matching_results += s.matching_results;
+    slot->store_fetches += s.store_fetches;
+    slot->store_bytes += s.store_bytes;
+    slot->pages_read += s.pages_read;
+    slot->buffer_hits += s.buffer_hits;
+    slot->pdt_ms += s.pdt_ms;
+    slot->eval_ms += s.eval_ms;
+    slot->cancelled = slot->cancelled || s.cancelled;
+  }
+}
+
 QueryService::Stats QueryService::stats() const {
   Stats out;
   out.queries = queries_.load(std::memory_order_relaxed);
   out.documents_inserted = inserts_.load(std::memory_order_relaxed);
   out.documents_removed = removes_.load(std::memory_order_relaxed);
   out.cache = cache_.stats();
-  if (pool_stats_ != nullptr) out.buffer = pool_stats_->stats();
+  {
+    qv::MutexLock lock(stats_mu_);
+    out.engine = engine_stats_;
+  }
+  // Buffer counters are read live from the pools (not accumulated per
+  // query): the attached packed database's pool, or every shard's.
+  auto add_pool = [&out](const pagestore::BufferPool& pool) {
+    pagestore::BufferPoolStats s = pool.stats();
+    out.engine.buffer.hits += s.hits;
+    out.engine.buffer.misses += s.misses;
+    out.engine.buffer.evictions += s.evictions;
+    out.engine.buffer.frames_in_use += s.frames_in_use;
+    out.engine.buffer.frame_capacity += pool.frame_budget();
+  };
+  if (shards_ != nullptr) {
+    for (size_t i = 0; i < shards_->size(); ++i) {
+      if (shards_->shard(i).packed != nullptr) {
+        add_pool(shards_->shard(i).packed->pool());
+      }
+    }
+  } else if (pool_stats_ != nullptr) {
+    add_pool(*pool_stats_);
+  }
   return out;
 }
 

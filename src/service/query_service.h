@@ -51,9 +51,10 @@
 #include "index/index_builder.h"
 #include "pagestore/buffer_pool.h"
 #include "service/prepared_query_cache.h"
-#include "service/thread_pool.h"
+#include "common/thread_pool.h"
 #include "storage/document_store.h"
 #include "storage/live_database.h"
+#include "storage/shard_set.h"
 #include "xml/dom.h"
 
 namespace quickview::service {
@@ -69,6 +70,10 @@ struct BatchQuery {
   std::string view;  // registered view name
   std::vector<std::string> keywords;
   engine::SearchOptions options;
+  /// Shard routing hint, sharded services only: -1 searches every shard,
+  /// i >= 0 restricts to shard i (see SearchRequest::shard for the
+  /// ranking caveat).
+  int shard = -1;
 };
 
 class QueryService {
@@ -79,9 +84,14 @@ class QueryService {
     uint64_t documents_inserted = 0;
     uint64_t documents_removed = 0;
     PreparedQueryCache::Stats cache;
-    /// Buffer-pool counters of the attached packed database (all zero
-    /// when the service runs over in-memory structures).
-    pagestore::BufferPoolStats buffer;
+    /// The unified engine view (same shape ResultCursor::stats()
+    /// returns): search counters, module timings and per-shard counters
+    /// accumulated over every DRAINED query (SearchOne / SearchBatch —
+    /// cursors handed out by OpenSearch fold in only if drained through
+    /// DrainToResponse by SearchOne), plus live buffer-pool counters of
+    /// the attached packed database or of every shard's pool (all zero
+    /// over in-memory structures).
+    engine::EngineStats engine;
   };
 
   /// Static mode: all three structures must outlive the service and are
@@ -100,6 +110,22 @@ class QueryService {
   /// don't mutate it directly while the service exists.
   explicit QueryService(storage::LiveDatabase* live,
                         const QueryServiceOptions& options = {});
+
+  /// Sharded static mode: queries fan out over every shard of `shards`
+  /// (which must outlive the service and is treated as immutable) on the
+  /// service's thread pool, and the merged response is byte-identical to
+  /// the unsharded one. PDTs are cached PER SHARD — the cache key gains
+  /// a "/s<i>#<epoch>" suffix — so a corpus of N shards warms N entries
+  /// per plan and InvalidateShard can drop exactly one shard's entries.
+  explicit QueryService(const storage::ShardSet* shards,
+                        const QueryServiceOptions& options = {});
+
+  /// Sharded mode only: bumps shard `shard`'s cache epoch, making every
+  /// cached PDT of that shard unreachable (the per-shard analog of live
+  /// mode's per-view data epochs — stale entries age out of the LRU,
+  /// never serve again). No-op on an unsharded service or an
+  /// out-of-range shard.
+  void InvalidateShard(int shard);
 
   /// Live mode only: inserts (or replaces) the named document and
   /// invalidates cached PDTs of exactly the views that reference it.
@@ -177,6 +203,22 @@ class QueryService {
                        const std::string& xml_text,
                        std::atomic<uint64_t>* counter);
 
+  /// The registered view's text and version pair, read under views_mu_.
+  struct ViewSnapshot {
+    std::string text;
+    uint64_t version = 0;
+    uint64_t data_version = 0;
+  };
+  Result<ViewSnapshot> SnapshotView(const std::string& name)
+      QV_EXCLUDES(views_mu_);
+
+  /// The shard-independent cache key prefix: length-prefixed view name,
+  /// version pair, plan signature (see PrepareCursor for why each part
+  /// is there). Sharded keys append "/s<i>#<epoch_i>".
+  static std::string BaseCacheKey(const std::string& view_name,
+                                  const ViewSnapshot& view,
+                                  const std::string& signature);
+
   /// The tail of OpenSearch once the corpus surface is fixed: plan,
   /// fetch-or-build PDTs, open the cursor. In live mode the caller holds
   /// the live database's shared lock across this call and passes the
@@ -189,13 +231,30 @@ class QueryService {
       std::shared_ptr<const storage::DocumentStore> lease)
       QV_EXCLUDES(views_mu_);
 
+  /// Sharded OpenSearch tail: per-shard cache lookups, one
+  /// engine.Open(request, prepared) fan-out on the pool, then cache
+  /// fills for the shards the engine had to build.
+  Result<std::unique_ptr<engine::ResultCursor>> PrepareShardedCursor(
+      const BatchQuery& query) QV_EXCLUDES(views_mu_);
+
+  /// Folds one drained cursor's EngineStats into the service-lifetime
+  /// accumulator behind stats().engine.
+  void FoldEngineStats(const engine::EngineStats& stats)
+      QV_EXCLUDES(stats_mu_);
+
   // Static-mode pointers; in live mode these are re-read from live_
   // under its lock on every query.
   const xml::Database* database_ = nullptr;
   const index::IndexSource* indexes_ = nullptr;
   const storage::DocumentStore* store_ = nullptr;
   storage::LiveDatabase* live_ = nullptr;
+  const storage::ShardSet* shards_ = nullptr;
   const pagestore::BufferPool* pool_stats_ = nullptr;
+  /// Sharded mode: shard i's cache epoch, bumped by InvalidateShard.
+  std::vector<std::atomic<uint64_t>> shard_epochs_;
+  /// Cumulative EngineStats over drained queries (see Stats::engine).
+  mutable qv::Mutex stats_mu_;
+  engine::EngineStats engine_stats_ QV_GUARDED_BY(stats_mu_);
   /// Lock order: live_->mu() first, views_mu_ nested inside it (both
   /// PrepareCursor and ApplyMutation) — never take live_->mu() while
   /// holding views_mu_.

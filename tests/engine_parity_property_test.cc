@@ -40,8 +40,11 @@ TEST_P(EngineParityProperty, EfficientEqualsBaseline) {
     options.top_k = 1 + rng() % 8;
     options.conjunctive = rng() % 2 == 0;
 
-    auto eff = efficient.SearchView(workload::BookRevView(), keywords,
-                                    options);
+    engine::SearchRequest request;
+    request.view = workload::BookRevView();
+    request.keywords = keywords;
+    request.options = options;
+    auto eff = efficient.Execute(request);
     auto base = naive.SearchView(workload::BookRevView(), keywords, options);
     ASSERT_TRUE(eff.ok()) << eff.status();
     ASSERT_TRUE(base.ok()) << base.status();

@@ -19,6 +19,24 @@ class EngineTest : public ::testing::Test {
                                                  store_.get());
   }
 
+  // The unified entry point, in its two request forms.
+  Result<SearchResponse> ExecQuery(const std::string& query,
+                                   SearchOptions options = {}) {
+    SearchRequest request;
+    request.query = query;
+    request.options = options;
+    return engine_->Execute(request);
+  }
+  Result<SearchResponse> ExecView(const std::string& view,
+                                  std::vector<std::string> keywords,
+                                  SearchOptions options = {}) {
+    SearchRequest request;
+    request.view = view;
+    request.keywords = std::move(keywords);
+    request.options = options;
+    return engine_->Execute(request);
+  }
+
   std::shared_ptr<xml::Database> db_;
   std::unique_ptr<index::DatabaseIndexes> indexes_;
   std::unique_ptr<storage::DocumentStore> store_;
@@ -26,8 +44,7 @@ class EngineTest : public ::testing::Test {
 };
 
 TEST_F(EngineTest, Fig2QueryEndToEnd) {
-  auto response =
-      engine_->Search(workload::BookRevKeywordQuery(), SearchOptions{});
+  auto response = ExecQuery(workload::BookRevKeywordQuery());
   ASSERT_TRUE(response.ok()) << response.status();
   ASSERT_FALSE(response->hits.empty());
   for (const SearchHit& hit : response->hits) {
@@ -46,8 +63,7 @@ TEST_F(EngineTest, Fig2QueryEndToEnd) {
 TEST_F(EngineTest, TopKLimitsHitsNotScoring) {
   SearchOptions options;
   options.top_k = 2;
-  auto response =
-      engine_->SearchView(workload::BookRevView(), {"xml"}, options);
+  auto response = ExecView(workload::BookRevView(), {"xml"}, options);
   ASSERT_TRUE(response.ok()) << response.status();
   EXPECT_LE(response->hits.size(), 2u);
   EXPECT_GE(response->stats.matching_results, response->hits.size());
@@ -56,8 +72,7 @@ TEST_F(EngineTest, TopKLimitsHitsNotScoring) {
 TEST_F(EngineTest, BaseDataTouchedOnlyForTopK) {
   SearchOptions options;
   options.top_k = 1;
-  auto response =
-      engine_->SearchView(workload::BookRevView(), {"xml"}, options);
+  auto response = ExecView(workload::BookRevView(), {"xml"}, options);
   ASSERT_TRUE(response.ok()) << response.status();
   ASSERT_EQ(response->hits.size(), 1u);
   // Store fetches happen only during materialization of that single hit:
@@ -67,8 +82,7 @@ TEST_F(EngineTest, BaseDataTouchedOnlyForTopK) {
 }
 
 TEST_F(EngineTest, StatsAndTimingsPopulated) {
-  auto response = engine_->SearchView(workload::BookRevView(),
-                                      {"xml", "search"}, SearchOptions{});
+  auto response = ExecView(workload::BookRevView(), {"xml", "search"});
   ASSERT_TRUE(response.ok()) << response.status();
   EXPECT_GT(response->stats.pdt.ids_processed, 0u);
   EXPECT_GT(response->stats.pdt.nodes_emitted, 0u);
@@ -79,21 +93,19 @@ TEST_F(EngineTest, StatsAndTimingsPopulated) {
 }
 
 TEST_F(EngineTest, NoMatchesYieldsEmptyHits) {
-  auto response = engine_->SearchView(workload::BookRevView(),
-                                      {"zzzznotpresent"}, SearchOptions{});
+  auto response = ExecView(workload::BookRevView(), {"zzzznotpresent"});
   ASSERT_TRUE(response.ok()) << response.status();
   EXPECT_TRUE(response->hits.empty());
   EXPECT_EQ(response->stats.matching_results, 0u);
 }
 
 TEST_F(EngineTest, UnknownDocumentIsAnError) {
-  auto response = engine_->SearchView("fn:doc(missing.xml)//a", {"x"},
-                                      SearchOptions{});
+  auto response = ExecView("fn:doc(missing.xml)//a", {"x"});
   EXPECT_FALSE(response.ok());
 }
 
 TEST_F(EngineTest, MalformedQueryIsParseError) {
-  auto response = engine_->Search("not a query", SearchOptions{});
+  auto response = ExecQuery("not a query");
   ASSERT_FALSE(response.ok());
   EXPECT_EQ(response.status().code(), StatusCode::kParseError);
 }
@@ -101,11 +113,9 @@ TEST_F(EngineTest, MalformedQueryIsParseError) {
 TEST_F(EngineTest, DisjunctiveSemantics) {
   SearchOptions options;
   options.conjunctive = false;
-  auto disj = engine_->SearchView(workload::BookRevView(),
-                                  {"xml", "database"}, options);
+  auto disj = ExecView(workload::BookRevView(), {"xml", "database"}, options);
   options.conjunctive = true;
-  auto conj = engine_->SearchView(workload::BookRevView(),
-                                  {"xml", "database"}, options);
+  auto conj = ExecView(workload::BookRevView(), {"xml", "database"}, options);
   ASSERT_TRUE(disj.ok() && conj.ok());
   EXPECT_GE(disj->stats.matching_results, conj->stats.matching_results);
 }

@@ -88,14 +88,25 @@ class InjectionFixture : public ::testing::Test {
   std::unique_ptr<storage::DocumentStore> store_;
 };
 
+// View-form request through the unified entry point.
+Result<engine::SearchResponse> ExecView(
+    const engine::ViewSearchEngine& engine, const std::string& view,
+    std::vector<std::string> keywords,
+    engine::SearchOptions options = {}) {
+  engine::SearchRequest request;
+  request.view = view;
+  request.keywords = std::move(keywords);
+  request.options = options;
+  return engine.Execute(request);
+}
+
 TEST_F(InjectionFixture, MissingIndexIsReportedNotCrashed) {
   // An engine wired to an index set lacking one referenced document.
   index::DatabaseIndexes partial;
   partial.Put("books.xml", index::BuildDocumentIndexes(
                                *db_->GetDocument("books.xml")));
   engine::ViewSearchEngine engine(db_.get(), &partial, store_.get());
-  auto response = engine.SearchView(workload::BookRevView(), {"xml"},
-                                    engine::SearchOptions{});
+  auto response = ExecView(engine, workload::BookRevView(), {"xml"});
   ASSERT_FALSE(response.ok());
   EXPECT_EQ(response.status().code(), StatusCode::kNotFound);
 
@@ -108,10 +119,10 @@ TEST_F(InjectionFixture, MissingIndexIsReportedNotCrashed) {
 
 TEST_F(InjectionFixture, RecursiveFunctionIsRejected) {
   engine::ViewSearchEngine engine(db_.get(), indexes_.get(), store_.get());
-  auto response = engine.SearchView(
-      "declare function spin($x) { spin($x) } "
-      "spin(fn:doc(books.xml)//book)",
-      {"xml"}, engine::SearchOptions{});
+  auto response = ExecView(engine,
+                           "declare function spin($x) { spin($x) } "
+                           "spin(fn:doc(books.xml)//book)",
+                           {"xml"});
   EXPECT_FALSE(response.ok());
 }
 
@@ -137,9 +148,8 @@ TEST_F(InjectionFixture, WrongArityFunctionCall) {
 TEST_F(InjectionFixture, ViewsOutsideTheGrammarAreRejectedUpfront) {
   engine::ViewSearchEngine engine(db_.get(), indexes_.get(), store_.get());
   // Navigation into constructed content is outside the supported subset.
-  auto response = engine.SearchView(
-      "for $x in <a><b>t</b></a> return $x/b", {"t"},
-      engine::SearchOptions{});
+  auto response = ExecView(
+      engine, "for $x in <a><b>t</b></a> return $x/b", {"t"});
   ASSERT_FALSE(response.ok());
   EXPECT_EQ(response.status().code(), StatusCode::kUnsupported);
 }
@@ -152,7 +162,7 @@ TEST_F(InjectionFixture, EmptyKeywordListIsRejected) {
   engine::ViewSearchEngine engine(db_.get(), indexes_.get(), store_.get());
   engine::SearchOptions options;
   options.top_k = 3;
-  auto response = engine.SearchView(workload::BookRevView(), {}, options);
+  auto response = ExecView(engine, workload::BookRevView(), {}, options);
   ASSERT_FALSE(response.ok());
   EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
 }
@@ -162,17 +172,14 @@ TEST_F(InjectionFixture, EmptyDatabase) {
   auto indexes = index::BuildDatabaseIndexes(empty);
   storage::DocumentStore store(empty);
   engine::ViewSearchEngine engine(&empty, indexes.get(), &store);
-  auto response = engine.SearchView("fn:doc(books.xml)//book", {"x"},
-                                    engine::SearchOptions{});
+  auto response = ExecView(engine, "fn:doc(books.xml)//book", {"x"});
   EXPECT_FALSE(response.ok());
 }
 
 TEST_F(InjectionFixture, KeywordsAreCaseNormalized) {
   engine::ViewSearchEngine engine(db_.get(), indexes_.get(), store_.get());
-  auto upper = engine.SearchView(workload::BookRevView(), {"XML"},
-                                 engine::SearchOptions{});
-  auto lower = engine.SearchView(workload::BookRevView(), {"xml"},
-                                 engine::SearchOptions{});
+  auto upper = ExecView(engine, workload::BookRevView(), {"XML"});
+  auto lower = ExecView(engine, workload::BookRevView(), {"xml"});
   ASSERT_TRUE(upper.ok() && lower.ok());
   EXPECT_EQ(upper->stats.matching_results, lower->stats.matching_results);
 }

@@ -13,6 +13,18 @@
 namespace quickview {
 namespace {
 
+// View-form request through the unified entry point.
+Result<engine::SearchResponse> ExecView(
+    const engine::ViewSearchEngine& engine, const std::string& view,
+    std::vector<std::string> keywords,
+    engine::SearchOptions options = {}) {
+  engine::SearchRequest request;
+  request.view = view;
+  request.keywords = std::move(keywords);
+  request.options = options;
+  return engine.Execute(request);
+}
+
 class InexScaleTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -34,10 +46,9 @@ class InexScaleTest : public ::testing::Test {
 TEST_F(InexScaleTest, ProbeCountIndependentOfDataSize) {
   // PrepareLists probes scale with the query, not the data: compare probe
   // counts on a corpus 4x larger.
-  auto small = engine_->SearchView(
-      workload::BuildInexView(workload::ViewSpec{}),
-      workload::KeywordsForTier(workload::KeywordTier::kMedium),
-      engine::SearchOptions{});
+  auto small = ExecView(
+      *engine_, workload::BuildInexView(workload::ViewSpec{}),
+      workload::KeywordsForTier(workload::KeywordTier::kMedium));
   ASSERT_TRUE(small.ok()) << small.status();
 
   workload::InexOptions big_opts;
@@ -47,20 +58,18 @@ TEST_F(InexScaleTest, ProbeCountIndependentOfDataSize) {
   storage::DocumentStore big_store(*big_db);
   engine::ViewSearchEngine big_engine(big_db.get(), big_indexes.get(),
                                       &big_store);
-  auto big = big_engine.SearchView(
-      workload::BuildInexView(workload::ViewSpec{}),
-      workload::KeywordsForTier(workload::KeywordTier::kMedium),
-      engine::SearchOptions{});
+  auto big = ExecView(
+      big_engine, workload::BuildInexView(workload::ViewSpec{}),
+      workload::KeywordsForTier(workload::KeywordTier::kMedium));
   ASSERT_TRUE(big.ok()) << big.status();
   EXPECT_EQ(small->stats.pdt.index_probes, big->stats.pdt.index_probes);
   EXPECT_GT(big->stats.pdt.ids_processed, small->stats.pdt.ids_processed);
 }
 
 TEST_F(InexScaleTest, PdtsAreSmallFractionOfBase) {
-  auto response = engine_->SearchView(
-      workload::BuildInexView(workload::ViewSpec{}),
-      workload::KeywordsForTier(workload::KeywordTier::kMedium),
-      engine::SearchOptions{});
+  auto response = ExecView(
+      *engine_, workload::BuildInexView(workload::ViewSpec{}),
+      workload::KeywordsForTier(workload::KeywordTier::kMedium));
   ASSERT_TRUE(response.ok());
   const xml::Document* base = database_->GetDocument("inex.xml");
   uint64_t base_bytes = xml::SubtreeByteLength(*base, base->root());
@@ -71,8 +80,8 @@ TEST_F(InexScaleTest, PdtsAreSmallFractionOfBase) {
 TEST_F(InexScaleTest, StoreFetchesBoundedByTopKResults) {
   engine::SearchOptions options;
   options.top_k = 5;
-  auto response = engine_->SearchView(
-      workload::BuildInexView(workload::ViewSpec{}),
+  auto response = ExecView(
+      *engine_, workload::BuildInexView(workload::ViewSpec{}),
       workload::KeywordsForTier(workload::KeywordTier::kLow), options);
   ASSERT_TRUE(response.ok());
   ASSERT_EQ(response->hits.size(), 5u);
@@ -86,10 +95,9 @@ TEST_F(InexScaleTest, StoreFetchesBoundedByTopKResults) {
 
 TEST_F(InexScaleTest, ScoresAgreeWithBaselineAtScale) {
   baseline::NaiveEngine naive(database_.get());
-  auto eff = engine_->SearchView(
-      workload::BuildInexView(workload::ViewSpec{}),
-      workload::KeywordsForTier(workload::KeywordTier::kMedium),
-      engine::SearchOptions{});
+  auto eff = ExecView(
+      *engine_, workload::BuildInexView(workload::ViewSpec{}),
+      workload::KeywordsForTier(workload::KeywordTier::kMedium));
   auto base = naive.SearchView(
       workload::BuildInexView(workload::ViewSpec{}),
       workload::KeywordsForTier(workload::KeywordTier::kMedium),
@@ -104,14 +112,12 @@ TEST_F(InexScaleTest, ScoresAgreeWithBaselineAtScale) {
 }
 
 TEST_F(InexScaleTest, DisjointKeywordTiersRankDifferently) {
-  auto low = engine_->SearchView(
-      workload::BuildInexView(workload::ViewSpec{}),
-      workload::KeywordsForTier(workload::KeywordTier::kLow),
-      engine::SearchOptions{});
-  auto high = engine_->SearchView(
-      workload::BuildInexView(workload::ViewSpec{}),
-      workload::KeywordsForTier(workload::KeywordTier::kHigh),
-      engine::SearchOptions{});
+  auto low = ExecView(
+      *engine_, workload::BuildInexView(workload::ViewSpec{}),
+      workload::KeywordsForTier(workload::KeywordTier::kLow));
+  auto high = ExecView(
+      *engine_, workload::BuildInexView(workload::ViewSpec{}),
+      workload::KeywordsForTier(workload::KeywordTier::kHigh));
   ASSERT_TRUE(low.ok() && high.ok());
   // Frequent terms match far more view results than rare terms.
   EXPECT_GT(low->stats.matching_results, high->stats.matching_results);

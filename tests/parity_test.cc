@@ -49,7 +49,11 @@ class ParityFixture {
     engine::SearchOptions options;
     options.top_k = top_k;
     options.conjunctive = conjunctive;
-    auto eff = efficient_.SearchView(view, keywords, options);
+    engine::SearchRequest request;
+    request.view = view;
+    request.keywords = keywords;
+    request.options = options;
+    auto eff = efficient_.Execute(request);
     ASSERT_TRUE(eff.ok()) << eff.status();
     auto naive = naive_.SearchView(view, keywords, options);
     ASSERT_TRUE(naive.ok()) << naive.status();

@@ -62,10 +62,11 @@ TEST_F(PersistenceTest, IndexRoundTripAnswersIdentically) {
   for (const auto& keywords :
        std::vector<std::vector<std::string>>{{"xml", "search"},
                                              {"database"}}) {
-    auto a = original.SearchView(workload::BookRevView(), keywords,
-                                 engine::SearchOptions{});
-    auto b = reloaded.SearchView(workload::BookRevView(), keywords,
-                                 engine::SearchOptions{});
+    engine::SearchRequest request;
+    request.view = workload::BookRevView();
+    request.keywords = keywords;
+    auto a = original.Execute(request);
+    auto b = reloaded.Execute(request);
     ASSERT_TRUE(a.ok() && b.ok());
     ASSERT_EQ(a->hits.size(), b->hits.size());
     for (size_t i = 0; i < a->hits.size(); ++i) {

@@ -12,7 +12,7 @@
 
 #include "engine/view_search_engine.h"
 #include "index/index_builder.h"
-#include "service/thread_pool.h"
+#include "common/thread_pool.h"
 #include "storage/document_store.h"
 #include "workload/bookrev_generator.h"
 
@@ -67,6 +67,19 @@ class QueryServiceTest : public ::testing::Test {
   std::unique_ptr<engine::ViewSearchEngine> engine_;
 };
 
+// Serial oracle: the same view + keywords through the engine's unified
+// entry point (view TEXT at the engine boundary).
+Result<engine::SearchResponse> ExecView(
+    const engine::ViewSearchEngine& engine, const std::string& view,
+    const std::vector<std::string>& keywords,
+    engine::SearchOptions options = {}) {
+  engine::SearchRequest request;
+  request.view = view;
+  request.keywords = keywords;
+  request.options = options;
+  return engine.Execute(request);
+}
+
 const std::vector<std::vector<std::string>>& KeywordSets() {
   static const auto* kSets = new std::vector<std::vector<std::string>>{
       {"xml", "search"}, {"database"}, {"web", "xml"},
@@ -77,8 +90,8 @@ const std::vector<std::vector<std::string>>& KeywordSets() {
 TEST_F(QueryServiceTest, ConcurrentIdenticalBatchMatchesSerial) {
   auto service = MakeService(/*threads=*/4);
   BatchQuery query{"bookrev", {"xml", "search"}, engine::SearchOptions{}};
-  auto expected = engine_->SearchView(workload::BookRevView(), query.keywords,
-                                      query.options);
+  auto expected = ExecView(*engine_, workload::BookRevView(),
+                           query.keywords, query.options);
   ASSERT_TRUE(expected.ok());
   ASSERT_FALSE(expected->hits.empty());
 
@@ -108,8 +121,8 @@ TEST_F(QueryServiceTest, ConcurrentDistinctBatchMatchesSerial) {
     for (const auto& keywords : KeywordSets()) {
       BatchQuery query{"bookrev", keywords, engine::SearchOptions{}};
       query.options.conjunctive = keywords.size() % 2 == 1;
-      auto serial = engine_->SearchView(workload::BookRevView(), keywords,
-                                        query.options);
+      auto serial = ExecView(*engine_, workload::BookRevView(), keywords,
+                             query.options);
       ASSERT_TRUE(serial.ok());
       expected.push_back(std::move(*serial));
       batch.push_back(std::move(query));
@@ -157,8 +170,8 @@ TEST_F(QueryServiceTest, ReplacingViewInvalidatesCachedPdts) {
   ASSERT_TRUE(service->RegisterView("bookrev", new_view).ok());
   auto after = service->SearchOne(query);
   ASSERT_TRUE(after.ok());
-  auto expected = engine_->SearchView(new_view, query.keywords,
-                                      query.options);
+  auto expected = ExecView(*engine_, new_view, query.keywords,
+                           query.options);
   ASSERT_TRUE(expected.ok());
   ExpectSameResponse(*expected, *after);
   EXPECT_NE(before->stats.view_results, after->stats.view_results);
@@ -197,7 +210,7 @@ TEST_F(QueryServiceTest, SameSignatureViewsNeverCrossHit) {
   auto beta_after = service->SearchOne(beta);
   ASSERT_TRUE(beta_after.ok());
   EXPECT_EQ(service->stats().cache.misses, 3u);  // beta: rebuilt
-  auto expected = engine_->SearchView(new_view, beta.keywords, beta.options);
+  auto expected = ExecView(*engine_, new_view, beta.keywords, beta.options);
   ASSERT_TRUE(expected.ok());
   ExpectSameResponse(*expected, *beta_after);
   EXPECT_NE(beta_after->stats.view_results, alpha_after->stats.view_results);
@@ -229,8 +242,8 @@ TEST_F(QueryServiceTest, OpenCursorSurvivesCacheEviction) {
                              /*cache_shards=*/1);
   BatchQuery query{"bookrev", {"xml", "search"}, engine::SearchOptions{}};
   query.options.conjunctive = false;
-  auto expected = engine_->SearchView(workload::BookRevView(), query.keywords,
-                                      query.options);
+  auto expected = ExecView(*engine_, workload::BookRevView(),
+                           query.keywords, query.options);
   ASSERT_TRUE(expected.ok());
   ASSERT_GE(expected->hits.size(), 4u);
 
@@ -262,8 +275,8 @@ TEST_F(QueryServiceTest, OpenCursorSurvivesCacheEviction) {
 TEST_F(QueryServiceTest, OpenCursorSurvivesViewReplacement) {
   auto service = MakeService(/*threads=*/2);
   BatchQuery query{"bookrev", {"xml"}, engine::SearchOptions{}};
-  auto expected = engine_->SearchView(workload::BookRevView(), query.keywords,
-                                      query.options);
+  auto expected = ExecView(*engine_, workload::BookRevView(),
+                           query.keywords, query.options);
   ASSERT_TRUE(expected.ok());
 
   auto cursor = service->OpenSearch(query);

@@ -29,7 +29,11 @@ class RankedSelectionTest : public ::testing::Test {
     auto fast = RankedSelectionSearch(*db_, *indexes_, store_.get(), view,
                                       keywords, options);
     ASSERT_TRUE(fast.ok()) << fast.status();
-    auto full = engine_->SearchView(view, keywords, options);
+    SearchRequest request;
+    request.view = view;
+    request.keywords = keywords;
+    request.options = options;
+    auto full = engine_->Execute(request);
     ASSERT_TRUE(full.ok()) << full.status();
     ASSERT_EQ(fast->hits.size(), full->hits.size());
     EXPECT_EQ(fast->stats.view_results, full->stats.view_results);
@@ -122,7 +126,10 @@ TEST_F(RankedSelectionTest, InexArticleSelectionAgrees) {
   auto fast = RankedSelectionSearch(*db, *indexes, &store, view, keywords,
                                     SearchOptions{});
   ASSERT_TRUE(fast.ok()) << fast.status();
-  auto full = full_engine.SearchView(view, keywords, SearchOptions{});
+  SearchRequest request;
+  request.view = view;
+  request.keywords = keywords;
+  auto full = full_engine.Execute(request);
   ASSERT_TRUE(full.ok());
   ASSERT_EQ(fast->hits.size(), full->hits.size());
   for (size_t i = 0; i < fast->hits.size(); ++i) {

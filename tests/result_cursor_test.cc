@@ -6,6 +6,8 @@
 // arena across calls; lifetime bugs here are memory bugs).
 #include "engine/result_cursor.h"
 
+#include "common/deprecation.h"
+
 #include <memory>
 #include <string>
 #include <utility>
@@ -86,9 +88,9 @@ TEST_F(ResultCursorTest, PagedFetchesEqualOneBigFetch) {
   }
   ExpectSameHits(*all, collected);
   EXPECT_EQ((*whole)->fetched(), (*paged)->fetched());
-  EXPECT_EQ((*whole)->stats().store_fetches,
-            (*paged)->stats().store_fetches);
-  EXPECT_EQ((*whole)->stats().store_bytes, (*paged)->stats().store_bytes);
+  EXPECT_EQ((*whole)->stats().search.store_fetches,
+            (*paged)->stats().search.store_fetches);
+  EXPECT_EQ((*whole)->stats().search.store_bytes, (*paged)->stats().search.store_bytes);
 }
 
 // The pre-cursor ExecutePrepared pipeline, reconstructed from its public
@@ -126,8 +128,10 @@ TEST_F(ResultCursorTest, WrapperByteIdenticalToBatchPipeline) {
 
   SearchOptions options;
   options.top_k = 5;
+  QV_SUPPRESS_DEPRECATED_BEGIN
   auto wrapped = engine_->SearchView(workload::BookRevView(), keywords,
                                      options);
+  QV_SUPPRESS_DEPRECATED_END
   ASSERT_TRUE(wrapped.ok()) << wrapped.status();
   ExpectSameHits(reference, wrapped->hits);
   EXPECT_EQ(wrapped->stats.store_fetches, fetches.fetch_calls);
@@ -150,21 +154,21 @@ TEST_F(ResultCursorTest, FetchTenMaterializesLessThanDrain) {
 
   auto first_page = engine_->Open(*prepared, options);
   ASSERT_TRUE(first_page.ok()) << first_page.status();
-  ASSERT_GE((*first_page)->stats().matching_results, 100u);
-  EXPECT_EQ((*first_page)->stats().store_fetches, 0u)
+  ASSERT_GE((*first_page)->stats().search.matching_results, 100u);
+  EXPECT_EQ((*first_page)->stats().search.store_fetches, 0u)
       << "opening a cursor must not touch base data";
   auto ten = (*first_page)->FetchNext(10);
   ASSERT_TRUE(ten.ok()) << ten.status();
   ASSERT_EQ(ten->size(), 10u);
-  uint64_t ten_fetches = (*first_page)->stats().store_fetches;
+  uint64_t ten_fetches = (*first_page)->stats().search.store_fetches;
   EXPECT_GT(ten_fetches, 0u);
 
   auto drained = engine_->Open(*prepared, options);
   ASSERT_TRUE(drained.ok()) << drained.status();
   auto everything = (*drained)->FetchNext((*drained)->pending());
   ASSERT_TRUE(everything.ok()) << everything.status();
-  EXPECT_EQ(everything->size(), (*drained)->stats().matching_results);
-  EXPECT_LT(ten_fetches, (*drained)->stats().store_fetches);
+  EXPECT_EQ(everything->size(), (*drained)->stats().search.matching_results);
+  EXPECT_LT(ten_fetches, (*drained)->stats().search.store_fetches);
 
   // And the first ten of the drain are the ten the page returned.
   everything->resize(10);
@@ -181,16 +185,16 @@ TEST_F(ResultCursorTest, ExhaustedCursorStaysExhausted) {
 
   auto all = (*cursor)->FetchNext((*cursor)->pending());
   ASSERT_TRUE(all.ok()) << all.status();
-  EXPECT_EQ(all->size(), (*cursor)->stats().matching_results);
+  EXPECT_EQ(all->size(), (*cursor)->stats().search.matching_results);
   EXPECT_TRUE((*cursor)->Done());
   EXPECT_EQ((*cursor)->pending(), 0u);
 
-  uint64_t fetches_before = (*cursor)->stats().store_fetches;
+  uint64_t fetches_before = (*cursor)->stats().search.store_fetches;
   auto empty = (*cursor)->FetchNext(10);
   ASSERT_TRUE(empty.ok()) << empty.status();
   EXPECT_TRUE(empty->empty());
   EXPECT_EQ((*cursor)->fetched(), all->size());
-  EXPECT_EQ((*cursor)->stats().store_fetches, fetches_before);
+  EXPECT_EQ((*cursor)->stats().search.store_fetches, fetches_before);
 }
 
 TEST_F(ResultCursorTest, FetchZeroIsANoOp) {
@@ -202,7 +206,7 @@ TEST_F(ResultCursorTest, FetchZeroIsANoOp) {
   ASSERT_TRUE(none.ok()) << none.status();
   EXPECT_TRUE(none->empty());
   EXPECT_EQ((*cursor)->fetched(), 0u);
-  EXPECT_EQ((*cursor)->stats().store_fetches, 0u);
+  EXPECT_EQ((*cursor)->stats().search.store_fetches, 0u);
   EXPECT_FALSE((*cursor)->Done());
 }
 
@@ -213,7 +217,7 @@ TEST_F(ResultCursorTest, TopKBudgetCapsTheStream) {
   options.top_k = 2;
   auto cursor = engine_->Open(*prepared, options);
   ASSERT_TRUE(cursor.ok()) << cursor.status();
-  ASSERT_GT((*cursor)->stats().matching_results, 2u);
+  ASSERT_GT((*cursor)->stats().search.matching_results, 2u);
   auto hits = (*cursor)->FetchNext(100);
   ASSERT_TRUE(hits.ok()) << hits.status();
   EXPECT_EQ(hits->size(), 2u);
@@ -225,8 +229,10 @@ TEST_F(ResultCursorTest, CursorOutlivesCallerReferences) {
   // result arena on its own: drop every caller-side reference before the
   // first fetch and compare against the wrapper.
   const std::vector<std::string> keywords{"xml", "search"};
+  QV_SUPPRESS_DEPRECATED_BEGIN
   auto expected = engine_->SearchView(workload::BookRevView(), keywords,
                                       SearchOptions{});
+  QV_SUPPRESS_DEPRECATED_END
   ASSERT_TRUE(expected.ok()) << expected.status();
 
   auto prepared = Prepare(keywords, /*conjunctive=*/true);
@@ -248,23 +254,29 @@ TEST_F(ResultCursorTest, TopKZeroIsInvalidArgument) {
   ASSERT_FALSE(cursor.ok());
   EXPECT_EQ(cursor.status().code(), StatusCode::kInvalidArgument);
 
+  QV_SUPPRESS_DEPRECATED_BEGIN
   auto response = engine_->SearchView(workload::BookRevView(), {"xml"},
                                       options);
+  QV_SUPPRESS_DEPRECATED_END
   ASSERT_FALSE(response.ok());
   EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(ResultCursorTest, EmptyKeywordListIsInvalidArgument) {
+  QV_SUPPRESS_DEPRECATED_BEGIN
   auto response = engine_->SearchView(workload::BookRevView(), {},
                                       SearchOptions{});
+  QV_SUPPRESS_DEPRECATED_END
   ASSERT_FALSE(response.ok());
   EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
 
   // The full-query form: ftcontains() parses, but PlanQuery rejects it.
+  QV_SUPPRESS_DEPRECATED_BEGIN
   auto full = engine_->Search(
       "let $view := " + workload::BookRevView() +
           "\nfor $qv in $view\nwhere $qv ftcontains()\nreturn $qv",
       SearchOptions{});
+  QV_SUPPRESS_DEPRECATED_END
   ASSERT_FALSE(full.ok());
   EXPECT_EQ(full.status().code(), StatusCode::kInvalidArgument);
 }

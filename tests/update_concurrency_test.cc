@@ -56,7 +56,11 @@ engine::SearchResponse ExpectedFor(const std::string& books_xml,
   auto indexes = index::BuildDatabaseIndexes(*db);
   storage::DocumentStore store(*db);
   engine::ViewSearchEngine engine(db.get(), indexes.get(), &store);
-  auto response = engine.SearchView(kBooksView, keywords, options);
+  engine::SearchRequest request;
+  request.view = kBooksView;
+  request.keywords = keywords;
+  request.options = options;
+  auto response = engine.Execute(request);
   EXPECT_TRUE(response.ok()) << response.status().ToString();
   return std::move(*response);
 }

@@ -376,8 +376,11 @@ TEST(UpdateDifferentialTest, RandomizedUpdatesMatchFreshRebuild) {
         service.SearchBatch(batch);
     ASSERT_EQ(responses.size(), batch.size());
     for (size_t i = 0; i < batch.size(); ++i) {
-      Result<engine::SearchResponse> expected = fresh.engine->SearchView(
-          workload::BookRevView(), batch[i].keywords, batch[i].options);
+      engine::SearchRequest oracle;
+      oracle.view = workload::BookRevView();
+      oracle.keywords = batch[i].keywords;
+      oracle.options = batch[i].options;
+      Result<engine::SearchResponse> expected = fresh.engine->Execute(oracle);
       ExpectSameResponse(expected, responses[i],
                          context + " query " + std::to_string(i));
     }
@@ -581,8 +584,11 @@ TEST(UpdateDeltaLogTest, OverlayAndCompactMatchDirectPack) {
   std::vector<Result<engine::SearchResponse>> responses =
       packed_service.SearchBatch(batch);
   for (size_t i = 0; i < batch.size(); ++i) {
-    Result<engine::SearchResponse> expected = fresh.engine->SearchView(
-        workload::BookRevView(), batch[i].keywords, batch[i].options);
+    engine::SearchRequest oracle;
+    oracle.view = workload::BookRevView();
+    oracle.keywords = batch[i].keywords;
+    oracle.options = batch[i].options;
+    Result<engine::SearchResponse> expected = fresh.engine->Execute(oracle);
     // pages_read/buffer_hits legitimately differ (the packed side reads
     // disk); everything ExpectSameResponse checks must not.
     ExpectSameResponse(expected, responses[i],
@@ -619,8 +625,11 @@ TEST(UpdateDeltaLogTest, OverlayAndCompactMatchDirectPack) {
   std::vector<Result<engine::SearchResponse>> reopened_responses =
       reopened_service.SearchBatch(batch);
   for (size_t i = 0; i < batch.size(); ++i) {
-    Result<engine::SearchResponse> expected = fresh.engine->SearchView(
-        workload::BookRevView(), batch[i].keywords, batch[i].options);
+    engine::SearchRequest oracle;
+    oracle.view = workload::BookRevView();
+    oracle.keywords = batch[i].keywords;
+    oracle.options = batch[i].options;
+    Result<engine::SearchResponse> expected = fresh.engine->Execute(oracle);
     ExpectSameResponse(expected, reopened_responses[i],
                        "compacted query " + std::to_string(i));
   }

@@ -16,9 +16,14 @@
 //       corpus) plus its indices into a single paged .qvpack file:
 //       node-record pages, B-tree-node pages and posting runs that
 //       serve/page read lazily through a buffer pool.
-//   quickview_cli serve <db-dir>|<db.qvpack> --view <file> [--threads N]
+//       With --shards N (output <file.qvset>) the corpus is partitioned
+//       into N shards — one .qvpack each plus a .qvset manifest —
+//       co-locating joined subtrees by --colocate <tag> (e.g. isbn).
+//   quickview_cli serve <db-dir>|<db.qvpack>|<db.qvset> --view <file>
+//       [--threads N]
 //       [--top N] [--any] [--repeat R] [--page N] [--frames N]
-//       [--demo-view]   (or: quickview_cli serve --demo)
+//       [--shards N] [--colocate tag] [--demo-view]
+//       (or: quickview_cli serve --demo)
 //       Batch mode: read one keyword query per stdin line (comma-
 //       separated keywords), execute the whole batch concurrently on a
 //       QueryService thread pool with PDT caching, print ranked matches
@@ -27,7 +32,10 @@
 //       printing per-page store-fetch counts. Over a .qvpack file the
 //       corpus stays on disk: queries pull only the pages they touch
 //       (--frames bounds the buffer pool; a storage/buffer-pool stats
-//       block prints at the end).
+//       block prints at the end). Over a .qvset shard set — or with
+//       --shards N over an in-memory corpus — every query fans out
+//       across the shards and merges lazily; responses are
+//       byte-identical to the unsharded run.
 //   quickview_cli page [<db.qvpack>] [--keywords k1,k2] [--page N]
 //       [--top N] [--any] [--frames N] [--demo-view]
 //       Cursor-lifecycle demo on the built-in corpus (or over a packed
@@ -60,9 +68,11 @@
 #include "pagestore/delta_log.h"
 #include "pagestore/pack.h"
 #include "pagestore/packed_db.h"
+#include "pagestore/shard_pack.h"
 #include "service/query_service.h"
 #include "storage/document_store.h"
 #include "storage/persistence.h"
+#include "storage/shard_set.h"
 #include "workload/bookrev_generator.h"
 #include "xml/parser.h"
 
@@ -85,13 +95,17 @@ int Usage() {
                "[--top N] [--any]\n"
                "  quickview_cli demo\n"
                "  quickview_cli pack <db-dir>|--demo <file.qvpack>\n"
-               "  quickview_cli serve <db-dir>|<db.qvpack>|--demo "
+               "  quickview_cli pack <db-dir>|--demo <file.qvset> "
+               "--shards N [--colocate tag]\n"
+               "  quickview_cli serve <db-dir>|<db.qvpack>|<db.qvset>|--demo "
                "--view <file>|--demo-view [--threads N] [--top N] [--any] "
-               "[--repeat R] [--page N] [--frames N]\n"
+               "[--repeat R] [--page N] [--frames N] [--shards N] "
+               "[--colocate tag]\n"
                "    (keyword queries on stdin, one comma-separated "
                "list per line)\n"
-               "  quickview_cli page [<db.qvpack>] [--keywords k1,k2] "
-               "[--page N] [--top N] [--any] [--frames N] [--demo-view]\n"
+               "  quickview_cli page [<db.qvpack>|<db.qvset>] "
+               "[--keywords k1,k2] [--page N] [--top N] [--any] [--frames N] "
+               "[--shards N] [--demo-view]\n"
                "  quickview_cli append <db.qvpack> <name> <xml-file>\n"
                "  quickview_cli tombstone <db.qvpack> <name>\n"
                "  quickview_cli compact <in.qvpack> <out.qvpack>\n");
@@ -111,6 +125,8 @@ struct Flags {
   size_t page = 0;  // cursor page size; 0 = whole-batch responses
   size_t frames = 256;     // buffer-pool frame budget for .qvpack mode
   bool demo_view = false;  // use the built-in books/reviews view text
+  int shards = 0;          // 0 = unsharded; N >= 1 partitions the corpus
+  std::string colocate;    // join-key tag for shard co-location
 };
 
 /// Strict non-negative integer parse; false on junk or overflow (flag
@@ -180,6 +196,15 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->frames = static_cast<size_t>(value);
     } else if (arg == "--demo-view") {
       flags->demo_view = true;
+    } else if (arg == "--shards") {
+      const char* v = next();
+      long long value = 0;
+      if (!ParseCount(v, 4096, &value) || value == 0) return false;
+      flags->shards = static_cast<int>(value);
+    } else if (arg == "--colocate") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      flags->colocate = v;
     } else {
       flags->positional.push_back(std::move(arg));
     }
@@ -237,10 +262,12 @@ int CmdSearch(const Flags& flags) {
   if (!view_text.ok()) return Fail(view_text.status());
   storage::DocumentStore store(**db);
   engine::ViewSearchEngine engine(db->get(), idx, &store);
-  engine::SearchOptions options;
-  options.top_k = flags.top_k;
-  options.conjunctive = !flags.any;
-  auto response = engine.SearchView(*view_text, flags.keywords, options);
+  engine::SearchRequest request;
+  request.view = *view_text;
+  request.keywords = flags.keywords;
+  request.options.top_k = flags.top_k;
+  request.options.conjunctive = !flags.any;
+  auto response = engine.Execute(request);
   if (!response.ok()) return Fail(response.status());
   std::printf("%zu of %zu view results match; module times "
               "qpt=%.2fms pdt=%.2fms eval=%.2fms post=%.2fms\n",
@@ -285,8 +312,9 @@ int CmdDemo() {
   storage::DocumentStore store(*db);
   engine::ViewSearchEngine engine(db.get(), indexes.get(), &store);
   std::printf("query:\n%s\n\n", workload::BookRevKeywordQuery().c_str());
-  auto response = engine.Search(workload::BookRevKeywordQuery(),
-                                engine::SearchOptions{});
+  engine::SearchRequest request;
+  request.query = workload::BookRevKeywordQuery();
+  auto response = engine.Execute(request);
   if (!response.ok()) return Fail(response.status());
   for (size_t i = 0; i < response->hits.size() && i < 3; ++i) {
     std::printf("#%zu score=%.4f\n%s\n\n", i + 1, response->hits[i].score,
@@ -303,6 +331,14 @@ bool IsPackedPath(const std::string& path) {
                       kSuffix) == 0;
 }
 
+/// True for paths that name a sharded pack-set manifest.
+bool IsShardSetPath(const std::string& path) {
+  constexpr std::string_view kSuffix = ".qvset";
+  return path.size() > kSuffix.size() &&
+         path.compare(path.size() - kSuffix.size(), kSuffix.size(),
+                      kSuffix) == 0;
+}
+
 /// The corpus a serve/page run executes over: in-memory structures, or a
 /// packed .qvpack file whose pages are pulled on demand through a
 /// bounded buffer pool.
@@ -311,6 +347,9 @@ struct Backend {
   std::unique_ptr<index::DatabaseIndexes> indexes;  // in-memory mode
   std::shared_ptr<pagestore::PackedDb> packed;      // packed mode
   std::unique_ptr<storage::DocumentStore> store;
+  /// Sharded mode: a .qvset shard set, or an in-memory partition made
+  /// with --shards N. Queries fan out per shard and merge lazily.
+  std::unique_ptr<storage::ShardSet> shards;
 
   const xml::Database* database() const { return db.get(); }
   const index::IndexSource* index_source() const {
@@ -319,12 +358,33 @@ struct Backend {
     }
     return static_cast<const index::IndexSource*>(indexes.get());
   }
+
+  /// Shard execution contexts in corpus order (one per shard).
+  std::vector<engine::ShardContext> ShardContexts() const {
+    std::vector<engine::ShardContext> contexts;
+    contexts.reserve(shards->size());
+    for (size_t i = 0; i < shards->size(); ++i) {
+      const storage::Shard& shard = shards->shard(i);
+      contexts.push_back(engine::ShardContext{
+          shard.database.get(), shard.index_source(), shard.store.get()});
+    }
+    return contexts;
+  }
 };
 
 /// `source` is a db directory, a .qvpack path, or empty with
 /// flags.demo for the built-in corpus.
 Result<Backend> OpenBackend(const Flags& flags, const std::string& source) {
   Backend backend;
+  if (!flags.demo && IsShardSetPath(source)) {
+    QUICKVIEW_ASSIGN_OR_RETURN(
+        storage::ShardSet set,
+        storage::ShardSet::OpenPacked(source, flags.frames));
+    backend.shards = std::make_unique<storage::ShardSet>(std::move(set));
+    std::printf("opened %s: %zu shards, %zu-frame pool total\n",
+                source.c_str(), backend.shards->size(), flags.frames);
+    return backend;
+  }
   if (flags.demo) {
     backend.db = workload::GenerateBookRevDatabase(workload::BookRevOptions{});
     backend.indexes = index::BuildDatabaseIndexes(*backend.db);
@@ -360,6 +420,22 @@ Result<Backend> OpenBackend(const Flags& flags, const std::string& source) {
     }
   }
   backend.store = std::make_unique<storage::DocumentStore>(*backend.db);
+  // --shards N over an in-memory corpus: partition it into N
+  // self-contained shards (the unsharded structures stay around for
+  // side-by-side comparison output).
+  if (flags.shards > 0) {
+    storage::ShardingSpec spec;
+    spec.shards = flags.shards;
+    spec.colocate_tag = flags.colocate;
+    QUICKVIEW_ASSIGN_OR_RETURN(storage::ShardSet set,
+                               storage::ShardSet::Partition(*backend.db, spec));
+    backend.shards = std::make_unique<storage::ShardSet>(std::move(set));
+    std::string colocated =
+        flags.colocate.empty() ? std::string()
+                               : " (colocated by <" + flags.colocate + ">)";
+    std::printf("partitioned corpus into %d shards%s\n", flags.shards,
+                colocated.c_str());
+  }
   return backend;
 }
 
@@ -367,14 +443,28 @@ Result<Backend> OpenBackend(const Flags& flags, const std::string& source) {
 /// and — for packed databases — the buffer-pool picture. This is what
 /// bench and CI artifacts eyeball instead of a debugger.
 void PrintStorageStats(const Backend& backend) {
-  storage::DocumentStore::Stats store_stats = backend.store->stats();
-  std::printf(
-      "storage: %llu fetches, %llu bytes, %llu pages read, "
-      "%llu buffer hits\n",
-      static_cast<unsigned long long>(store_stats.fetch_calls),
-      static_cast<unsigned long long>(store_stats.bytes_fetched),
-      static_cast<unsigned long long>(store_stats.pages_read),
-      static_cast<unsigned long long>(store_stats.buffer_hits));
+  if (backend.shards != nullptr) {
+    for (size_t i = 0; i < backend.shards->size(); ++i) {
+      storage::DocumentStore::Stats s = backend.shards->shard(i).store->stats();
+      std::printf(
+          "shard %zu storage: %llu fetches, %llu bytes, %llu pages read, "
+          "%llu buffer hits\n",
+          i, static_cast<unsigned long long>(s.fetch_calls),
+          static_cast<unsigned long long>(s.bytes_fetched),
+          static_cast<unsigned long long>(s.pages_read),
+          static_cast<unsigned long long>(s.buffer_hits));
+    }
+  }
+  if (backend.store != nullptr) {
+    storage::DocumentStore::Stats store_stats = backend.store->stats();
+    std::printf(
+        "storage: %llu fetches, %llu bytes, %llu pages read, "
+        "%llu buffer hits\n",
+        static_cast<unsigned long long>(store_stats.fetch_calls),
+        static_cast<unsigned long long>(store_stats.bytes_fetched),
+        static_cast<unsigned long long>(store_stats.pages_read),
+        static_cast<unsigned long long>(store_stats.buffer_hits));
+  }
   if (backend.packed != nullptr) {
     pagestore::BufferPoolStats pool = backend.packed->pool().stats();
     std::printf(
@@ -391,23 +481,54 @@ void PrintStorageStats(const Backend& backend) {
 
 int CmdPack(const Flags& flags) {
   // pack --demo <out.qvpack>  |  pack <db-dir> <out.qvpack>
+  // pack ... <out.qvset> --shards N [--colocate tag]
   size_t expected = flags.demo ? 1 : 2;
   if (flags.positional.size() != expected) return Usage();
   const std::string& out = flags.positional.back();
-  if (!IsPackedPath(out)) {
+  const bool sharded = flags.shards > 0 || IsShardSetPath(out);
+  if (sharded && !IsShardSetPath(out)) {
+    std::fprintf(stderr, "pack --shards: output must end in .qvset\n");
+    return 2;
+  }
+  if (!sharded && !IsPackedPath(out)) {
     std::fprintf(stderr, "pack: output must end in .qvpack\n");
     return 2;
   }
   std::string source = flags.demo ? std::string() : flags.positional[0];
-  if (IsPackedPath(source)) {
+  if (IsPackedPath(source) || IsShardSetPath(source)) {
     std::fprintf(stderr,
                  "pack: input must be a database directory (or --demo), "
                  "not an already-packed file\n");
     return 2;
   }
 
-  auto backend = OpenBackend(flags, source);
+  // Keep OpenBackend from partitioning in memory — the sharded pack
+  // path partitions itself on the way to disk.
+  Flags backend_flags = flags;
+  backend_flags.shards = 0;
+  auto backend = OpenBackend(backend_flags, source);
   if (!backend.ok()) return Fail(backend.status());
+
+  if (sharded) {
+    storage::ShardingSpec spec;
+    spec.shards = std::max(1, flags.shards);
+    spec.colocate_tag = flags.colocate;
+    Status packed = pagestore::PackShardedDb(*backend->db, spec, out);
+    if (!packed.ok()) return Fail(packed);
+    std::printf("packed %zu documents into %d shards under %s:\n",
+                backend->db->documents().size(), spec.shards,
+                pagestore::ShardManifestPath(out).c_str());
+    for (int i = 0; i < spec.shards; ++i) {
+      auto reopened =
+          pagestore::PagedFile::Open(pagestore::ShardPackPath(out, i));
+      if (!reopened.ok()) return Fail(reopened.status());
+      std::printf("  shard %d: %s, %u pages\n", i,
+                  pagestore::ShardPackPath(out, i).c_str(),
+                  (*reopened)->page_count());
+    }
+    return 0;
+  }
+
   Status packed =
       pagestore::PackDatabase(*backend->db, *backend->indexes, out);
   if (!packed.ok()) return Fail(packed);
@@ -491,13 +612,19 @@ int CmdServe(const Flags& flags) {
 
   service::QueryServiceOptions options;
   options.threads = flags.threads;
-  service::QueryService query_service(backend->database(),
-                                      backend->index_source(),
-                                      backend->store.get(), options);
-  if (backend->packed != nullptr) {
-    query_service.AttachBufferPool(&backend->packed->pool());
+  std::unique_ptr<service::QueryService> query_service;
+  if (backend->shards != nullptr) {
+    query_service = std::make_unique<service::QueryService>(
+        backend->shards.get(), options);
+  } else {
+    query_service = std::make_unique<service::QueryService>(
+        backend->database(), backend->index_source(), backend->store.get(),
+        options);
+    if (backend->packed != nullptr) {
+      query_service->AttachBufferPool(&backend->packed->pool());
+    }
   }
-  Status registered = query_service.RegisterView("default", view_text);
+  Status registered = query_service->RegisterView("default", view_text);
   if (!registered.ok()) return Fail(registered);
 
   // One query per stdin line: comma-separated keywords.
@@ -532,7 +659,7 @@ int CmdServe(const Flags& flags) {
     int failures = 0;
     for (const service::BatchQuery& query : batch) {
       const std::string joined = JoinStrings(query.keywords, ",");
-      auto cursor = query_service.OpenSearch(query);
+      auto cursor = query_service->OpenSearch(query);
       if (!cursor.ok()) {
         ++failures;
         std::printf("[%s] error: %s\n", joined.c_str(),
@@ -555,16 +682,16 @@ int CmdServe(const Flags& flags) {
             joined.c_str(), page_no, page->size(),
             page->empty() ? 0.0 : (*page)[0].score,
             static_cast<unsigned long long>(
-                (*cursor)->stats().store_fetches));
+                (*cursor)->stats().search.store_fetches));
       }
-      const engine::SearchStats& s = (*cursor)->stats();
+      const engine::SearchStats& s = (*cursor)->stats().search;
       std::printf(
           "[%s] done: fetched %zu of %zu matches in %zu pages, "
           "%llu store fetches\n",
           joined.c_str(), (*cursor)->fetched(), s.matching_results,
           page_no, static_cast<unsigned long long>(s.store_fetches));
     }
-    service::QueryService::Stats stats = query_service.stats();
+    service::QueryService::Stats stats = query_service->stats();
     std::printf("streamed %zu queries; cache hits %llu misses %llu\n",
                 batch.size(),
                 static_cast<unsigned long long>(stats.cache.hits),
@@ -580,7 +707,7 @@ int CmdServe(const Flags& flags) {
   }
 
   auto start = std::chrono::steady_clock::now();
-  auto responses = query_service.SearchBatch(batch);
+  auto responses = query_service->SearchBatch(batch);
   double wall_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - start)
                        .count();
@@ -602,11 +729,11 @@ int CmdServe(const Flags& flags) {
   for (size_t i = unique_queries; i < responses.size(); ++i) {
     if (!responses[i].ok()) ++failures;
   }
-  service::QueryService::Stats stats = query_service.stats();
+  service::QueryService::Stats stats = query_service->stats();
   std::printf(
       "served %zu queries on %d threads in %.1f ms (%.0f q/s); "
       "cache hits %llu misses %llu\n",
-      responses.size(), query_service.threads(), wall_ms,
+      responses.size(), query_service->threads(), wall_ms,
       wall_ms > 0 ? 1000.0 * static_cast<double>(responses.size()) / wall_ms
                   : 0.0,
       static_cast<unsigned long long>(stats.cache.hits),
@@ -636,30 +763,36 @@ int CmdPage(const Flags& flags) {
   } else {
     view_text = workload::BookRevView();
   }
-  engine::ViewSearchEngine engine(backend->database(),
-                                  backend->index_source(),
-                                  backend->store.get());
+  // One unified entry point at any shard count: a sharded backend fans
+  // the request out per shard, an unsharded one is the one-shard case.
+  std::vector<engine::ShardContext> contexts;
+  if (backend->shards != nullptr) {
+    contexts = backend->ShardContexts();
+  } else {
+    contexts.push_back(engine::ShardContext{backend->database(),
+                                            backend->index_source(),
+                                            backend->store.get()});
+  }
+  engine::ViewSearchEngine engine(std::move(contexts), /*pool=*/nullptr);
 
   std::vector<std::string> keywords = flags.keywords;
   if (keywords.empty()) keywords = {"xml", "search"};
   const size_t page_size = flags.page > 0 ? flags.page : 3;
-  engine::SearchOptions options;
-  options.top_k = flags.top_k;
-  options.conjunctive = !flags.any;
 
-  auto plan = engine.PlanQuery(engine::ComposeKeywordQuery(
-      view_text, keywords, options.conjunctive));
-  if (!plan.ok()) return Fail(plan.status());
-  auto prepared = engine.BuildPdts(std::move(*plan));
-  if (!prepared.ok()) return Fail(prepared.status());
-  auto cursor = engine.Open(*prepared, options);
+  engine::SearchRequest request;
+  request.view = view_text;
+  request.keywords = keywords;
+  request.options.top_k = flags.top_k;
+  request.options.conjunctive = !flags.any;
+  auto cursor = engine.Open(request);
   if (!cursor.ok()) return Fail(cursor.status());
 
   std::printf(
       "cursor open: %zu matches ranked, %zu materialized, "
       "%llu store fetches\n",
-      (*cursor)->stats().matching_results, (*cursor)->fetched(),
-      static_cast<unsigned long long>((*cursor)->stats().store_fetches));
+      (*cursor)->stats().search.matching_results, (*cursor)->fetched(),
+      static_cast<unsigned long long>(
+          (*cursor)->stats().search.store_fetches));
   size_t page_no = 0;
   while (!(*cursor)->Done()) {
     auto page = (*cursor)->FetchNext(page_size);
@@ -672,15 +805,16 @@ int CmdPage(const Flags& flags) {
     }
     std::printf("   %llu store fetches so far (%llu bytes)\n",
                 static_cast<unsigned long long>(
-                    (*cursor)->stats().store_fetches),
+                    (*cursor)->stats().search.store_fetches),
                 static_cast<unsigned long long>(
-                    (*cursor)->stats().store_bytes));
-    if (backend->packed != nullptr) {
+                    (*cursor)->stats().search.store_bytes));
+    if (backend->packed != nullptr ||
+        (backend->shards != nullptr && backend->shards->paged())) {
       std::printf("   %llu pages read so far (%llu buffer hits)\n",
                   static_cast<unsigned long long>(
-                      (*cursor)->stats().pages_read),
+                      (*cursor)->stats().search.pages_read),
                   static_cast<unsigned long long>(
-                      (*cursor)->stats().buffer_hits));
+                      (*cursor)->stats().search.buffer_hits));
     }
   }
   std::printf("cursor drained: %zu hits in %zu pages\n",
