@@ -1,0 +1,129 @@
+// Histogram: a log-bucketed value histogram for latency observability.
+// Values (conventionally microseconds) land in log-linear buckets — 8
+// sub-buckets per power-of-two octave, HdrHistogram-style — so the full
+// uint64 range is covered by a fixed 496-slot array with a worst-case
+// relative quantization error of 1/8th. Recording is one relaxed
+// fetch_add per counter (lock-cheap, safe from any thread: the server
+// records per-opcode latencies on every RPC completion); reading is a
+// linear scan. Histograms merge by bucket-wise addition, so per-thread
+// instances (the load driver) fold into one report without ever sharing
+// a cache line on the hot path.
+//
+// Quantiles are reported as the LOWER BOUND of the bucket containing the
+// rank — deterministic, and never overstates the observed value by more
+// than one sub-bucket width.
+#ifndef QUICKVIEW_COMMON_HISTOGRAM_H_
+#define QUICKVIEW_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace quickview {
+
+class Histogram {
+ public:
+  /// 8 sub-buckets per octave: values < 8 map exactly (buckets 0..7),
+  /// larger values map to 8 * (exponent - 3) + sub-bucket.
+  static constexpr int kSubBucketBits = 3;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;  // 8
+  static constexpr size_t kBuckets =
+      static_cast<size_t>(kSubBuckets) +
+      static_cast<size_t>(64 - kSubBucketBits) * kSubBuckets;  // 496
+
+  Histogram() = default;
+
+  // Copying would need a consistency protocol; merge into a fresh
+  // instance instead (Merge tolerates concurrent recording).
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Maps `value` to its bucket. Exact below kSubBuckets; above, the top
+  /// kSubBucketBits bits after the leading one select the sub-bucket.
+  static size_t BucketIndex(uint64_t value) {
+    if (value < kSubBuckets) return static_cast<size_t>(value);
+    const int exponent = 63 - std::countl_zero(value);  // >= kSubBucketBits
+    const uint64_t sub =
+        (value >> (exponent - kSubBucketBits)) - kSubBuckets;
+    return static_cast<size_t>(kSubBuckets) +
+           static_cast<size_t>(exponent - kSubBucketBits) * kSubBuckets +
+           static_cast<size_t>(sub);
+  }
+
+  /// The smallest value mapping to bucket `index` (the quantile answer).
+  static uint64_t BucketLowerBound(size_t index) {
+    if (index < kSubBuckets) return index;
+    const size_t octave = (index - kSubBuckets) / kSubBuckets;
+    const size_t sub = (index - kSubBuckets) % kSubBuckets;
+    const int exponent = static_cast<int>(octave) + kSubBucketBits;
+    return (uint64_t{kSubBuckets} + sub) << (exponent - kSubBucketBits);
+  }
+
+  /// Records one observation. Safe from any thread; never blocks.
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Adds `other`'s counts into this histogram (bucket-wise; tolerant of
+  /// concurrent Record calls on either side — the merge is then simply
+  /// some consistent interleaving).
+  void Merge(const Histogram& other) {
+    for (size_t i = 0; i < kBuckets; ++i) {
+      uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+      if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// The lower bound of the bucket holding the rank-`q` observation
+  /// (q in [0, 1]; 0.5 = median). 0 on an empty histogram. Concurrent
+  /// recording may skew the answer by the in-flight observations — fine
+  /// for live stats endpoints.
+  uint64_t ValueAtQuantile(double q) const {
+    const uint64_t total = count();
+    if (total == 0) return 0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    // rank in [1, total]: the index of the wanted observation in sorted
+    // order (ceil, so q = 0.5 over 2 observations picks the first).
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+    if (rank == 0) rank = 1;
+    if (rank > total) rank = total;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i].load(std::memory_order_relaxed);
+      if (seen >= rank) return BucketLowerBound(i);
+    }
+    return BucketLowerBound(kBuckets - 1);
+  }
+
+  /// Non-empty (bucket lower bound, count) pairs in value order.
+  std::vector<std::pair<uint64_t, uint64_t>> NonEmptyBuckets() const {
+    std::vector<std::pair<uint64_t, uint64_t>> out;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+      if (n != 0) out.emplace_back(BucketLowerBound(i), n);
+    }
+    return out;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+}  // namespace quickview
+
+#endif  // QUICKVIEW_COMMON_HISTOGRAM_H_

@@ -19,6 +19,7 @@ enum class StatusCode {
   kEvalError,        // runtime query-evaluation failure (e.g. unbound var)
   kCancelled,        // work stopped because a cancellation token fired
   kDeadlineExceeded,  // work stopped because its deadline passed
+  kResourceExhausted,  // admission queue full / capacity limit hit
   kInternal,
 };
 
@@ -53,6 +54,9 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -1,0 +1,197 @@
+#include "server/load_driver.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "server/client.h"
+#include "server/protocol.h"
+
+namespace quickview::server {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Default rotation: the planted terms of the demo corpus
+/// (workload::GenerateBookRevDatabase), mixed so cache hits and misses,
+/// singles and pairs all occur.
+std::vector<std::vector<std::string>> DefaultKeywordSets() {
+  return {
+      {"xml"},
+      {"search"},
+      {"web"},
+      {"database"},
+      {"xml", "search"},
+      {"web", "database"},
+      {"xml", "web"},
+      {"search", "database"},
+  };
+}
+
+struct ThreadCounters {
+  uint64_t attempted = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t other_errors = 0;
+  uint64_t transport_errors = 0;
+  uint64_t hits_fetched = 0;
+};
+
+void CountError(const Status& status, ThreadCounters* counters) {
+  switch (status.code()) {
+    case StatusCode::kResourceExhausted:
+      ++counters->shed;
+      break;
+    case StatusCode::kDeadlineExceeded:
+      ++counters->deadline_exceeded;
+      break;
+    case StatusCode::kInternal:
+      // The client maps transport failures to Internal("connection ...").
+      ++counters->transport_errors;
+      break;
+    default:
+      ++counters->other_errors;
+      break;
+  }
+}
+
+void RunConnection(const LoadOptions& options,
+                   const std::vector<std::vector<std::string>>& keyword_sets,
+                   int thread_index, Clock::time_point start,
+                   ThreadCounters* counters, Histogram* latency) {
+  Client client;
+  if (!client.Connect(options.host, options.port).ok()) {
+    counters->transport_errors += 1;
+    counters->attempted += static_cast<uint64_t>(
+        options.requests_per_connection);
+    return;
+  }
+  // Closed-loop pacing: each connection owns every `connections`-th slot
+  // of the aggregate schedule; sleep_until keeps the offered rate at
+  // target_qps even when responses are slow.
+  const double per_connection_qps =
+      options.target_qps > 0
+          ? options.target_qps / static_cast<double>(options.connections)
+          : 0;
+  for (int i = 0; i < options.requests_per_connection; ++i) {
+    if (per_connection_qps > 0) {
+      const auto offset = std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(static_cast<double>(i) /
+                                        per_connection_qps));
+      std::this_thread::sleep_until(start + offset);
+    }
+    const size_t set =
+        static_cast<size_t>(thread_index + i) % keyword_sets.size();
+    SearchRpcRequest request;
+    request.view = options.view;
+    request.keywords = keyword_sets[set];
+    request.top_k = options.top_k;
+    request.conjunctive = options.conjunctive;
+    request.deadline_ms = options.deadline_ms;
+    ++counters->attempted;
+    const Clock::time_point issue = Clock::now();
+    const bool paged =
+        options.paged_every > 0 && i % options.paged_every == 0;
+    if (paged) {
+      Result<OpenCursorResponse> opened = client.OpenCursor(request);
+      if (!opened.ok()) {
+        CountError(opened.status(), counters);
+      } else {
+        bool failed = false;
+        for (;;) {
+          Result<FetchNextResponse> page =
+              client.FetchNext(opened->cursor_id, options.page_size);
+          if (!page.ok()) {
+            CountError(page.status(), counters);
+            failed = true;
+            break;
+          }
+          counters->hits_fetched += page->hits.size();
+          if (page->done || page->hits.empty()) break;
+        }
+        if (!failed) {
+          if (client.CloseCursor(opened->cursor_id).ok()) {
+            ++counters->ok;
+          } else {
+            ++counters->transport_errors;
+          }
+        }
+      }
+    } else {
+      Result<engine::SearchResponse> response = client.Search(request);
+      if (response.ok()) {
+        ++counters->ok;
+        counters->hits_fetched += response->hits.size();
+      } else {
+        CountError(response.status(), counters);
+      }
+    }
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        Clock::now() - issue);
+    latency->Record(static_cast<uint64_t>(elapsed.count()));
+    if (!client.connected()) return;  // transport gone; stop this thread
+  }
+}
+
+}  // namespace
+
+Result<LoadReport> RunLoadDriver(const LoadOptions& options) {
+  if (options.connections <= 0 || options.requests_per_connection <= 0) {
+    return Status::InvalidArgument(
+        "connections and requests_per_connection must be positive");
+  }
+  // Fail fast if the server is unreachable at all (per-connection
+  // failures during the run are counted, not fatal).
+  {
+    Client probe;
+    QUICKVIEW_RETURN_IF_ERROR(probe.Connect(options.host, options.port));
+  }
+  const std::vector<std::vector<std::string>> keyword_sets =
+      options.keyword_sets.empty() ? DefaultKeywordSets()
+                                   : options.keyword_sets;
+
+  const int n = options.connections;
+  std::vector<ThreadCounters> counters(static_cast<size_t>(n));
+  std::vector<std::unique_ptr<Histogram>> histograms;
+  for (int i = 0; i < n; ++i) {
+    histograms.push_back(std::make_unique<Histogram>());
+  }
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([&options, &keyword_sets, i, start, &counters,
+                          &histograms] {
+      RunConnection(options, keyword_sets, i, start,
+                    &counters[static_cast<size_t>(i)], histograms[
+                        static_cast<size_t>(i)].get());
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
+      Clock::now() - start);
+
+  LoadReport report;
+  report.latency = std::make_shared<Histogram>();
+  for (int i = 0; i < n; ++i) {
+    const ThreadCounters& c = counters[static_cast<size_t>(i)];
+    report.attempted += c.attempted;
+    report.ok += c.ok;
+    report.shed += c.shed;
+    report.deadline_exceeded += c.deadline_exceeded;
+    report.other_errors += c.other_errors;
+    report.transport_errors += c.transport_errors;
+    report.hits_fetched += c.hits_fetched;
+    report.latency->Merge(*histograms[static_cast<size_t>(i)]);
+  }
+  report.wall_ms = static_cast<double>(wall.count()) / 1000.0;
+  report.achieved_qps =
+      report.wall_ms > 0
+          ? static_cast<double>(report.attempted) * 1000.0 / report.wall_ms
+          : 0;
+  return report;
+}
+
+}  // namespace quickview::server

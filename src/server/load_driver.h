@@ -1,0 +1,69 @@
+// LoadDriver: the closed-loop workload generator behind
+// tools/quickview_loadgen and bench_server_throughput. N threads open
+// one connection each and issue a mixed Search / cursor-paging workload
+// against a running server, optionally paced to a target QPS and with
+// injected per-request deadlines; per-thread latency histograms merge
+// into one report.
+#ifndef QUICKVIEW_SERVER_LOAD_DRIVER_H_
+#define QUICKVIEW_SERVER_LOAD_DRIVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/result.h"
+
+namespace quickview::server {
+
+struct LoadOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Concurrent connections (one thread each).
+  int connections = 4;
+  /// Requests issued per connection (a "request" is one Search, or one
+  /// OpenCursor + page fetches + CloseCursor when paged).
+  int requests_per_connection = 64;
+  /// Aggregate target rate over all connections; 0 = unpaced (as fast
+  /// as the closed loop allows).
+  double target_qps = 0;
+  /// Every `paged_every`-th request pages through a cursor instead of a
+  /// one-shot Search; 0 disables paging.
+  int paged_every = 4;
+  /// Hits per FetchNext page on the paged requests.
+  uint32_t page_size = 3;
+  /// Injected per-request deadline; 0 = none.
+  uint64_t deadline_ms = 0;
+  uint32_t top_k = 10;
+  bool conjunctive = false;
+  /// View name the workload queries (must already be registered).
+  std::string view = "default";
+  /// Keyword lists rotated round-robin across requests. Empty = a
+  /// built-in rotation over the demo corpus' planted terms.
+  std::vector<std::vector<std::string>> keyword_sets;
+};
+
+struct LoadReport {
+  uint64_t attempted = 0;
+  uint64_t ok = 0;
+  /// Typed error splits.
+  uint64_t shed = 0;               // kResourceExhausted
+  uint64_t deadline_exceeded = 0;  // kDeadlineExceeded
+  uint64_t other_errors = 0;       // any other error status
+  uint64_t transport_errors = 0;   // connect/send/recv failures
+  uint64_t hits_fetched = 0;
+  double wall_ms = 0;
+  double achieved_qps = 0;
+  /// Per-request latency (us), merged over every connection.
+  std::shared_ptr<Histogram> latency;
+};
+
+/// Runs the workload to completion. Fails only on setup errors (no
+/// connection could be established); per-request errors are counted in
+/// the report instead.
+Result<LoadReport> RunLoadDriver(const LoadOptions& options);
+
+}  // namespace quickview::server
+
+#endif  // QUICKVIEW_SERVER_LOAD_DRIVER_H_

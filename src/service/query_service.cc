@@ -125,6 +125,7 @@ Result<std::unique_ptr<engine::ResultCursor>> QueryService::OpenSearch(
   boundary.keywords = query.keywords;
   boundary.options = query.options;
   boundary.shard = query.shard;
+  boundary.deadline = query.deadline;
   QUICKVIEW_RETURN_IF_ERROR(boundary.Validate());
   // Keywords are spliced into single-quoted XQuery string literals; a
   // quote would break out of the literal and rewrite the query shape
@@ -213,16 +214,25 @@ Result<std::unique_ptr<engine::ResultCursor>> QueryService::PrepareCursor(
                              engine.PlanQuery(full_query));
   std::string key = BaseCacheKey(query.view, view, plan.signature);
 
+  // Open(request, prepared) — the same entry the sharded path uses — so
+  // the request's deadline (and caller token) governs PDT build and
+  // evaluation here too; a cache miss rides in as a null slot the engine
+  // builds itself, under the token.
+  engine::SearchRequest request;
+  request.view = view.text;
+  request.keywords = query.keywords;
+  request.options = query.options;
+  request.deadline = query.deadline;
+  request.cancel = query.cancel;
+
   std::shared_ptr<const engine::PreparedQuery> prepared = cache_.Get(key);
-  if (prepared == nullptr) {
-    QUICKVIEW_ASSIGN_OR_RETURN(prepared, engine.BuildPdts(std::move(plan)));
-    cache_.Put(key, prepared);
-  }
-  // The cursor co-owns `prepared`: eviction (or view replacement) only
-  // drops the cache's reference, never the open cursor's; in live mode
-  // the store-snapshot lease below completes the cursor's snapshot.
+  const bool cache_hit = prepared != nullptr;
+  // The cursor co-owns the PreparedQuery: eviction (or view replacement)
+  // only drops the cache's reference, never the open cursor's; in live
+  // mode the store-snapshot lease below completes the cursor's snapshot.
   QUICKVIEW_ASSIGN_OR_RETURN(std::unique_ptr<engine::ResultCursor> cursor,
-                             engine.Open(std::move(prepared), query.options));
+                             engine.Open(request, {std::move(prepared)}));
+  if (!cache_hit) cache_.Put(key, cursor->SharedPrepared(0));
   if (lease != nullptr) cursor->AddLease(std::move(lease));
   return cursor;
 }
@@ -245,6 +255,8 @@ QueryService::PrepareShardedCursor(const BatchQuery& query) {
   request.keywords = query.keywords;
   request.options = query.options;
   request.shard = query.shard;
+  request.deadline = query.deadline;
+  request.cancel = query.cancel;
 
   // Plan once on the calling thread for the cache key's signature (each
   // shard task re-plans from the same text inside Open, so every cached

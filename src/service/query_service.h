@@ -38,12 +38,15 @@
 #define QUICKVIEW_SERVICE_QUERY_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/sync.h"
 #include "engine/result_cursor.h"
@@ -74,6 +77,14 @@ struct BatchQuery {
   /// i >= 0 restricts to shard i (see SearchRequest::shard for the
   /// ranking caveat).
   int shard = -1;
+  /// Wall-clock budget measured from OpenSearch, forwarded into
+  /// SearchRequest::deadline: expiry unwinds in-flight shard work and the
+  /// query fails DeadlineExceeded.
+  std::optional<std::chrono::milliseconds> deadline = std::nullopt;
+  /// Caller-owned cancellation token, forwarded into
+  /// SearchRequest::cancel (the server's per-request handle; see there
+  /// for semantics). Left null, the engine makes a private one.
+  std::shared_ptr<CancellationToken> cancel = nullptr;
 };
 
 class QueryService {

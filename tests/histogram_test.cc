@@ -1,0 +1,115 @@
+// Histogram: log-linear bucket mapping must be exact below kSubBuckets,
+// monotone and self-consistent above; merge is bucket-wise addition;
+// concurrent recording loses nothing. Runs under the TSan CI leg.
+#include "common/histogram.h"
+
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace quickview {
+namespace {
+
+TEST(HistogramTest, SmallValuesMapExactly) {
+  for (uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    EXPECT_EQ(Histogram::BucketIndex(v), v);
+    EXPECT_EQ(Histogram::BucketLowerBound(v), v);
+  }
+}
+
+TEST(HistogramTest, BucketBoundariesRoundTrip) {
+  // Every bucket's lower bound maps back to that bucket, and the value
+  // just below it maps to the previous one.
+  for (size_t i = 1; i < Histogram::kBuckets; ++i) {
+    const uint64_t lower = Histogram::BucketLowerBound(i);
+    EXPECT_EQ(Histogram::BucketIndex(lower), i) << "lower bound " << lower;
+    EXPECT_EQ(Histogram::BucketIndex(lower - 1), i - 1)
+        << "below lower bound " << lower;
+  }
+}
+
+TEST(HistogramTest, BucketIndexIsMonotone) {
+  // Spot-check monotonicity across octave boundaries.
+  uint64_t previous = 0;
+  for (uint64_t v : {uint64_t{1},    uint64_t{7},    uint64_t{8},
+                     uint64_t{9},    uint64_t{15},   uint64_t{16},
+                     uint64_t{17},   uint64_t{1000}, uint64_t{1024},
+                     uint64_t{1025}, uint64_t{1} << 40,
+                     std::numeric_limits<uint64_t>::max()}) {
+    const size_t index = Histogram::BucketIndex(v);
+    EXPECT_GE(index, previous) << "value " << v;
+    EXPECT_LT(index, Histogram::kBuckets) << "value " << v;
+    previous = index;
+  }
+}
+
+TEST(HistogramTest, QuantizationErrorBounded) {
+  // The lower bound never overstates, and understates by less than one
+  // sub-bucket width (1/8th relative).
+  for (uint64_t v : {uint64_t{12},  uint64_t{100},  uint64_t{999},
+                     uint64_t{4096}, uint64_t{123456789}}) {
+    const uint64_t lower = Histogram::BucketLowerBound(
+        Histogram::BucketIndex(v));
+    EXPECT_LE(lower, v);
+    EXPECT_GT(lower + lower / Histogram::kSubBuckets + 1, v) << "value " << v;
+  }
+}
+
+TEST(HistogramTest, CountSumAndQuantiles) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.ValueAtQuantile(0.5), 0u);
+  // 1..100: exact quantiles up to bucket quantization.
+  for (uint64_t v = 1; v <= 100; ++v) histogram.Record(v);
+  EXPECT_EQ(histogram.count(), 100u);
+  EXPECT_EQ(histogram.sum(), 5050u);
+  EXPECT_EQ(histogram.ValueAtQuantile(0.0),
+            Histogram::BucketLowerBound(Histogram::BucketIndex(1)));
+  EXPECT_EQ(histogram.ValueAtQuantile(1.0),
+            Histogram::BucketLowerBound(Histogram::BucketIndex(100)));
+  // The median bucket holds 50; p50 is its lower bound.
+  EXPECT_EQ(histogram.ValueAtQuantile(0.5),
+            Histogram::BucketLowerBound(Histogram::BucketIndex(50)));
+  EXPECT_LE(histogram.ValueAtQuantile(0.5), 50u);
+  EXPECT_GE(histogram.ValueAtQuantile(0.99), 90u);
+}
+
+TEST(HistogramTest, MergeAddsBucketwise) {
+  Histogram a;
+  Histogram b;
+  for (uint64_t v = 0; v < 50; ++v) a.Record(v);
+  for (uint64_t v = 1000; v < 1050; ++v) b.Record(v);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_EQ(b.count(), 50u);  // merge source unchanged
+  uint64_t total = 0;
+  for (const auto& [lower, n] : a.NonEmptyBuckets()) total += n;
+  EXPECT_EQ(total, 100u);
+  EXPECT_GE(a.ValueAtQuantile(1.0), 1000u);
+  EXPECT_LT(a.ValueAtQuantile(0.25), 50u);
+}
+
+TEST(HistogramTest, ConcurrentRecordLosesNothing) {
+  Histogram histogram;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        histogram.Record(static_cast<uint64_t>(t) * 1000 + (i % 97));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(histogram.count(), kThreads * kPerThread);
+  uint64_t total = 0;
+  for (const auto& [lower, n] : histogram.NonEmptyBuckets()) total += n;
+  EXPECT_EQ(total, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace quickview

@@ -31,6 +31,15 @@ raw-durability  fsync / fdatasync / pwrite outside src/pagestore/. All
                 stray fsync elsewhere bypasses its write/flush protocol
                 (and, once the WAL lands, its group-commit batching).
 
+raw-socket      socket / bind / listen / accept / connect / recv / send
+                (and friends) outside src/server/. All network I/O goes
+                through the framed protocol in src/server/ — Server on
+                the accept side, Client/LoadDriver on the dial side — so
+                every byte on the wire is checksummed, deadline-scoped,
+                and counted by the serving stats. A stray socket() in a
+                tool or test bypasses admission control and the
+                observability stack.
+
 Suppressions: append `// lint:allow(<rule>)` to the offending line with
 a justifying comment; the README documents the policy.
 
@@ -61,6 +70,11 @@ BARE_SYNC_TYPES = (
 BARE_SYNC_INCLUDES = r'#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>'
 
 DURABILITY_CALL = r"(?:::)?\b(?:fsync|fdatasync|pwrite)\s*\("
+
+SOCKET_CALL = (
+    r"(?:::)?\b(?:socket|bind|listen|accept4?|connect|recv|send|sendto|"
+    r"recvfrom|setsockopt|getsockopt|getsockname|shutdown|"
+    r"epoll_create1?|epoll_ctl|epoll_wait)\s*\(")
 
 RESULT_DECL = re.compile(r"\bResult<.*>\s+(\w+)\s*(?:=|\{|\(|;)")
 VALUE_USE = re.compile(r"(?:std::move\s*\(\s*)?\b(\w+)\s*\)?\s*\.\s*value\s*\(\s*\)")
@@ -148,6 +162,16 @@ def check_file(rel_path, raw_lines, findings):
                          "durability syscall outside src/pagestore/; all "
                          "fsync/pwrite belong to the storage engine"))
 
+    # --- raw-socket -------------------------------------------------------
+    if not norm.startswith("src/server/"):
+        for i, line in enumerate(code):
+            if re.search(SOCKET_CALL, line):
+                if not allowed(raw_lines[i], "raw-socket"):
+                    findings.append(
+                        (rel_path, i + 1, "raw-socket",
+                         "socket syscall outside src/server/; all network "
+                         "I/O goes through the framed Server/Client stack"))
+
     # --- unchecked-value --------------------------------------------------
     for i, line in enumerate(code):
         for use in VALUE_USE.finditer(line):
@@ -219,6 +243,20 @@ SELFTEST_CASES = [
     ("raw-durability", "src/pagestore/paged_file.cc", "  ::fsync(fd_);",
      False),
     ("raw-durability", "src/storage/x.cc", '  Log("about fsync()");', False),
+    ("raw-socket", "tools/x.cc",
+     "  int fd = socket(AF_INET, SOCK_STREAM, 0);", True),
+    ("raw-socket", "tests/x_test.cc", "  ::connect(fd, addr, len);", True),
+    ("raw-socket", "src/service/x.cc", "  recv(fd, buf, n, 0);", True),
+    ("raw-socket", "src/server/server.cc",
+     "  int fd = ::socket(AF_INET, SOCK_STREAM, 0);", False),
+    ("raw-socket", "src/server/client.cc", "  ::send(fd_, p, n, 0);", False),
+    # Method calls and project wrappers stay clean: the pattern requires a
+    # bare C identifier, not a qualified member.
+    ("raw-socket", "tools/x.cc", "  client.Connect(host, port);", False),
+    ("raw-socket", "tools/x.cc", '  Log("about socket()");', False),
+    ("raw-socket", "src/storage/x.cc",
+     "  ::shutdown(fd, SHUT_RDWR);  // lint:allow(raw-socket) interop",
+     False),
     ("unchecked-value", "src/foo/bar.cc",
      "void F() {\n  Result<int> r = G();\n  Use(r.value());\n}", True),
     ("unchecked-value", "src/foo/bar.cc",

@@ -22,7 +22,9 @@
 //   quickview_cli serve <db-dir>|<db.qvpack>|<db.qvset> --view <file>
 //       [--threads N]
 //       [--top N] [--any] [--repeat R] [--page N] [--frames N]
-//       [--shards N] [--colocate tag] [--demo-view]
+//       [--shards N] [--colocate tag] [--demo-view] [--deadline-ms N]
+//       (--deadline-ms bounds each query's wall clock; expiry fails the
+//       query DeadlineExceeded through the engine's cancellation token)
 //       (or: quickview_cli serve --demo)
 //       Batch mode: read one keyword query per stdin line (comma-
 //       separated keywords), execute the whole batch concurrently on a
@@ -100,12 +102,12 @@ int Usage() {
                "  quickview_cli serve <db-dir>|<db.qvpack>|<db.qvset>|--demo "
                "--view <file>|--demo-view [--threads N] [--top N] [--any] "
                "[--repeat R] [--page N] [--frames N] [--shards N] "
-               "[--colocate tag]\n"
+               "[--colocate tag] [--deadline-ms N]\n"
                "    (keyword queries on stdin, one comma-separated "
                "list per line)\n"
                "  quickview_cli page [<db.qvpack>|<db.qvset>] "
                "[--keywords k1,k2] [--page N] [--top N] [--any] [--frames N] "
-               "[--shards N] [--demo-view]\n"
+               "[--shards N] [--demo-view] [--deadline-ms N]\n"
                "  quickview_cli append <db.qvpack> <name> <xml-file>\n"
                "  quickview_cli tombstone <db.qvpack> <name>\n"
                "  quickview_cli compact <in.qvpack> <out.qvpack>\n");
@@ -124,6 +126,7 @@ struct Flags {
   int repeat = 1;   // serve: replicate the stdin batch N times
   size_t page = 0;  // cursor page size; 0 = whole-batch responses
   size_t frames = 256;     // buffer-pool frame budget for .qvpack mode
+  long long deadline_ms = 0;  // per-query deadline; 0 = none
   bool demo_view = false;  // use the built-in books/reviews view text
   int shards = 0;          // 0 = unsharded; N >= 1 partitions the corpus
   std::string colocate;    // join-key tag for shard co-location
@@ -194,6 +197,9 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       long long value = 0;
       if (!ParseCount(v, 1 << 24, &value) || value == 0) return false;
       flags->frames = static_cast<size_t>(value);
+    } else if (arg == "--deadline-ms") {
+      const char* v = next();
+      if (!ParseCount(v, 1 << 30, &flags->deadline_ms)) return false;
     } else if (arg == "--demo-view") {
       flags->demo_view = true;
     } else if (arg == "--shards") {
@@ -639,6 +645,9 @@ int CmdServe(const Flags& flags) {
     if (query.keywords.empty()) continue;
     query.options.top_k = flags.top_k;
     query.options.conjunctive = !flags.any;
+    if (flags.deadline_ms > 0) {
+      query.deadline = std::chrono::milliseconds(flags.deadline_ms);
+    }
     batch.push_back(std::move(query));
   }
   if (batch.empty()) {
@@ -784,6 +793,9 @@ int CmdPage(const Flags& flags) {
   request.keywords = keywords;
   request.options.top_k = flags.top_k;
   request.options.conjunctive = !flags.any;
+  if (flags.deadline_ms > 0) {
+    request.deadline = std::chrono::milliseconds(flags.deadline_ms);
+  }
   auto cursor = engine.Open(request);
   if (!cursor.ok()) return Fail(cursor.status());
 

@@ -1,0 +1,162 @@
+// quickview load generator: closed-loop multi-connection client for a
+// running quickview_server.
+//
+//   quickview_loadgen --port P [--host H] [--connections N] [--requests N]
+//       [--qps N] [--paged-every N] [--page N] [--deadline-ms N] [--top N]
+//       [--any] [--view NAME] [--keywords k1,k2[;k3,k4;...]]
+//
+// Prints throughput, the latency percentile ladder, and the typed error
+// split, then issues one final Stats RPC so smoke tests can assert on
+// server-side counters without a second tool.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "server/client.h"
+#include "server/load_driver.h"
+#include "server/protocol.h"
+
+namespace {
+
+using namespace quickview;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: quickview_loadgen --port P [--host H] [--connections N]\n"
+      "    [--requests N] [--qps N] [--paged-every N] [--page N]\n"
+      "    [--deadline-ms N] [--top N] [--any] [--view NAME]\n"
+      "    [--keywords k1,k2[;k3,k4;...]]\n");
+  return 2;
+}
+
+/// Strict non-negative integer parse; false on junk or overflow.
+bool ParseCount(const char* text, long long max_value, long long* out) {
+  if (text == nullptr || *text == '\0') return false;
+  long long value = 0;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    value = value * 10 + (*p - '0');
+    if (value > max_value) return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseFlags(int argc, char** argv, server::LoadOptions* options) {
+  bool have_port = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    long long value = 0;
+    if (arg == "--host") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->host = v;
+    } else if (arg == "--port") {
+      if (!ParseCount(next(), 65535, &value) || value == 0) return false;
+      options->port = static_cast<uint16_t>(value);
+      have_port = true;
+    } else if (arg == "--connections") {
+      if (!ParseCount(next(), 4096, &value) || value == 0) return false;
+      options->connections = static_cast<int>(value);
+    } else if (arg == "--requests") {
+      if (!ParseCount(next(), 1 << 24, &value) || value == 0) return false;
+      options->requests_per_connection = static_cast<int>(value);
+    } else if (arg == "--qps") {
+      if (!ParseCount(next(), 1 << 24, &value)) return false;
+      options->target_qps = static_cast<double>(value);
+    } else if (arg == "--paged-every") {
+      if (!ParseCount(next(), 1 << 24, &value)) return false;
+      options->paged_every = static_cast<int>(value);
+    } else if (arg == "--page") {
+      if (!ParseCount(next(), 1 << 20, &value) || value == 0) return false;
+      options->page_size = static_cast<uint32_t>(value);
+    } else if (arg == "--deadline-ms") {
+      if (!ParseCount(next(), 1 << 30, &value)) return false;
+      options->deadline_ms = static_cast<uint64_t>(value);
+    } else if (arg == "--top") {
+      if (!ParseCount(next(), 1 << 20, &value) || value == 0) return false;
+      options->top_k = static_cast<uint32_t>(value);
+    } else if (arg == "--any") {
+      options->conjunctive = false;
+    } else if (arg == "--all") {
+      options->conjunctive = true;
+    } else if (arg == "--view") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->view = v;
+    } else if (arg == "--keywords") {
+      // Semicolon-separated keyword sets, comma-separated keywords.
+      const char* v = next();
+      if (v == nullptr) return false;
+      for (std::string_view set : SplitString(v, ';')) {
+        std::vector<std::string> keywords;
+        for (std::string_view piece : SplitString(set, ',')) {
+          if (!piece.empty()) keywords.push_back(AsciiToLower(piece));
+        }
+        if (!keywords.empty()) {
+          options->keyword_sets.push_back(std::move(keywords));
+        }
+      }
+    } else {
+      return false;
+    }
+  }
+  return have_port;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  server::LoadOptions options;
+  if (!ParseFlags(argc, argv, &options)) return Usage();
+
+  auto report = server::RunLoadDriver(options);
+  if (!report.ok()) return Fail(report.status());
+
+  std::printf(
+      "loadgen: %llu requests over %d connections in %.1f ms (%.0f q/s)\n",
+      static_cast<unsigned long long>(report->attempted), options.connections,
+      report->wall_ms, report->achieved_qps);
+  std::printf(
+      "  ok %llu, shed %llu, deadline %llu, other %llu, transport %llu; "
+      "%llu hits\n",
+      static_cast<unsigned long long>(report->ok),
+      static_cast<unsigned long long>(report->shed),
+      static_cast<unsigned long long>(report->deadline_exceeded),
+      static_cast<unsigned long long>(report->other_errors),
+      static_cast<unsigned long long>(report->transport_errors),
+      static_cast<unsigned long long>(report->hits_fetched));
+  std::printf(
+      "  latency p50 %lluus  p90 %lluus  p99 %lluus  max-bucket %lluus\n",
+      static_cast<unsigned long long>(report->latency->ValueAtQuantile(0.50)),
+      static_cast<unsigned long long>(report->latency->ValueAtQuantile(0.90)),
+      static_cast<unsigned long long>(report->latency->ValueAtQuantile(0.99)),
+      static_cast<unsigned long long>(report->latency->ValueAtQuantile(1.0)));
+
+  // Server-side picture, for the smoke test's assertions.
+  server::Client client;
+  Status connected = client.Connect(options.host, options.port);
+  if (!connected.ok()) return Fail(connected);
+  auto stats = client.Stats();
+  if (!stats.ok()) return Fail(stats.status());
+  std::printf(
+      "server stats: admitted %llu shed %llu deadline-rejected %llu "
+      "open-cursors %llu protocol-errors %llu queries %llu\n",
+      static_cast<unsigned long long>(stats->admitted),
+      static_cast<unsigned long long>(stats->shed),
+      static_cast<unsigned long long>(stats->deadline_rejected),
+      static_cast<unsigned long long>(stats->open_cursors),
+      static_cast<unsigned long long>(stats->protocol_errors),
+      static_cast<unsigned long long>(stats->queries));
+  return 0;
+}

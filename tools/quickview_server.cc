@@ -1,0 +1,339 @@
+// quickview network server: the framed binary protocol of
+// server/protocol.h over TCP, fronting a QueryService.
+//
+//   quickview_server [<db-dir>|<db.qvpack>|<db.qvset>] [--demo]
+//       [--host H] [--port P] [--port-file F]
+//       [--threads N] [--workers N] [--admission-limit N] [--max-conns N]
+//       [--frames N] [--shards N] [--colocate tag] [--live]
+//       [--view <file>]
+//
+// With no source (or --demo) it serves the built-in books/reviews
+// corpus. --live wraps an in-memory corpus in a LiveDatabase so Insert/
+// Remove RPCs mutate it; the static backends answer those with
+// InvalidArgument. The view registered under the name "default" is the
+// built-in books/reviews view unless --view names a file.
+//
+// --port 0 (the default) binds an ephemeral port; --port-file writes
+// "<port>\n" once listening, which is how the smoke test and local
+// scripts find the server. SIGINT/SIGTERM shut down cleanly: stop
+// accepting, close connections, drain workers, print final stats.
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "index/index_builder.h"
+#include "pagestore/packed_db.h"
+#include "server/server.h"
+#include "service/query_service.h"
+#include "storage/document_store.h"
+#include "storage/live_database.h"
+#include "storage/persistence.h"
+#include "storage/shard_set.h"
+#include "workload/bookrev_generator.h"
+
+namespace {
+
+using namespace quickview;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: quickview_server [<db-dir>|<db.qvpack>|<db.qvset>] [--demo]\n"
+      "    [--host H] [--port P] [--port-file F] [--threads N] [--workers N]\n"
+      "    [--admission-limit N] [--max-conns N] [--frames N] [--shards N]\n"
+      "    [--colocate tag] [--live] [--view <file>]\n");
+  return 2;
+}
+
+struct Flags {
+  std::vector<std::string> positional;
+  std::string host = "127.0.0.1";
+  long long port = 0;
+  std::string port_file;
+  std::string view;
+  bool demo = false;
+  bool live = false;
+  int threads = 0;  // QueryService pool; 0 = hardware concurrency
+  int workers = 0;  // server RPC pool; 0 = hardware concurrency
+  long long admission_limit = 128;
+  long long max_conns = 64;
+  size_t frames = 256;
+  int shards = 0;
+  std::string colocate;
+};
+
+/// Strict non-negative integer parse; false on junk or overflow.
+bool ParseCount(const char* text, long long max_value, long long* out) {
+  if (text == nullptr || *text == '\0') return false;
+  long long value = 0;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    value = value * 10 + (*p - '0');
+    if (value > max_value) return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    if (arg == "--host") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      flags->host = v;
+    } else if (arg == "--port") {
+      if (!ParseCount(next(), 65535, &flags->port)) return false;
+    } else if (arg == "--port-file") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      flags->port_file = v;
+    } else if (arg == "--view") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      flags->view = v;
+    } else if (arg == "--demo") {
+      flags->demo = true;
+    } else if (arg == "--live") {
+      flags->live = true;
+    } else if (arg == "--threads") {
+      long long value = 0;
+      if (!ParseCount(next(), 4096, &value)) return false;
+      flags->threads = static_cast<int>(value);
+    } else if (arg == "--workers") {
+      long long value = 0;
+      if (!ParseCount(next(), 4096, &value)) return false;
+      flags->workers = static_cast<int>(value);
+    } else if (arg == "--admission-limit") {
+      if (!ParseCount(next(), 1 << 20, &flags->admission_limit) ||
+          flags->admission_limit == 0) {
+        return false;
+      }
+    } else if (arg == "--max-conns") {
+      if (!ParseCount(next(), 1 << 20, &flags->max_conns) ||
+          flags->max_conns == 0) {
+        return false;
+      }
+    } else if (arg == "--frames") {
+      long long value = 0;
+      if (!ParseCount(next(), 1 << 24, &value) || value == 0) return false;
+      flags->frames = static_cast<size_t>(value);
+    } else if (arg == "--shards") {
+      long long value = 0;
+      if (!ParseCount(next(), 4096, &value) || value == 0) return false;
+      flags->shards = static_cast<int>(value);
+    } else if (arg == "--colocate") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      flags->colocate = v;
+    } else {
+      flags->positional.push_back(std::move(arg));
+    }
+  }
+  return true;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+bool HasSuffix(const std::string& path, std::string_view suffix) {
+  return path.size() > suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Everything the QueryService points into; must outlive the server.
+struct Backend {
+  std::shared_ptr<xml::Database> db;
+  std::unique_ptr<index::DatabaseIndexes> indexes;
+  std::shared_ptr<pagestore::PackedDb> packed;
+  std::unique_ptr<storage::DocumentStore> store;
+  std::unique_ptr<storage::ShardSet> shards;
+  std::unique_ptr<storage::LiveDatabase> live;
+  std::unique_ptr<service::QueryService> service;
+};
+
+Result<Backend> OpenBackend(const Flags& flags) {
+  Backend backend;
+  const std::string source =
+      flags.positional.empty() ? std::string() : flags.positional[0];
+  service::QueryServiceOptions options;
+  options.threads = flags.threads;
+
+  if (!source.empty() && HasSuffix(source, ".qvset")) {
+    if (flags.live) {
+      return Status::InvalidArgument("--live needs an in-memory corpus");
+    }
+    QUICKVIEW_ASSIGN_OR_RETURN(
+        storage::ShardSet set,
+        storage::ShardSet::OpenPacked(source, flags.frames));
+    backend.shards = std::make_unique<storage::ShardSet>(std::move(set));
+    std::printf("opened %s: %zu shards\n", source.c_str(),
+                backend.shards->size());
+    backend.service = std::make_unique<service::QueryService>(
+        backend.shards.get(), options);
+    return backend;
+  }
+  if (!source.empty() && HasSuffix(source, ".qvpack")) {
+    if (flags.live) {
+      return Status::InvalidArgument("--live needs an in-memory corpus");
+    }
+    pagestore::BufferPoolOptions pool;
+    pool.frames = flags.frames;
+    QUICKVIEW_ASSIGN_OR_RETURN(backend.packed,
+                               pagestore::PackedDb::Open(source, pool));
+    backend.store = std::make_unique<storage::DocumentStore>(backend.packed);
+    std::printf("opened %s: %u pages, %zu documents\n", source.c_str(),
+                backend.packed->file().page_count(),
+                backend.packed->document_names().size());
+    backend.service = std::make_unique<service::QueryService>(
+        nullptr, backend.packed.get(), backend.store.get(), options);
+    backend.service->AttachBufferPool(&backend.packed->pool());
+    return backend;
+  }
+
+  // In-memory corpus: built-in demo, or a persisted database directory.
+  if (source.empty() || flags.demo) {
+    backend.db = workload::GenerateBookRevDatabase(workload::BookRevOptions{});
+  } else {
+    QUICKVIEW_ASSIGN_OR_RETURN(backend.db, storage::LoadDatabase(source));
+  }
+
+  if (flags.live) {
+    backend.live = std::make_unique<storage::LiveDatabase>(backend.db);
+    std::printf("live corpus: %zu documents (Insert/Remove enabled)\n",
+                backend.db->documents().size());
+    backend.service = std::make_unique<service::QueryService>(
+        backend.live.get(), options);
+    return backend;
+  }
+  if (flags.shards > 0) {
+    storage::ShardingSpec spec;
+    spec.shards = flags.shards;
+    spec.colocate_tag = flags.colocate;
+    QUICKVIEW_ASSIGN_OR_RETURN(storage::ShardSet set,
+                               storage::ShardSet::Partition(*backend.db, spec));
+    backend.shards = std::make_unique<storage::ShardSet>(std::move(set));
+    std::printf("partitioned corpus into %d shards\n", flags.shards);
+    backend.service = std::make_unique<service::QueryService>(
+        backend.shards.get(), options);
+    return backend;
+  }
+  backend.indexes = index::BuildDatabaseIndexes(*backend.db);
+  backend.store = std::make_unique<storage::DocumentStore>(*backend.db);
+  backend.service = std::make_unique<service::QueryService>(
+      backend.db.get(), backend.indexes.get(), backend.store.get(), options);
+  return backend;
+}
+
+void PrintFinalStats(const server::StatsResponse& stats) {
+  std::printf(
+      "final stats: %llu admitted, %llu shed, %llu deadline-rejected, "
+      "%llu protocol errors\n",
+      static_cast<unsigned long long>(stats.admitted),
+      static_cast<unsigned long long>(stats.shed),
+      static_cast<unsigned long long>(stats.deadline_rejected),
+      static_cast<unsigned long long>(stats.protocol_errors));
+  std::printf(
+      "connections: %llu accepted, %llu rejected; frames %llu in / %llu out\n",
+      static_cast<unsigned long long>(stats.connections_accepted),
+      static_cast<unsigned long long>(stats.connections_rejected),
+      static_cast<unsigned long long>(stats.frames_received),
+      static_cast<unsigned long long>(stats.frames_sent));
+  for (uint8_t op = server::kMinOpcode; op <= server::kMaxOpcode; ++op) {
+    const server::OpcodeLatency& l = stats.latency[op];
+    if (l.count == 0) continue;
+    std::printf("  %-12s %8llu calls  p50 %lluus  p90 %lluus  p99 %lluus\n",
+                server::OpcodeName(static_cast<server::Opcode>(op)),
+                static_cast<unsigned long long>(l.count),
+                static_cast<unsigned long long>(l.p50_us),
+                static_cast<unsigned long long>(l.p90_us),
+                static_cast<unsigned long long>(l.p99_us));
+  }
+  std::printf("service: %llu queries, cache hits %llu misses %llu\n",
+              static_cast<unsigned long long>(stats.queries),
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_misses));
+}
+
+int Run(const Flags& flags) {
+  // Block the shutdown signals before any thread spawns, so every thread
+  // inherits the mask and sigwait below is the one consumer.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  if (pthread_sigmask(SIG_BLOCK, &mask, nullptr) != 0) {
+    return Fail(Status::Internal("pthread_sigmask failed"));
+  }
+
+  auto backend = OpenBackend(flags);
+  if (!backend.ok()) return Fail(backend.status());
+
+  std::string view_text;
+  if (!flags.view.empty()) {
+    auto view_file = ReadFile(flags.view);
+    if (!view_file.ok()) return Fail(view_file.status());
+    view_text = std::move(*view_file);
+  } else {
+    view_text = workload::BookRevView();
+  }
+  Status registered = backend->service->RegisterView("default", view_text);
+  if (!registered.ok()) return Fail(registered);
+
+  server::ServerOptions options;
+  options.host = flags.host;
+  options.port = static_cast<uint16_t>(flags.port);
+  options.worker_threads = flags.workers;
+  options.admission_queue_limit = static_cast<size_t>(flags.admission_limit);
+  options.max_connections = static_cast<size_t>(flags.max_conns);
+  server::Server server(backend->service.get(), options);
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+
+  std::printf("listening on %s:%u\n", flags.host.c_str(), server.port());
+  std::fflush(stdout);
+  if (!flags.port_file.empty()) {
+    std::ofstream out(flags.port_file, std::ios::trunc);
+    out << server.port() << "\n";
+    if (!out) {
+      server.Stop();
+      return Fail(Status::Internal("cannot write " + flags.port_file));
+    }
+  }
+
+  int signal_number = 0;
+  if (sigwait(&mask, &signal_number) != 0) {
+    server.Stop();
+    return Fail(Status::Internal("sigwait failed"));
+  }
+  std::printf("caught signal %d, shutting down\n", signal_number);
+  server.Stop();
+  PrintFinalStats(server.SnapshotStats());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return Usage();
+  if (flags.positional.size() > 1) return Usage();
+  return Run(flags);
+}
