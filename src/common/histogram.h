@@ -24,6 +24,42 @@
 
 namespace quickview {
 
+/// A point-in-time copy of a Histogram: each live bucket atomic is read
+/// exactly once at capture, and every derived figure (quantiles,
+/// exposition lines, percentile tables) is computed from the copy — so
+/// one render can never mix counts from different instants. `count` is
+/// the sum of the captured bucket counts (self-consistent with the
+/// buckets by construction, unlike the live count_ atomic which may be
+/// mid-update relative to them).
+struct HistogramSnapshot {
+  struct Bucket {
+    uint64_t lower = 0;  // smallest value mapping to this bucket
+    uint64_t upper = 0;  // largest value mapping to this bucket
+    uint64_t count = 0;
+  };
+  std::vector<Bucket> buckets;  // non-empty buckets, in value order
+  uint64_t count = 0;
+  uint64_t sum = 0;
+
+  /// Same contract as Histogram::ValueAtQuantile, over the captured
+  /// counts: the lower bound of the bucket holding the rank-q
+  /// observation; 0 when empty.
+  uint64_t ValueAtQuantile(double q) const {
+    if (count == 0) return 0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+    if (rank == 0) rank = 1;
+    if (rank > count) rank = count;
+    uint64_t seen = 0;
+    for (const Bucket& b : buckets) {
+      seen += b.count;
+      if (seen >= rank) return b.lower;
+    }
+    return buckets.empty() ? 0 : buckets.back().lower;
+  }
+};
+
 class Histogram {
  public:
   /// 8 sub-buckets per octave: values < 8 map exactly (buckets 0..7),
@@ -106,6 +142,26 @@ class Histogram {
       if (seen >= rank) return BucketLowerBound(i);
     }
     return BucketLowerBound(kBuckets - 1);
+  }
+
+  /// Captures a self-consistent point-in-time copy (one relaxed load
+  /// per bucket). Concurrent Record calls land wholly in or wholly out
+  /// of the snapshot per bucket; the snapshot's count/quantiles always
+  /// agree with its own buckets.
+  HistogramSnapshot Snapshot() const {
+    HistogramSnapshot snap;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      HistogramSnapshot::Bucket b;
+      b.lower = BucketLowerBound(i);
+      b.upper = i + 1 < kBuckets ? BucketLowerBound(i + 1) - 1 : ~uint64_t{0};
+      b.count = n;
+      snap.buckets.push_back(b);
+      snap.count += n;
+    }
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    return snap;
   }
 
   /// Non-empty (bucket lower bound, count) pairs in value order.

@@ -25,6 +25,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  submitted_.Increment();
   {
     qv::MutexLock lock(mu_);
     queue_.push_back(std::move(task));
@@ -47,10 +48,41 @@ bool ThreadPool::RunOneQueued() {
     // Same contract as WorkerLoop: a task's exception must not take the
     // helping thread down; tasks that need the error catch it inside.
   }
+  completed_.Increment();
   qv::MutexLock lock(mu_);
   --active_;
   if (queue_.empty() && active_ == 0) idle_cv_.NotifyAll();
   return true;
+}
+
+size_t ThreadPool::queue_depth() const {
+  qv::MutexLock lock(mu_);
+  return queue_.size();
+}
+
+int ThreadPool::active() const {
+  qv::MutexLock lock(mu_);
+  return active_;
+}
+
+Status ThreadPool::RegisterMetrics(obs::MetricsRegistry* registry,
+                                   obs::LabelSet labels) const {
+  QV_RETURN_IF_ERROR(registry->RegisterCounter(
+      "qv_threadpool_tasks_submitted_total", labels, &submitted_));
+  QV_RETURN_IF_ERROR(registry->RegisterCounter(
+      "qv_threadpool_tasks_completed_total", labels, &completed_));
+  QV_RETURN_IF_ERROR(registry->RegisterCallback(
+      "qv_threadpool_queue_depth", labels,
+      obs::MetricsRegistry::InstrumentKind::kGauge,
+      [this]() -> int64_t { return static_cast<int64_t>(queue_depth()); }));
+  QV_RETURN_IF_ERROR(registry->RegisterCallback(
+      "qv_threadpool_active_tasks", labels,
+      obs::MetricsRegistry::InstrumentKind::kGauge,
+      [this]() -> int64_t { return active(); }));
+  return registry->RegisterCallback(
+      "qv_threadpool_threads", labels,
+      obs::MetricsRegistry::InstrumentKind::kGauge,
+      [this]() -> int64_t { return thread_count(); });
 }
 
 void ThreadPool::Drain() {
@@ -80,6 +112,7 @@ void ThreadPool::WorkerLoop() {
       // QueryService::SearchBatch converts exceptions to per-slot
       // Status there.
     }
+    completed_.Increment();
     lock.Lock();
     --active_;
     if (queue_.empty() && active_ == 0) idle_cv_.NotifyAll();

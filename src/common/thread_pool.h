@@ -13,12 +13,15 @@
 #ifndef QUICKVIEW_COMMON_THREAD_POOL_H_
 #define QUICKVIEW_COMMON_THREAD_POOL_H_
 
+#include <cstddef>
 #include <deque>
 #include <functional>
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
 #include "common/sync.h"
+#include "obs/metrics.h"
 
 namespace quickview {
 
@@ -52,15 +55,26 @@ class ThreadPool {
 
   int thread_count() const { return static_cast<int>(workers_.size()); }
 
+  /// Tasks waiting in the queue / executing right now (point-in-time).
+  size_t queue_depth() const QV_EXCLUDES(mu_);
+  int active() const QV_EXCLUDES(mu_);
+
+  /// Registers the pool's instruments (qv_threadpool_*) under `labels`.
+  /// The pool must outlive the registry reads.
+  Status RegisterMetrics(obs::MetricsRegistry* registry,
+                         obs::LabelSet labels = {}) const;
+
  private:
   void WorkerLoop() QV_EXCLUDES(mu_);
 
-  qv::Mutex mu_;
+  mutable qv::Mutex mu_;
   qv::CondVar work_cv_;  // workers wait for tasks / stop
   qv::CondVar idle_cv_;  // Drain waits for quiescence
   std::deque<std::function<void()>> queue_ QV_GUARDED_BY(mu_);
   int active_ QV_GUARDED_BY(mu_) = 0;  // tasks currently executing
   bool stop_ QV_GUARDED_BY(mu_) = false;
+  obs::Counter submitted_;  // tasks ever enqueued
+  obs::Counter completed_;  // tasks finished (workers + helpers)
   std::vector<std::thread> workers_;  // written only in the constructor
 };
 

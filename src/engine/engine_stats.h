@@ -30,7 +30,7 @@ struct ModuleTimings {
 };
 
 /// Pipeline counters, summed over shards in a sharded run.
-struct SearchStats {
+struct SearchStats {  // lint:allow(adhoc-stats) per-request value type returned with results
   size_t view_results = 0;      // |V(D)|
   size_t matching_results = 0;  // after keyword semantics
   pdt::PdtBuildStats pdt;       // aggregated over all QPTs (and shards)
@@ -53,7 +53,7 @@ struct SearchStats {
 /// are materialized. The lazy-materialization guarantee is therefore
 /// observable PER SHARD: fetching the global top 10 touches only the
 /// pages of the shards those 10 hits live on.
-struct ShardStats {
+struct ShardStats {  // lint:allow(adhoc-stats) per-request value type returned with results
   int shard = 0;
   size_t view_results = 0;
   size_t matching_results = 0;
@@ -71,7 +71,7 @@ struct ShardStats {
 
 /// Buffer-pool counters in a dependency-neutral shape (the engine layer
 /// does not link pagestore); the service layer maps its pools' stats in.
-struct BufferCounters {
+struct BufferCounters {  // lint:allow(adhoc-stats) per-request I/O attribution, feeds trace spans
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
@@ -82,7 +82,7 @@ struct BufferCounters {
 /// The one nested stats answer. `shards` has one entry per executed
 /// shard (a single entry on an unsharded engine); `buffer` is zero
 /// unless a service/CLI layer with buffer pools filled it.
-struct EngineStats {
+struct EngineStats {  // lint:allow(adhoc-stats) per-request value type returned with results
   SearchStats search;
   ModuleTimings timings;
   std::vector<ShardStats> shards;

@@ -27,6 +27,9 @@ ResultCursor::~ResultCursor() {
 
 Result<std::vector<SearchHit>> ResultCursor::FetchNext(size_t n) {
   Clock::time_point start = Clock::now();
+  if (trace_ != nullptr && materialize_span_ == nullptr) {
+    materialize_span_ = trace_->StartSpan("materialize");
+  }
   std::vector<SearchHit> page;
   size_t want = std::min(n, pending());
   page.reserve(want);
@@ -55,10 +58,28 @@ Result<std::vector<SearchHit>> ResultCursor::FetchNext(size_t n) {
       shard.pages_read += fetches.pages_read;
       shard.buffer_hits += fetches.buffer_hits;
     }
+    // Attribute the fetch I/O back to the owning shard's span so the
+    // span counters stay equal to the per-shard EngineStats.
+    if (slice.span != nullptr) {
+      slice.span->AddCounter("store_fetches", fetches.fetch_calls);
+      slice.span->AddCounter("store_bytes", fetches.bytes_fetched);
+      slice.span->AddCounter("pages_read", fetches.pages_read);
+      slice.span->AddCounter("buffer_hits", fetches.buffer_hits);
+    }
+    if (materialize_span_ != nullptr) {
+      materialize_span_->AddCounter("hits", 1);
+      materialize_span_->AddCounter("store_fetches", fetches.fetch_calls);
+      materialize_span_->AddCounter("store_bytes", fetches.bytes_fetched);
+      materialize_span_->AddCounter("pages_read", fetches.pages_read);
+      materialize_span_->AddCounter("buffer_hits", fetches.buffer_hits);
+    }
     page.push_back(std::move(hit));
     ++fetched_;
   }
   stats_.timings.post_ms += MsSince(start);
+  // Re-close after every fetch (last close wins): the span's duration
+  // spans first-fetch start to last-fetch end once fetching stops.
+  if (materialize_span_ != nullptr) materialize_span_->Close();
   // Budget satisfied: release the token so cooperating work (and any
   // caller watching it) stops — the cursor will never ask for more.
   if (fetched_ >= limit_ && cancel_ != nullptr) cancel_->Cancel();

@@ -39,6 +39,7 @@
 #include "engine/engine_stats.h"
 #include "engine/merged_ranked_stream.h"
 #include "engine/view_search_engine.h"
+#include "obs/trace.h"
 #include "scoring/scorer.h"
 #include "storage/document_store.h"
 #include "xml/dom.h"
@@ -114,6 +115,11 @@ class ResultCursor {
     std::shared_ptr<const xml::Document> arena;  // constructed nodes
     const storage::DocumentStore* store = nullptr;
     std::vector<scoring::ScoredResult> candidates;
+    // This shard's trace span (null when tracing is off). Closed at Open;
+    // FetchNext still accumulates materialization I/O into its counters
+    // (post-close annotation is legal by the trace contract) so summing
+    // a counter over the shard spans matches the cursor's EngineStats.
+    obs::TraceSpan* span = nullptr;
   };
 
   std::vector<Slice> slices_;  // corpus order (== stats_.shards order)
@@ -123,6 +129,12 @@ class ResultCursor {
   size_t limit_ = 0;  // total hit budget (SearchOptions::top_k)
   size_t fetched_ = 0;
   EngineStats stats_;
+  // Keeps the request's trace (and the spans Slice::span points into)
+  // alive for the cursor's lifetime. One reusable "materialize" span is
+  // created on the first fetch and re-closed after every fetch, so the
+  // tree shape does not depend on how fetches were batched.
+  std::shared_ptr<obs::Trace> trace_;
+  obs::TraceSpan* materialize_span_ = nullptr;
 };
 
 /// Drains `cursor` into the batch response shape: every remaining hit,

@@ -19,6 +19,7 @@
 
 #include "common/cancellation.h"
 #include "common/status.h"
+#include "obs/trace.h"
 
 namespace quickview::engine {
 
@@ -64,6 +65,16 @@ struct SearchRequest {
   /// can stop too. Left null, the engine makes a private token (needed
   /// for deadline / fail-fast propagation).
   std::shared_ptr<CancellationToken> cancel;
+
+  /// Optional per-request trace (null = tracing off, the default, with
+  /// near-zero cost on the search path). When set, Open records one
+  /// span per shard task (plan/build_pdts/evaluate children), a merge
+  /// span, and the cursor adds a materialize span whose per-shard I/O
+  /// counters are attributed back to the shard spans — so summing a
+  /// counter over the shard spans always matches the cursor's
+  /// EngineStats. The cursor co-owns the trace; serialize it only after
+  /// the request (and any fetching) is quiescent.
+  std::shared_ptr<obs::Trace> trace;
 
   /// The single validation boundary: exactly-one-of query/view, top_k
   /// >= 1, non-empty keywords in view form. Typed InvalidArgument on

@@ -249,11 +249,16 @@ Result<ViewSearchEngine::ShardEval> ViewSearchEngine::EvaluateShard(
 
 Result<std::unique_ptr<ResultCursor>> ViewSearchEngine::FinalizeCursor(
     std::vector<ShardEval> evals, const std::vector<size_t>& shard_ids,
-    size_t top_k, std::shared_ptr<CancellationToken> token) const {
+    size_t top_k, std::shared_ptr<CancellationToken> token,
+    std::shared_ptr<obs::Trace> trace,
+    std::vector<obs::TraceSpan*> shard_spans) const {
   Clock::time_point start = Clock::now();
+  obs::SpanScope merge_span(trace.get(), "merge");
   auto cursor = std::unique_ptr<ResultCursor>(new ResultCursor());
   cursor->cancel_ = std::move(token);
   cursor->limit_ = top_k;
+  cursor->trace_ = std::move(trace);
+  shard_spans.resize(evals.size(), nullptr);
 
   // The plan is identical across shards (same text, deterministic
   // planner); read query-level facts from the first one.
@@ -270,6 +275,8 @@ Result<std::unique_ptr<ResultCursor>> ViewSearchEngine::FinalizeCursor(
     collect_ms_max = std::max(collect_ms_max, eval.collect_ms);
   }
   const std::vector<double> idf = scoring::ComputeIdf(total_candidates, df);
+  merge_span.AddCounter("candidates", total_candidates);
+  merge_span.AddCounter("streams", evals.size());
 
   EngineStats& stats = cursor->stats_;
   const CancellationToken* cancel =
@@ -288,6 +295,17 @@ Result<std::unique_ptr<ResultCursor>> ViewSearchEngine::FinalizeCursor(
     shard_stats.pdt_ms = eval.prepared->pdt_ms;
     shard_stats.eval_ms = eval.eval_ms;
     stats.shards.push_back(shard_stats);
+    // The shard span absorbs the shard's pipeline counters; later,
+    // FetchNext attributes materialization I/O back to it too, so a
+    // counter summed over the shard spans always equals the
+    // corresponding stats().search total.
+    if (shard_spans[p] != nullptr) {
+      shard_spans[p]->AddCounter("view_results", eval.set.sequence_size);
+      shard_spans[p]->AddCounter("matching_results", kept.size());
+      shard_spans[p]->AddCounter("pdt_bytes",
+                                 eval.prepared->pdt_stats.pdt_bytes);
+      shard_spans[p]->AddCounter("view_bytes", eval.set.view_bytes);
+    }
 
     stats.search.view_results += eval.set.sequence_size;
     stats.search.matching_results += kept.size();
@@ -317,8 +335,10 @@ Result<std::unique_ptr<ResultCursor>> ViewSearchEngine::FinalizeCursor(
     slice.arena = std::move(eval.arena);
     slice.store = shards_[shard_ids[p]].store;
     slice.candidates = std::move(kept);
+    slice.span = shard_spans[p];
     cursor->slices_.push_back(std::move(slice));
   }
+  merge_span.AddCounter("matching_results", stats.search.matching_results);
   stats.timings.post_ms += collect_ms_max + MsSince(start);
   return cursor;
 }
@@ -372,9 +392,24 @@ Result<std::unique_ptr<ResultCursor>> ViewSearchEngine::OpenImpl(
 
   // --- Fan out: per-shard plan/PDT/eval/collect tasks ---
   const size_t n = selected.size();
+  // Shard spans are pre-created here, in shard order, on the
+  // coordinator: sibling order under the root is then deterministic no
+  // matter how the shard tasks interleave, and a span's start time
+  // includes its task's queue wait (fan-out skew is visible in the
+  // flame view). Child spans are created inside the owning task —
+  // StartSpan is the one thread-safe trace operation, by design.
+  obs::Trace* const trace = request.trace.get();
+  std::vector<obs::TraceSpan*> shard_spans(n, nullptr);
+  if (trace != nullptr) {
+    for (size_t slot = 0; slot < n; ++slot) {
+      shard_spans[slot] = trace->StartSpan(
+          "shard", nullptr, static_cast<int>(selected[slot]));
+    }
+  }
   Gather<Result<ShardEval>> gather(n);
   auto run_shard = [&](size_t slot) -> Result<ShardEval> {
     const size_t shard = selected[slot];
+    obs::TraceSpan* const shard_span = shard_spans[slot];
     if (token->Fired()) return token->ToStatus();
     std::shared_ptr<const PreparedQuery> pq =
         slot < prepared.size() ? prepared[slot] : nullptr;
@@ -382,15 +417,36 @@ Result<std::unique_ptr<ResultCursor>> ViewSearchEngine::OpenImpl(
       // Parsing is query-proportional and deterministic, so each shard
       // re-plans from the same text instead of sharing one move-only
       // plan: every PreparedQuery stays self-contained for the caches.
-      QUICKVIEW_ASSIGN_OR_RETURN(QueryPlan plan, PlanQuery(query_text));
+      QueryPlan plan;
+      {
+        obs::SpanScope plan_span(trace, "plan", shard_span,
+                                 static_cast<int>(shard));
+        QUICKVIEW_ASSIGN_OR_RETURN(plan, PlanQuery(query_text));
+        plan_span.AddCounter("keywords", plan.kq.keywords.size());
+        plan_span.AddCounter("qpts", plan.qpts.size());
+      }
+      obs::SpanScope build_span(trace, "build_pdts", shard_span,
+                                static_cast<int>(shard));
       QUICKVIEW_ASSIGN_OR_RETURN(
           pq, BuildPdtsImpl(std::move(plan), static_cast<int>(shard),
                             token.get()));
+      build_span.AddCounter("ids_processed", pq->pdt_stats.ids_processed);
+      build_span.AddCounter("nodes_emitted", pq->pdt_stats.nodes_emitted);
+      build_span.AddCounter("index_probes", pq->pdt_stats.index_probes);
+      build_span.AddCounter("pdt_bytes", pq->pdt_stats.pdt_bytes);
     }
-    return EvaluateShard(shard, std::move(pq), token.get());
+    obs::SpanScope eval_span(trace, "evaluate", shard_span,
+                             static_cast<int>(shard));
+    Result<ShardEval> eval = EvaluateShard(shard, std::move(pq), token.get());
+    if (eval.ok()) {
+      eval_span.AddCounter("view_results", eval.value().set.sequence_size);
+      eval_span.AddCounter("candidates", eval.value().set.candidates.size());
+    }
+    return eval;
   };
   auto run_into_slot = [&](size_t slot) {
     Result<ShardEval> result = run_shard(slot);
+    if (shard_spans[slot] != nullptr) shard_spans[slot]->Close();
     if (!result.ok() && result.status().code() != StatusCode::kCancelled &&
         result.status().code() != StatusCode::kDeadlineExceeded) {
       token->Cancel();  // fail fast: stop the sibling shards
@@ -439,7 +495,8 @@ Result<std::unique_ptr<ResultCursor>> ViewSearchEngine::OpenImpl(
     evals.push_back(std::move(results[slot]).value());
   }
   return FinalizeCursor(std::move(evals), selected, request.options.top_k,
-                        std::move(token));
+                        std::move(token), request.trace,
+                        std::move(shard_spans));
 }
 
 Result<std::unique_ptr<ResultCursor>> ViewSearchEngine::Open(
@@ -458,7 +515,8 @@ Result<std::unique_ptr<ResultCursor>> ViewSearchEngine::Open(
       ShardEval eval, EvaluateShard(0, std::move(prepared), nullptr));
   std::vector<ShardEval> evals;
   evals.push_back(std::move(eval));
-  return FinalizeCursor(std::move(evals), {0}, options.top_k, nullptr);
+  return FinalizeCursor(std::move(evals), {0}, options.top_k, nullptr, nullptr,
+                        {});
 }
 
 Result<SearchResponse> ViewSearchEngine::Execute(

@@ -221,7 +221,9 @@ class ViewSearchEngine {
       const CancellationToken* cancel) const;
   Result<std::unique_ptr<ResultCursor>> FinalizeCursor(
       std::vector<ShardEval> evals, const std::vector<size_t>& shard_ids,
-      size_t top_k, std::shared_ptr<CancellationToken> token) const;
+      size_t top_k, std::shared_ptr<CancellationToken> token,
+      std::shared_ptr<obs::Trace> trace,
+      std::vector<obs::TraceSpan*> shard_spans) const;
 
   std::vector<ShardContext> shards_;  // corpus order; size >= 1
   ThreadPool* pool_ = nullptr;        // per-shard execution; may be null

@@ -39,7 +39,7 @@ class BTree {
   /// atomics so concurrent readers (lookups and scans are logically const)
   /// can count without data races; a snapshot is not an atomic pair, which
   /// is fine for the cost model the benchmarks build from it.
-  struct Stats {
+  struct Stats {  // lint:allow(adhoc-stats) per-index structural stats, not telemetry
     uint64_t nodes_visited = 0;  // interior + leaf nodes touched
     uint64_t entries_scanned = 0;
   };

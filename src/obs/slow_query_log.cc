@@ -1,0 +1,43 @@
+#include "obs/slow_query_log.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace quickview::obs {
+
+void SlowQueryLog::Record(Entry entry) {
+  qv::MutexLock lock(mu_);
+  ++considered_;
+  if (options_.capacity == 0) return;
+  if (entry.latency_us < options_.threshold_us) return;
+  if (entries_.size() < options_.capacity) {
+    entries_.push_back(std::move(entry));
+    return;
+  }
+  // At capacity: replace the least-slow kept entry if this one is worse.
+  auto weakest = std::min_element(
+      entries_.begin(), entries_.end(), [](const Entry& a, const Entry& b) {
+        return a.latency_us < b.latency_us;
+      });
+  if (entry.latency_us > weakest->latency_us) *weakest = std::move(entry);
+}
+
+std::vector<SlowQueryLog::Entry> SlowQueryLog::Snapshot() const {
+  std::vector<Entry> out;
+  {
+    qv::MutexLock lock(mu_);
+    out = entries_;
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.latency_us != b.latency_us) return a.latency_us > b.latency_us;
+    return a.request_id < b.request_id;
+  });
+  return out;
+}
+
+uint64_t SlowQueryLog::considered() const {
+  qv::MutexLock lock(mu_);
+  return considered_;
+}
+
+}  // namespace quickview::obs

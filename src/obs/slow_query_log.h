@@ -1,0 +1,66 @@
+// SlowQueryLog: a bounded record of the K worst requests by latency.
+// Every completed RPC at or above the threshold is offered; the log
+// keeps the `capacity` slowest, so a burst of pathological queries can
+// never wash out the single worst offender (the failure mode of a plain
+// time-ordered ring). Entries carry the request's serialized span tree
+// when it was traced, making "why was this slow" answerable after the
+// fact from the Stats RPC or the server's shutdown report.
+#ifndef QUICKVIEW_OBS_SLOW_QUERY_LOG_H_
+#define QUICKVIEW_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace quickview::obs {
+
+class SlowQueryLog {
+ public:
+  struct Options {
+    /// Requests faster than this are never recorded. 0 = consider all.
+    uint64_t threshold_us = 0;
+    /// Worst-K capacity; 0 disables the log entirely.
+    size_t capacity = 8;
+  };
+
+  struct Entry {
+    uint64_t latency_us = 0;
+    uint64_t request_id = 0;
+    /// Wire opcode of the request (raw value; 0 for non-RPC sources).
+    uint8_t opcode = 0;
+    /// Human-readable request summary ("search view=V keywords=a,b").
+    std::string description;
+    /// Serialized span tree; empty when the request was not traced.
+    std::string trace;
+  };
+
+  explicit SlowQueryLog(Options options) : options_(options) {}
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// Offers one finished request. Kept iff it clears the threshold and
+  /// is among the `capacity` worst seen so far.
+  void Record(Entry entry) QV_EXCLUDES(mu_);
+
+  /// Entries ordered worst-first (ties broken by request id for a
+  /// deterministic report).
+  std::vector<Entry> Snapshot() const QV_EXCLUDES(mu_);
+
+  /// Requests offered to Record (before threshold/capacity filtering).
+  uint64_t considered() const QV_EXCLUDES(mu_);
+
+  const Options& options() const { return options_; }
+
+ private:
+  const Options options_;
+  mutable qv::Mutex mu_;
+  std::vector<Entry> entries_ QV_GUARDED_BY(mu_);
+  uint64_t considered_ QV_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace quickview::obs
+
+#endif  // QUICKVIEW_OBS_SLOW_QUERY_LOG_H_

@@ -1,0 +1,112 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace quickview::obs {
+
+TraceSpan::TraceSpan(Trace* trace, std::string name, TraceSpan* parent,
+                     int shard, uint64_t start_ns)
+    : trace_(trace),
+      name_(std::move(name)),
+      parent_(parent),
+      shard_(shard),
+      start_ns_(start_ns) {}
+
+void TraceSpan::Close() {
+  const uint64_t now = trace_->NowNs();
+  duration_ns_ = now > start_ns_ ? now - start_ns_ : 0;
+  closed_ = true;
+}
+
+void TraceSpan::AddCounter(std::string_view name, uint64_t delta) {
+  for (auto& [key, value] : counters_) {
+    if (key == name) {
+      value += delta;
+      return;
+    }
+  }
+  counters_.emplace_back(std::string(name), delta);
+}
+
+uint64_t TraceSpan::counter(std::string_view name) const {
+  for (const auto& [key, value] : counters_) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+Trace::Trace(uint64_t id, std::string root_name)
+    : epoch_(std::chrono::steady_clock::now()), id_(id) {
+  root_ = StartSpan(std::move(root_name));
+}
+
+uint64_t Trace::NowNs() const {
+  return static_cast<uint64_t>(std::chrono::duration_cast<
+                                   std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - epoch_)
+                                   .count());
+}
+
+TraceSpan* Trace::StartSpan(std::string name, TraceSpan* parent, int shard) {
+  const uint64_t start = NowNs();
+  qv::MutexLock lock(mu_);
+  if (parent == nullptr) parent = root_;  // null until the root itself
+  spans_.emplace_back(TraceSpan(this, std::move(name), parent, shard, start));
+  return &spans_.back();
+}
+
+std::vector<const TraceSpan*> Trace::spans() const {
+  qv::MutexLock lock(mu_);
+  std::vector<const TraceSpan*> out;
+  out.reserve(spans_.size());
+  for (const TraceSpan& span : spans_) out.push_back(&span);
+  return out;
+}
+
+std::string Trace::Serialize() {
+  if (root_ != nullptr && !root_->closed()) root_->Close();
+  qv::MutexLock lock(mu_);
+  // Children of one parent appear in creation order; creation order of
+  // spans under different parents never affects the rendering, so the
+  // racy cross-shard interleaving in `spans_` stays invisible.
+  std::vector<const TraceSpan*> order;
+  order.reserve(spans_.size());
+  for (const TraceSpan& span : spans_) order.push_back(&span);
+
+  std::string out = "trace " + std::to_string(id_) + "\n";
+  // Depth-first render without recursion: walk each span's children.
+  std::vector<std::pair<const TraceSpan*, int>> stack;  // (span, depth)
+  auto push_children = [&](const TraceSpan* parent, int depth) {
+    // Reverse creation order so the stack pops in creation order.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      if ((*it)->parent() == parent) stack.emplace_back(*it, depth);
+    }
+  };
+  if (root_ != nullptr) stack.emplace_back(root_, 0);
+  while (!stack.empty()) {
+    const auto [span, depth] = stack.back();
+    stack.pop_back();
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    out.append(span->name());
+    if (span->shard() >= 0) {
+      out.append(" shard=");
+      out.append(std::to_string(span->shard()));
+    }
+    out.append(" start=");
+    out.append(std::to_string(span->start_ns() / 1000));
+    out.append("us dur=");
+    out.append(std::to_string(span->duration_ns() / 1000));
+    out.append("us");
+    for (const auto& [key, value] : span->counters()) {
+      out.push_back(' ');
+      out.append(key);
+      out.push_back('=');
+      out.append(std::to_string(value));
+    }
+    out.push_back('\n');
+    push_children(span, depth + 1);
+  }
+  return out;
+}
+
+}  // namespace quickview::obs

@@ -1,0 +1,167 @@
+// Per-request tracing: a Trace is allocated per request (the server uses
+// the wire request id as the trace id), spans are opened and closed
+// around pipeline stages, and the finished tree serializes to a
+// flame-style indented breakdown.
+//
+// The span tree mirrors the search pipeline:
+//
+//   request (root)
+//   ├─ prepare                cache probe + plan on the calling thread
+//   ├─ shard [shard=i]        one per shard task, created in shard order
+//   │   ├─ plan
+//   │   ├─ build_pdts         counters: ids_processed, nodes_emitted, ...
+//   │   └─ evaluate           counters: view_results, candidates
+//   ├─ merge                  ranked-stream fan-in + idf finalization
+//   └─ materialize            FetchNext: hits, heap_pops, pages_read, ...
+//
+// Concurrency model (lock-cheap by construction):
+//   - StartSpan takes the trace mutex once per span (spans live in a
+//     deque, so pointers stay stable); shard tasks racing to create
+//     spans is the supported case.
+//   - Everything else on a span — Close, AddCounter — is plain stores
+//     by the one thread that owns the span at that moment. No atomics,
+//     no locks on the hot path.
+//   - Serialize/Snapshot require quiescence: every span owner must have
+//     finished, with a happens-before edge to the serializing thread
+//     (the engine's Open barrier and the cursor's single-threaded
+//     contract provide exactly that).
+//
+// Tracing is opt-in per request: a null Trace* disables every hook
+// (SpanScope on a null trace is a no-op), which is the compiled-in
+// default path benchmarked by bench_trace_overhead.
+//
+// AddCounter is an upsert (adding to an existing key accumulates), and
+// it stays legal after Close: the cursor attributes materialization I/O
+// back to the already-closed per-shard spans so that summing a counter
+// over the shard spans always matches the cursor's EngineStats.
+#ifndef QUICKVIEW_OBS_TRACE_H_
+#define QUICKVIEW_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace quickview::obs {
+
+class Trace;
+
+class TraceSpan {
+ public:
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  /// Move is for the owning deque's append only; spans are referred to
+  /// by stable pointer after creation.
+  TraceSpan(TraceSpan&&) = default;
+
+  /// Sets the span's duration to "now - start". May be called more than
+  /// once (the cursor re-closes its materialize span after every
+  /// FetchNext); the last call wins.
+  void Close();
+
+  /// Adds `delta` to counter `name`, creating it at the end of the
+  /// counter list on first use. Owner-thread only (see file comment).
+  void AddCounter(std::string_view name, uint64_t delta);
+
+  const std::string& name() const { return name_; }
+  int shard() const { return shard_; }
+  /// Offset from the trace epoch / wall time of the span, nanoseconds.
+  uint64_t start_ns() const { return start_ns_; }
+  uint64_t duration_ns() const { return duration_ns_; }
+  bool closed() const { return closed_; }
+  const TraceSpan* parent() const { return parent_; }
+  const std::vector<std::pair<std::string, uint64_t>>& counters() const {
+    return counters_;
+  }
+  /// The counter's value, 0 if absent.
+  uint64_t counter(std::string_view name) const;
+
+ private:
+  friend class Trace;
+  TraceSpan(Trace* trace, std::string name, TraceSpan* parent, int shard,
+            uint64_t start_ns);
+
+  Trace* trace_;
+  std::string name_;
+  TraceSpan* parent_;
+  int shard_;
+  uint64_t start_ns_;
+  uint64_t duration_ns_ = 0;
+  bool closed_ = false;
+  std::vector<std::pair<std::string, uint64_t>> counters_;
+};
+
+class Trace {
+ public:
+  /// Creates the trace with an open root span named `root_name`; the
+  /// epoch (span time zero) is the construction instant.
+  explicit Trace(uint64_t id, std::string root_name = "request");
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  uint64_t id() const { return id_; }
+  TraceSpan* root() { return root_; }
+
+  /// Opens a child span. Thread-safe (shard tasks race here). A null
+  /// `parent` parents to the root.
+  TraceSpan* StartSpan(std::string name, TraceSpan* parent = nullptr,
+                       int shard = -1) QV_EXCLUDES(mu_);
+
+  /// The flame-style breakdown: one line per span, two-space indent per
+  /// depth, children in creation order under their parent —
+  ///
+  ///   trace <id>
+  ///     <name>[ shard=<s>] start=<us>us dur=<us>us [ctr=v ...]
+  ///
+  /// Deterministic modulo the start=/dur= fields (strip them to compare
+  /// runs byte-for-byte). Closes the root first if still open.
+  /// Requires quiescence: no concurrent span activity.
+  std::string Serialize() QV_EXCLUDES(mu_);
+
+  /// All spans in creation order (root first). Requires quiescence;
+  /// pointers are valid for the trace's lifetime.
+  std::vector<const TraceSpan*> spans() const QV_EXCLUDES(mu_);
+
+  uint64_t NowNs() const;
+
+ private:
+  mutable qv::Mutex mu_;
+  std::deque<TraceSpan> spans_ QV_GUARDED_BY(mu_);
+  TraceSpan* root_ = nullptr;
+  std::chrono::steady_clock::time_point epoch_;
+  uint64_t id_;
+};
+
+/// RAII span guard tolerant of a disabled trace: every operation on a
+/// SpanScope constructed with a null Trace* is a no-op, so call sites
+/// carry no branches beyond one null check.
+class SpanScope {
+ public:
+  SpanScope(Trace* trace, std::string name, TraceSpan* parent = nullptr,
+            int shard = -1)
+      : span_(trace == nullptr
+                  ? nullptr
+                  : trace->StartSpan(std::move(name), parent, shard)) {}
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  ~SpanScope() {
+    if (span_ != nullptr) span_->Close();
+  }
+
+  TraceSpan* span() const { return span_; }
+  void AddCounter(std::string_view name, uint64_t delta) {
+    if (span_ != nullptr) span_->AddCounter(name, delta);
+  }
+
+ private:
+  TraceSpan* span_;
+};
+
+}  // namespace quickview::obs
+
+#endif  // QUICKVIEW_OBS_TRACE_H_

@@ -13,7 +13,7 @@ Result<PagePin> BufferPool::Fetch(PageId id, PageAccounting* acct) const {
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-    ++hits_;
+    hits_.Increment();
     if (acct != nullptr) ++acct->buffer_hits;
     return it->second.page;
   }
@@ -23,7 +23,7 @@ Result<PagePin> BufferPool::Fetch(PageId id, PageAccounting* acct) const {
   // latch would only matter once the workload outgrows this engine.
   QUICKVIEW_ASSIGN_OR_RETURN(CachedPage raw, file_->ReadPage(id));
   PagePin pin = std::make_shared<const CachedPage>(std::move(raw));
-  ++misses_;
+  misses_.Increment();
   if (acct != nullptr) {
     ++acct->pages_read;
     acct->bytes_read += kPageSize;
@@ -39,7 +39,7 @@ Result<PagePin> BufferPool::Fetch(PageId id, PageAccounting* acct) const {
     if (vit->second.page.use_count() > 1) continue;
     victim = lru_.erase(victim);
     frames_.erase(vit);
-    ++evictions_;
+    evictions_.Increment();
   }
 
   lru_.push_front(id);
@@ -48,14 +48,34 @@ Result<PagePin> BufferPool::Fetch(PageId id, PageAccounting* acct) const {
 }
 
 BufferPoolStats BufferPool::stats() const {
-  qv::MutexLock lock(mu_);
   BufferPoolStats out;
-  out.hits = hits_;
-  out.misses = misses_;
-  out.evictions = evictions_;
-  out.bytes_read = misses_ * kPageSize;
+  out.hits = hits_.value();
+  out.misses = misses_.value();
+  out.evictions = evictions_.value();
+  out.bytes_read = out.misses * kPageSize;
+  qv::MutexLock lock(mu_);
   out.frames_in_use = frames_.size();
   return out;
+}
+
+Status BufferPool::RegisterMetrics(obs::MetricsRegistry* registry,
+                                   obs::LabelSet labels) const {
+  QV_RETURN_IF_ERROR(
+      registry->RegisterCounter("qv_bufferpool_hits_total", labels, &hits_));
+  QV_RETURN_IF_ERROR(registry->RegisterCounter("qv_bufferpool_misses_total",
+                                               labels, &misses_));
+  QV_RETURN_IF_ERROR(registry->RegisterCounter(
+      "qv_bufferpool_evictions_total", labels, &evictions_));
+  QV_RETURN_IF_ERROR(registry->RegisterCallback(
+      "qv_bufferpool_frames_in_use", labels,
+      obs::MetricsRegistry::InstrumentKind::kGauge, [this]() -> int64_t {
+        qv::MutexLock lock(mu_);
+        return static_cast<int64_t>(frames_.size());
+      }));
+  return registry->RegisterCallback(
+      "qv_bufferpool_frame_budget", labels,
+      obs::MetricsRegistry::InstrumentKind::kGauge,
+      [this]() -> int64_t { return static_cast<int64_t>(budget_); });
 }
 
 }  // namespace quickview::pagestore

@@ -14,6 +14,7 @@
 
 #include "common/result.h"
 #include "common/sync.h"
+#include "obs/metrics.h"
 #include "pagestore/page.h"
 #include "pagestore/paged_file.h"
 
@@ -26,7 +27,7 @@ struct BufferPoolOptions {
   size_t frames = 256;
 };
 
-struct BufferPoolStats {
+struct BufferPoolStats {  // lint:allow(adhoc-stats) snapshot view; pool registers obs:: instruments
   uint64_t hits = 0;
   uint64_t misses = 0;       // == pages read from the file
   uint64_t evictions = 0;
@@ -45,8 +46,17 @@ class BufferPool final : public PageSource {
   Result<PagePin> Fetch(PageId id, PageAccounting* acct) const override
       QV_EXCLUDES(mu_);
 
+  /// Thin view over the pool's registry instruments (hits/misses/
+  /// evictions are live obs::Counters; frames_in_use reads the frame
+  /// table under the lock).
   BufferPoolStats stats() const QV_EXCLUDES(mu_);
   size_t frame_budget() const { return budget_; }
+
+  /// Registers the pool's instruments (qv_bufferpool_*) under `labels`
+  /// — per-instance labels (e.g. {"shard","2"}) keep multiple pools
+  /// apart in one registry. The pool must outlive the registry reads.
+  Status RegisterMetrics(obs::MetricsRegistry* registry,
+                         obs::LabelSet labels = {}) const;
 
  private:
   struct Frame {
@@ -61,9 +71,11 @@ class BufferPool final : public PageSource {
   // front = most recently used
   mutable std::list<PageId> lru_ QV_GUARDED_BY(mu_);
   mutable std::unordered_map<PageId, Frame> frames_ QV_GUARDED_BY(mu_);
-  mutable uint64_t hits_ QV_GUARDED_BY(mu_) = 0;
-  mutable uint64_t misses_ QV_GUARDED_BY(mu_) = 0;
-  mutable uint64_t evictions_ QV_GUARDED_BY(mu_) = 0;
+  // Registry-native counters (relaxed atomics; bumped under mu_ on the
+  // fetch path, readable lock-free by stats() and the exposition).
+  mutable obs::Counter hits_;
+  mutable obs::Counter misses_;
+  mutable obs::Counter evictions_;
 };
 
 }  // namespace quickview::pagestore

@@ -125,7 +125,7 @@ class PackedDb final : public index::IndexSource {
   std::map<std::string, uint32_t> document_roots() const;
 
   /// How the delta side log changed this open, all zero when none exists.
-  struct DeltaStats {
+  struct DeltaStats {  // lint:allow(adhoc-stats) point-in-time size snapshot of the delta store
     uint64_t inserts = 0;     // insert records replayed
     uint64_t tombstones = 0;  // tombstone records replayed
     size_t overlay_documents = 0;  // live in-memory documents

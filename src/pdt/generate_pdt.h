@@ -40,7 +40,7 @@ std::shared_ptr<xml::Document> AssemblePdtDocument(
     const std::map<xml::DeweyId, PdtElement>& elements,
     const std::vector<InvList>& inv_lists);
 
-struct PdtBuildStats {
+struct PdtBuildStats {  // lint:allow(adhoc-stats) per-build result record returned to the caller
   uint64_t ids_processed = 0;    // ids consumed from path lists
   uint64_t nodes_emitted = 0;    // PDT nodes written
   uint64_t peak_ct_nodes = 0;    // candidate-tree high-water mark

@@ -81,10 +81,11 @@ Status Client::SetRecvTimeout(std::chrono::milliseconds timeout) {
 }
 
 Status Client::SendRequest(Opcode opcode, uint64_t request_id,
-                           std::string payload) {
+                           std::string payload, uint8_t flags) {
   if (fd_ < 0) return Status::InvalidArgument("client not connected");
   Frame frame;
   frame.opcode = opcode;
+  frame.flags = flags;
   frame.request_id = request_id;
   frame.payload = std::move(payload);
   std::string wire;
@@ -129,10 +130,13 @@ Result<Frame> Client::ReadFrame() {
   }
 }
 
-Result<std::string> Client::Call(Opcode opcode, std::string payload) {
+Result<std::string> Client::Call(Opcode opcode, std::string payload,
+                                 std::string* trace_out) {
   const uint64_t request_id = next_request_++;
+  if (trace_out != nullptr) trace_out->clear();
+  const uint8_t flags = trace_out != nullptr ? kFlagTrace : 0;
   QUICKVIEW_RETURN_IF_ERROR(
-      SendRequest(opcode, request_id, std::move(payload)));
+      SendRequest(opcode, request_id, std::move(payload), flags));
   for (;;) {
     QUICKVIEW_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
     // A strict request/response client never has other ids in flight; an
@@ -150,6 +154,12 @@ Result<std::string> Client::Call(Opcode opcode, std::string payload) {
       }
       return status;
     }
+    if ((frame.flags & kFlagTrace) != 0) {
+      QUICKVIEW_ASSIGN_OR_RETURN(TracedPayload traced,
+                                 SplitTracedPayload(frame.payload));
+      if (trace_out != nullptr) *trace_out = std::move(traced.trace);
+      return std::move(traced.inner);
+    }
     return std::move(frame.payload);
   }
 }
@@ -162,29 +172,33 @@ Status Client::RegisterView(const std::string& name,
   return Call(Opcode::kRegisterView, std::move(payload)).status();
 }
 
-Result<engine::SearchResponse> Client::Search(const SearchRpcRequest& request) {
+Result<engine::SearchResponse> Client::Search(const SearchRpcRequest& request,
+                                              std::string* trace_out) {
   std::string payload;
   Encode(request, &payload);
-  QUICKVIEW_ASSIGN_OR_RETURN(std::string body,
-                             Call(Opcode::kSearch, std::move(payload)));
+  QUICKVIEW_ASSIGN_OR_RETURN(
+      std::string body, Call(Opcode::kSearch, std::move(payload), trace_out));
   return DecodeSearchResponse(body);
 }
 
-Result<OpenCursorResponse> Client::OpenCursor(const SearchRpcRequest& request) {
+Result<OpenCursorResponse> Client::OpenCursor(const SearchRpcRequest& request,
+                                              std::string* trace_out) {
   std::string payload;
   Encode(request, &payload);
-  QUICKVIEW_ASSIGN_OR_RETURN(std::string body,
-                             Call(Opcode::kOpenCursor, std::move(payload)));
+  QUICKVIEW_ASSIGN_OR_RETURN(
+      std::string body,
+      Call(Opcode::kOpenCursor, std::move(payload), trace_out));
   return DecodeOpenCursorResponse(body);
 }
 
-Result<FetchNextResponse> Client::FetchNext(uint64_t cursor_id,
-                                            uint32_t count) {
+Result<FetchNextResponse> Client::FetchNext(uint64_t cursor_id, uint32_t count,
+                                            std::string* trace_out) {
   FetchNextRequest req{cursor_id, count};
   std::string payload;
   Encode(req, &payload);
-  QUICKVIEW_ASSIGN_OR_RETURN(std::string body,
-                             Call(Opcode::kFetchNext, std::move(payload)));
+  QUICKVIEW_ASSIGN_OR_RETURN(
+      std::string body,
+      Call(Opcode::kFetchNext, std::move(payload), trace_out));
   return DecodeFetchNextResponse(body);
 }
 
@@ -213,6 +227,14 @@ Result<StatsResponse> Client::Stats() {
   QUICKVIEW_ASSIGN_OR_RETURN(std::string body,
                              Call(Opcode::kStats, std::string()));
   return DecodeStatsResponse(body);
+}
+
+Result<std::string> Client::StatsText() {
+  StatsRpcRequest req;
+  req.format = StatsRpcRequest::kText;
+  std::string payload;
+  Encode(req, &payload);
+  return Call(Opcode::kStats, std::move(payload));
 }
 
 }  // namespace quickview::server

@@ -49,25 +49,38 @@ class Client {
 
   // Typed RPCs. Transport failures are Internal("connection ..."); a
   // server-side error frame is returned as its decoded Status.
+  //
+  // A non-null `trace_out` sets kFlagTrace on the request: the server
+  // traces it end to end and `*trace_out` receives the serialized span
+  // tree from the response (empty if the server returned none).
   Status RegisterView(const std::string& name, const std::string& view_text);
-  Result<engine::SearchResponse> Search(const SearchRpcRequest& request);
-  Result<OpenCursorResponse> OpenCursor(const SearchRpcRequest& request);
-  Result<FetchNextResponse> FetchNext(uint64_t cursor_id, uint32_t count);
+  Result<engine::SearchResponse> Search(const SearchRpcRequest& request,
+                                        std::string* trace_out = nullptr);
+  Result<OpenCursorResponse> OpenCursor(const SearchRpcRequest& request,
+                                        std::string* trace_out = nullptr);
+  Result<FetchNextResponse> FetchNext(uint64_t cursor_id, uint32_t count,
+                                      std::string* trace_out = nullptr);
   Status CloseCursor(uint64_t cursor_id);
   Status Insert(const std::string& name, const std::string& xml_text);
   Status Remove(const std::string& name);
   Result<StatsResponse> Stats();
+  /// kStats with format=text: the server's Prometheus exposition.
+  Result<std::string> StatsText();
 
   // Raw frame access, for tests that decouple sending from reading.
   /// Sends one request frame with an explicit request id.
-  Status SendRequest(Opcode opcode, uint64_t request_id, std::string payload);
+  Status SendRequest(Opcode opcode, uint64_t request_id, std::string payload,
+                     uint8_t flags = 0);
   /// Reads the next whole frame off the wire (any opcode/id).
   Result<Frame> ReadFrame();
 
  private:
   /// Send + read until `request_id` answers; returns the success payload
-  /// or the error frame's Status.
-  Result<std::string> Call(Opcode opcode, std::string payload);
+  /// or the error frame's Status. A non-null `trace_out` sets kFlagTrace
+  /// on the request and unwraps a traced response into trace + inner
+  /// payload.
+  Result<std::string> Call(Opcode opcode, std::string payload,
+                           std::string* trace_out = nullptr);
 
   int fd_ = -1;
   uint64_t next_request_ = 1;

@@ -29,7 +29,7 @@ std::vector<std::vector<std::string>> DefaultKeywordSets() {
   };
 }
 
-struct ThreadCounters {
+struct ThreadCounters {  // lint:allow(adhoc-stats) per-run client-side tallies, not server telemetry
   uint64_t attempted = 0;
   uint64_t ok = 0;
   uint64_t shed = 0;

@@ -194,7 +194,7 @@ Result<FrameDecode> DecodeFrame(std::string_view in, Frame* frame,
   if (opcode < kMinOpcode || opcode > kMaxOpcode) {
     return Status::ParseError("unknown opcode " + std::to_string(opcode));
   }
-  if ((flags & ~kFlagError) != 0) {
+  if ((flags & ~(kFlagError | kFlagTrace)) != 0) {
     return Status::ParseError("reserved frame flags set");
   }
   if (payload_len > kMaxFramePayload) {
@@ -216,6 +216,26 @@ Result<FrameDecode> DecodeFrame(std::string_view in, Frame* frame,
   frame->payload.assign(payload);
   *consumed = total;
   return FrameDecode::kFrame;
+}
+
+void EncodeTracedPayload(std::string_view trace, std::string_view inner,
+                         std::string* out) {
+  AppendU32(out, static_cast<uint32_t>(trace.size()));
+  out->append(trace);
+  out->append(inner);
+}
+
+Result<TracedPayload> SplitTracedPayload(std::string_view payload) {
+  size_t pos = 0;
+  uint32_t trace_len = 0;
+  if (!ReadU32(payload, &pos, &trace_len) ||
+      payload.size() - pos < trace_len) {
+    return Truncated("traced payload");
+  }
+  TracedPayload split;
+  split.trace.assign(payload.substr(pos, trace_len));
+  split.inner.assign(payload.substr(pos + trace_len));
+  return split;
 }
 
 // ---------------------------------------------------------------------------
@@ -489,6 +509,25 @@ Result<RemoveRequest> DecodeRemoveRequest(std::string_view payload) {
   return req;
 }
 
+void Encode(const StatsRpcRequest& req, std::string* out) {
+  // The binary form stays the historical empty payload, so old callers'
+  // frames decode unchanged.
+  if (req.format == StatsRpcRequest::kBinary) return;
+  out->push_back(static_cast<char>(req.format));
+}
+
+Result<StatsRpcRequest> DecodeStatsRpcRequest(std::string_view payload) {
+  StatsRpcRequest req;
+  if (payload.empty()) return req;
+  if (payload.size() != 1) return Trailing("Stats");
+  const uint8_t format = static_cast<uint8_t>(payload[0]);
+  if (format > StatsRpcRequest::kText) {
+    return Status::ParseError("Stats format out of range");
+  }
+  req.format = format;
+  return req;
+}
+
 void Encode(const StatsResponse& resp, std::string* out) {
   AppendU64(out, resp.admitted);
   AppendU64(out, resp.shed);
@@ -507,6 +546,8 @@ void Encode(const StatsResponse& resp, std::string* out) {
     AppendU64(out, resp.latency[i].p50_us);
     AppendU64(out, resp.latency[i].p90_us);
     AppendU64(out, resp.latency[i].p99_us);
+    AppendU64(out, resp.latency[i].shed);
+    AppendU64(out, resp.latency[i].deadline_rejected);
   }
   AppendU64(out, resp.queries);
   AppendU64(out, resp.documents_inserted);
@@ -520,6 +561,14 @@ void Encode(const StatsResponse& resp, std::string* out) {
   AppendU64(out, resp.buffer.evictions);
   AppendU64(out, resp.buffer.frames_in_use);
   AppendU64(out, resp.buffer.frame_capacity);
+  AppendU32(out, static_cast<uint32_t>(resp.slow_queries.size()));
+  for (const SlowQueryEntry& entry : resp.slow_queries) {
+    AppendU64(out, entry.latency_us);
+    AppendU64(out, entry.request_id);
+    out->push_back(static_cast<char>(entry.opcode));
+    AppendString(out, entry.description);
+    AppendString(out, entry.trace);
+  }
 }
 
 Result<StatsResponse> DecodeStatsResponse(std::string_view payload) {
@@ -541,7 +590,9 @@ Result<StatsResponse> DecodeStatsResponse(std::string_view payload) {
     ok = ReadU64(payload, &pos, &resp.latency[i].count) &&
          ReadU64(payload, &pos, &resp.latency[i].p50_us) &&
          ReadU64(payload, &pos, &resp.latency[i].p90_us) &&
-         ReadU64(payload, &pos, &resp.latency[i].p99_us);
+         ReadU64(payload, &pos, &resp.latency[i].p99_us) &&
+         ReadU64(payload, &pos, &resp.latency[i].shed) &&
+         ReadU64(payload, &pos, &resp.latency[i].deadline_rejected);
   }
   ok = ok && ReadU64(payload, &pos, &resp.queries) &&
        ReadU64(payload, &pos, &resp.documents_inserted) &&
@@ -555,6 +606,17 @@ Result<StatsResponse> DecodeStatsResponse(std::string_view payload) {
        ReadU64(payload, &pos, &resp.buffer.evictions) &&
        ReadU64(payload, &pos, &resp.buffer.frames_in_use) &&
        ReadU64(payload, &pos, &resp.buffer.frame_capacity);
+  uint32_t slow_count = 0;
+  ok = ok && ReadU32(payload, &pos, &slow_count);
+  for (uint32_t i = 0; ok && i < slow_count; ++i) {
+    SlowQueryEntry entry;
+    ok = ReadU64(payload, &pos, &entry.latency_us) &&
+         ReadU64(payload, &pos, &entry.request_id) && pos < payload.size();
+    if (ok) entry.opcode = static_cast<uint8_t>(payload[pos++]);
+    ok = ok && ReadString(payload, &pos, &entry.description) &&
+         ReadString(payload, &pos, &entry.trace);
+    if (ok) resp.slow_queries.push_back(std::move(entry));
+  }
   if (!ok) return Truncated("Stats response");
   if (pos != payload.size()) return Trailing("Stats response");
   return resp;

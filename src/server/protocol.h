@@ -47,7 +47,13 @@ inline constexpr uint32_t kMaxFramePayload = 64u << 20;
 
 /// Frame flags. kFlagError marks a response whose payload is an encoded
 /// Status (EncodeStatusPayload) rather than the opcode's success shape.
+/// kFlagTrace on a request asks the server to trace it; on a SUCCESS
+/// response it marks a traced payload: `trace len u32 | trace bytes |
+/// inner payload` (EncodeTracedPayload / SplitTracedPayload), where the
+/// trace bytes are the obs::Trace::Serialize breakdown. An error
+/// response never carries a trace.
 inline constexpr uint8_t kFlagError = 0x01;
+inline constexpr uint8_t kFlagTrace = 0x02;
 
 enum class Opcode : uint8_t {
   kRegisterView = 1,
@@ -68,8 +74,8 @@ inline constexpr size_t kOpcodeSlots = kMaxOpcode + 1;
 const char* OpcodeName(Opcode op);
 
 /// One decoded frame (or one to encode). `opcode` is validated to be a
-/// known Opcode by DecodeFrame; `flags` bits other than kFlagError are
-/// reserved and must be zero.
+/// known Opcode by DecodeFrame; `flags` bits other than kFlagError and
+/// kFlagTrace are reserved and must be zero.
 struct Frame {
   Opcode opcode = Opcode::kStats;
   uint8_t flags = 0;
@@ -91,6 +97,16 @@ enum class FrameDecode {
 /// kMaxFramePayload, checksum mismatch).
 Result<FrameDecode> DecodeFrame(std::string_view in, Frame* frame,
                                 size_t* consumed);
+
+/// Traced-response payload (kFlagTrace on a success frame):
+/// `trace len u32 | trace bytes | inner payload`.
+void EncodeTracedPayload(std::string_view trace, std::string_view inner,
+                         std::string* out);
+struct TracedPayload {
+  std::string trace;
+  std::string inner;
+};
+Result<TracedPayload> SplitTracedPayload(std::string_view payload);
 
 // ---------------------------------------------------------------------------
 // Status on the wire. The numeric mapping is part of the protocol and
@@ -180,12 +196,37 @@ struct RemoveRequest {
 void Encode(const RemoveRequest& req, std::string* out);
 Result<RemoveRequest> DecodeRemoveRequest(std::string_view payload);
 
-/// kStats request payload is empty; this is the response.
+/// kStats request: an empty payload (the historical encoding) asks for
+/// the binary StatsResponse below; a one-byte payload selects the
+/// format explicitly — 0 binary, 1 Prometheus text (the response
+/// payload is then the raw TextExposition bytes, not a StatsResponse).
+struct StatsRpcRequest {
+  enum Format : uint8_t { kBinary = 0, kText = 1 };
+  uint8_t format = kBinary;
+};
+void Encode(const StatsRpcRequest& req, std::string* out);
+Result<StatsRpcRequest> DecodeStatsRpcRequest(std::string_view payload);
+
 struct OpcodeLatency {
   uint64_t count = 0;
   uint64_t p50_us = 0;
   uint64_t p90_us = 0;
   uint64_t p99_us = 0;
+  /// Admission-control outcomes for this opcode: requests shed at the
+  /// queue limit, and requests rejected because their deadline had
+  /// already expired when a worker picked them up.
+  uint64_t shed = 0;
+  uint64_t deadline_rejected = 0;
+};
+
+/// One slow-query-log entry: the K worst admitted requests by latency
+/// (obs::SlowQueryLog). `trace` is empty unless the request was traced.
+struct SlowQueryEntry {
+  uint64_t latency_us = 0;
+  uint64_t request_id = 0;
+  uint8_t opcode = 0;
+  std::string description;
+  std::string trace;
 };
 
 struct StatsResponse {
@@ -214,6 +255,8 @@ struct StatsResponse {
   // EngineStats: the aggregate SearchStats + buffer-pool counters.
   engine::SearchStats search;
   engine::BufferCounters buffer;
+  /// Worst admitted requests by latency, worst first.
+  std::vector<SlowQueryEntry> slow_queries;
 };
 void Encode(const StatsResponse& resp, std::string* out);
 Result<StatsResponse> DecodeStatsResponse(std::string_view payload);

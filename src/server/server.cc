@@ -34,6 +34,19 @@ bool SendAll(int fd, std::string_view data) {
   return true;
 }
 
+/// Slow-query-log description of a Search/OpenCursor request.
+std::string DescribeSearch(const char* verb, const SearchRpcRequest& req) {
+  std::string out(verb);
+  out += " view=";
+  out += req.view;
+  out += " keywords=";
+  for (size_t i = 0; i < req.keywords.size(); ++i) {
+    if (i > 0) out += ',';
+    out += req.keywords[i];
+  }
+  return out;
+}
+
 }  // namespace
 
 Server::Connection::~Connection() {
@@ -46,9 +59,67 @@ Server::Connection::~Connection() {
 Server::Server(service::QueryService* service, const ServerOptions& options)
     : service_(service),
       options_(options),
+      slow_log_(obs::SlowQueryLog::Options{options.slow_query_threshold_us,
+                                           options.slow_query_capacity}),
       pool_(options.worker_threads > 0
                 ? options.worker_threads
-                : static_cast<int>(std::thread::hardware_concurrency())) {}
+                : static_cast<int>(std::thread::hardware_concurrency())) {
+  RegisterServerMetrics();
+  // The service stack (cache, engine pool, buffer pools, live database)
+  // registers unlabeled; the RPC pool below distinguishes itself with a
+  // `pool` label so two ThreadPools share one metric name.
+  (void)service_->RegisterMetrics(&registry_);
+  (void)pool_.RegisterMetrics(&registry_, {{"pool", "rpc"}});
+}
+
+void Server::RegisterServerMetrics() {
+  using Kind = obs::MetricsRegistry::InstrumentKind;
+  auto read = [](const std::atomic<uint64_t>* value) {
+    return [value]() -> int64_t {
+      return static_cast<int64_t>(value->load(std::memory_order_relaxed));
+    };
+  };
+  struct Series {
+    const char* name;
+    Kind kind;
+    const std::atomic<uint64_t>* value;
+  };
+  const Series series[] = {
+      {"qv_server_admitted_total", Kind::kCounter, &admitted_},
+      {"qv_server_shed_total", Kind::kCounter, &shed_},
+      {"qv_server_deadline_rejected_total", Kind::kCounter,
+       &deadline_rejected_},
+      {"qv_server_connections_accepted_total", Kind::kCounter,
+       &conns_accepted_},
+      {"qv_server_connections_rejected_total", Kind::kCounter,
+       &conns_rejected_},
+      {"qv_server_frames_received_total", Kind::kCounter, &frames_in_},
+      {"qv_server_frames_sent_total", Kind::kCounter, &frames_out_},
+      {"qv_server_protocol_errors_total", Kind::kCounter, &protocol_errors_},
+      {"qv_server_queued", Kind::kGauge, &queued_},
+      {"qv_server_inflight", Kind::kGauge, &inflight_},
+      {"qv_server_open_cursors", Kind::kGauge, &open_cursors_},
+      {"qv_server_connections_open", Kind::kGauge, &conns_open_},
+  };
+  for (const Series& s : series) {
+    (void)registry_.RegisterCallback(s.name, {}, s.kind, read(s.value));
+  }
+  for (uint8_t op = kMinOpcode; op <= kMaxOpcode; ++op) {
+    obs::LabelSet labels{{"opcode", OpcodeName(static_cast<Opcode>(op))}};
+    (void)registry_.RegisterHistogram("qv_server_latency_us", labels,
+                                      &latency_[op]);
+    (void)registry_.RegisterCallback("qv_server_opcode_shed_total", labels,
+                                     Kind::kCounter, read(&op_shed_[op]));
+    (void)registry_.RegisterCallback("qv_server_opcode_deadline_rejected_total",
+                                     labels, Kind::kCounter,
+                                     read(&op_deadline_rejected_[op]));
+  }
+  (void)registry_.RegisterCallback(
+      "qv_server_slow_log_considered_total", {}, Kind::kCounter,
+      [this]() -> int64_t {
+        return static_cast<int64_t>(slow_log_.considered());
+      });
+}
 
 Server::~Server() { Stop(); }
 
@@ -238,7 +309,7 @@ void Server::ReaderLoop(const std::shared_ptr<Connection>& conn) {
 }
 
 void Server::CloseConnectionCursors(const std::shared_ptr<Connection>& conn) {
-  std::map<uint64_t, std::unique_ptr<engine::ResultCursor>> doomed;
+  std::map<uint64_t, CursorEntry> doomed;
   {
     qv::MutexLock lock(conn->cursor_mu);
     doomed.swap(conn->cursors);
@@ -260,13 +331,7 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn, Frame frame,
   // Stats and CloseCursor run inline on the reader thread: observability
   // and resource release must work even when the pool is saturated.
   if (opcode == Opcode::kStats || opcode == Opcode::kCloseCursor) {
-    Result<std::string> payload = RunOpcode(conn, frame, arrival);
-    if (payload.ok()) {
-      SendResponse(conn, opcode, frame.request_id, std::move(payload).value());
-    } else {
-      SendError(conn, opcode, frame.request_id, payload.status());
-    }
-    RecordLatency(opcode, arrival);
+    ExecuteRpc(conn, frame, arrival);
     return;
   }
   // Admission gate (CAS, not a lock: shedding must stay O(1) under the
@@ -276,6 +341,8 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn, Frame frame,
   for (;;) {
     if (queued >= options_.admission_queue_limit) {
       shed_.fetch_add(1, std::memory_order_relaxed);
+      op_shed_[static_cast<size_t>(opcode)].fetch_add(
+          1, std::memory_order_relaxed);
       SendError(conn, opcode, frame.request_id,
                 Status::ResourceExhausted(
                     "admission queue full (limit " +
@@ -299,19 +366,42 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn, Frame frame,
 
 void Server::ExecuteRpc(const std::shared_ptr<Connection>& conn,
                         const Frame& frame, Clock::time_point arrival) {
-  Result<std::string> payload = RunOpcode(conn, frame, arrival);
+  RpcObs obs;
+  Result<std::string> payload = RunOpcode(conn, frame, arrival, &obs);
   if (payload.ok()) {
-    SendResponse(conn, frame.opcode, frame.request_id,
-                 std::move(payload).value());
+    std::string body = std::move(payload).value();
+    uint8_t flags = 0;
+    // The trace crosses the wire only when the CLIENT asked (trace_all
+    // alone keeps it server-side, for the slow-query log).
+    if ((frame.flags & kFlagTrace) != 0 && !obs.trace.empty()) {
+      std::string wrapped;
+      EncodeTracedPayload(obs.trace, body, &wrapped);
+      body = std::move(wrapped);
+      flags = kFlagTrace;
+    }
+    SendResponse(conn, frame.opcode, frame.request_id, std::move(body), flags);
   } else {
     SendError(conn, frame.opcode, frame.request_id, payload.status());
   }
-  RecordLatency(frame.opcode, arrival);
+  const uint64_t elapsed_us = RecordLatency(frame.opcode, arrival);
+  obs::SlowQueryLog::Entry entry;
+  entry.latency_us = elapsed_us;
+  entry.request_id = frame.request_id;
+  entry.opcode = static_cast<uint8_t>(frame.opcode);
+  entry.description = obs.description.empty() ? OpcodeName(frame.opcode)
+                                              : std::move(obs.description);
+  entry.trace = std::move(obs.trace);
+  slow_log_.Record(std::move(entry));
 }
 
 Result<std::string> Server::RunOpcode(const std::shared_ptr<Connection>& conn,
                                       const Frame& frame,
-                                      Clock::time_point arrival) {
+                                      Clock::time_point arrival, RpcObs* obs) {
+  // Trace when the client asked or the server traces everything; the
+  // trace id IS the wire request id, so client- and server-side views of
+  // one request correlate by construction.
+  const bool traced =
+      (frame.flags & kFlagTrace) != 0 || options_.trace_all;
   // Turns a Search/OpenCursor request into a BatchQuery whose deadline
   // is the REMAINING budget: absolute from frame arrival, so queueing
   // time counts against it. Returns false when already expired.
@@ -344,27 +434,50 @@ Result<std::string> Server::RunOpcode(const std::shared_ptr<Connection>& conn,
     case Opcode::kSearch: {
       QUICKVIEW_ASSIGN_OR_RETURN(SearchRpcRequest req,
                                  DecodeSearchRpcRequest(frame.payload));
+      obs->description = DescribeSearch("search", req);
       service::BatchQuery query;
       if (!to_batch_query(req, &query)) {
         deadline_rejected_.fetch_add(1, std::memory_order_relaxed);
+        op_deadline_rejected_[static_cast<size_t>(frame.opcode)].fetch_add(
+            1, std::memory_order_relaxed);
         return Status::DeadlineExceeded("deadline expired before execution");
       }
-      QUICKVIEW_ASSIGN_OR_RETURN(engine::SearchResponse resp,
-                                 service_->SearchOne(query));
+      std::shared_ptr<obs::Trace> trace;
+      if (traced) {
+        trace = std::make_shared<obs::Trace>(frame.request_id);
+        query.trace = trace;
+      }
+      Result<engine::SearchResponse> resp = service_->SearchOne(query);
+      // SearchOne drained the cursor, so the trace is quiescent — its
+      // tree is complete through materialization. Serialized even on
+      // error: the slow-query log wants to explain failures too.
+      if (trace != nullptr) obs->trace = trace->Serialize();
+      if (!resp.ok()) return resp.status();
       std::string payload;
-      Encode(resp, &payload);
+      Encode(*resp, &payload);
       return payload;
     }
     case Opcode::kOpenCursor: {
       QUICKVIEW_ASSIGN_OR_RETURN(SearchRpcRequest req,
                                  DecodeSearchRpcRequest(frame.payload));
+      obs->description = DescribeSearch("open_cursor", req);
       service::BatchQuery query;
       if (!to_batch_query(req, &query)) {
         deadline_rejected_.fetch_add(1, std::memory_order_relaxed);
+        op_deadline_rejected_[static_cast<size_t>(frame.opcode)].fetch_add(
+            1, std::memory_order_relaxed);
         return Status::DeadlineExceeded("deadline expired before execution");
       }
-      QUICKVIEW_ASSIGN_OR_RETURN(std::unique_ptr<engine::ResultCursor> cursor,
-                                 service_->OpenSearch(query));
+      std::shared_ptr<obs::Trace> trace;
+      if (traced) {
+        trace = std::make_shared<obs::Trace>(frame.request_id);
+        query.trace = trace;
+      }
+      Result<std::unique_ptr<engine::ResultCursor>> opened =
+          service_->OpenSearch(query);
+      if (trace != nullptr) obs->trace = trace->Serialize();
+      if (!opened.ok()) return opened.status();
+      std::unique_ptr<engine::ResultCursor> cursor = std::move(opened).value();
       OpenCursorResponse resp;
       resp.matching = cursor->stats().search.matching_results;
       resp.pending = cursor->pending();
@@ -376,7 +489,10 @@ Result<std::string> Server::RunOpcode(const std::shared_ptr<Connection>& conn,
           return Status::Cancelled("connection closed");
         }
         resp.cursor_id = conn->next_cursor++;
-        conn->cursors[resp.cursor_id] = std::move(cursor);
+        // The trace stays with the cursor: FetchNext keeps growing the
+        // materialize span, and each traced fetch re-serializes the
+        // (bigger) tree.
+        conn->cursors[resp.cursor_id] = CursorEntry{std::move(cursor), trace};
       }
       open_cursors_.fetch_add(1, std::memory_order_relaxed);
       std::string payload;
@@ -388,7 +504,8 @@ Result<std::string> Server::RunOpcode(const std::shared_ptr<Connection>& conn,
                                  DecodeFetchNextRequest(frame.payload));
       // Cursor ops on one connection serialize under cursor_mu — holding
       // it across the fetch is what lets disconnect destroy cursors
-      // without racing an in-flight FetchNext.
+      // without racing an in-flight FetchNext (and is what makes the
+      // cursor's trace quiescent when we serialize it below).
       qv::MutexLock lock(conn->cursor_mu);
       auto it = conn->cursors.find(req.cursor_id);
       if (it == conn->cursors.end()) {
@@ -396,16 +513,19 @@ Result<std::string> Server::RunOpcode(const std::shared_ptr<Connection>& conn,
                                 std::to_string(req.cursor_id));
       }
       Result<std::vector<engine::SearchHit>> hits =
-          it->second->FetchNext(req.count);
+          it->second.cursor->FetchNext(req.count);
       if (!hits.ok()) {
         // A failed fetch leaves the cursor unspecified; retire it.
         conn->cursors.erase(it);
         open_cursors_.fetch_sub(1, std::memory_order_relaxed);
         return hits.status();
       }
+      if (it->second.trace != nullptr) {
+        obs->trace = it->second.trace->Serialize();
+      }
       FetchNextResponse resp;
       resp.hits = std::move(hits).value();
-      resp.done = it->second->Done();
+      resp.done = it->second.cursor->Done();
       std::string payload;
       Encode(resp, &payload);
       return payload;
@@ -435,8 +555,11 @@ Result<std::string> Server::RunOpcode(const std::shared_ptr<Connection>& conn,
       return std::string();
     }
     case Opcode::kStats: {
-      if (!frame.payload.empty()) {
-        return Status::ParseError("Stats request payload must be empty");
+      QUICKVIEW_ASSIGN_OR_RETURN(StatsRpcRequest req,
+                                 DecodeStatsRpcRequest(frame.payload));
+      if (req.format == StatsRpcRequest::kText) {
+        // Raw Prometheus exposition bytes, not a StatsResponse.
+        return registry_.TextExposition();
       }
       std::string payload;
       Encode(SnapshotStats(), &payload);
@@ -461,9 +584,10 @@ void Server::SendFrame(const std::shared_ptr<Connection>& conn,
 
 void Server::SendResponse(const std::shared_ptr<Connection>& conn,
                           Opcode opcode, uint64_t request_id,
-                          std::string payload) {
+                          std::string payload, uint8_t flags) {
   Frame frame;
   frame.opcode = opcode;
+  frame.flags = flags;
   frame.request_id = request_id;
   frame.payload = std::move(payload);
   SendFrame(conn, frame);
@@ -479,11 +603,12 @@ void Server::SendError(const std::shared_ptr<Connection>& conn, Opcode opcode,
   SendFrame(conn, frame);
 }
 
-void Server::RecordLatency(Opcode opcode, Clock::time_point arrival) {
+uint64_t Server::RecordLatency(Opcode opcode, Clock::time_point arrival) {
   const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
       Clock::now() - arrival);
-  latency_[static_cast<size_t>(opcode)].Record(
-      static_cast<uint64_t>(elapsed.count()));
+  const uint64_t elapsed_us = static_cast<uint64_t>(elapsed.count());
+  latency_[static_cast<size_t>(opcode)].Record(elapsed_us);
+  return elapsed_us;
 }
 
 StatsResponse Server::SnapshotStats() const {
@@ -501,10 +626,16 @@ StatsResponse Server::SnapshotStats() const {
   out.frames_sent = frames_out_.load(std::memory_order_relaxed);
   out.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   for (size_t i = 0; i < kOpcodeSlots; ++i) {
-    out.latency[i].count = latency_[i].count();
-    out.latency[i].p50_us = latency_[i].ValueAtQuantile(0.50);
-    out.latency[i].p90_us = latency_[i].ValueAtQuantile(0.90);
-    out.latency[i].p99_us = latency_[i].ValueAtQuantile(0.99);
+    // One consistent point-in-time snapshot per histogram: count and
+    // every quantile come from the same bucket state.
+    const HistogramSnapshot snap = latency_[i].Snapshot();
+    out.latency[i].count = snap.count;
+    out.latency[i].p50_us = snap.ValueAtQuantile(0.50);
+    out.latency[i].p90_us = snap.ValueAtQuantile(0.90);
+    out.latency[i].p99_us = snap.ValueAtQuantile(0.99);
+    out.latency[i].shed = op_shed_[i].load(std::memory_order_relaxed);
+    out.latency[i].deadline_rejected =
+        op_deadline_rejected_[i].load(std::memory_order_relaxed);
   }
   service::QueryService::Stats service_stats = service_->stats();
   out.queries = service_stats.queries;
@@ -515,6 +646,15 @@ StatsResponse Server::SnapshotStats() const {
   out.cache_evictions = service_stats.cache.evictions;
   out.search = service_stats.engine.search;
   out.buffer = service_stats.engine.buffer;
+  for (obs::SlowQueryLog::Entry& entry : slow_log_.Snapshot()) {
+    SlowQueryEntry wire;
+    wire.latency_us = entry.latency_us;
+    wire.request_id = entry.request_id;
+    wire.opcode = entry.opcode;
+    wire.description = std::move(entry.description);
+    wire.trace = std::move(entry.trace);
+    out.slow_queries.push_back(std::move(wire));
+  }
   return out;
 }
 

@@ -26,7 +26,13 @@
 // Observability: per-opcode log-bucketed latency histograms
 // (arrival -> response written) plus admission/shed/inflight/connection
 // counters, all returned by the kStats RPC alongside the service's own
-// QueryService::Stats.
+// QueryService::Stats. Every series also lives in an obs::MetricsRegistry
+// (server counters, per-opcode latency histograms, and everything the
+// QueryService stack registers), so `kStats format=text` answers with a
+// Prometheus exposition. Requests carrying kFlagTrace (or all of them,
+// with ServerOptions::trace_all) run with an obs::Trace whose request id
+// is the wire request id; the serialized span tree rides back on the
+// response and feeds the worst-K SlowQueryLog.
 #ifndef QUICKVIEW_SERVER_SERVER_H_
 #define QUICKVIEW_SERVER_SERVER_H_
 
@@ -44,6 +50,9 @@
 #include "common/sync.h"
 #include "common/thread_pool.h"
 #include "engine/result_cursor.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 #include "server/protocol.h"
 #include "service/query_service.h"
 
@@ -61,6 +70,15 @@ struct ServerOptions {
   /// Hard cap on concurrent connections; over it, accepts are rejected
   /// with a kResourceExhausted error frame and closed.
   size_t max_connections = 64;
+  /// Trace every request server-side, as if kFlagTrace were set — the
+  /// slow-query log then always carries span trees. Responses only echo
+  /// the trace back when the CLIENT set kFlagTrace on its request.
+  bool trace_all = false;
+  /// Slow-query log: completed requests at/above this latency compete
+  /// for the worst-K slots. 0 considers every request.
+  uint64_t slow_query_threshold_us = 0;
+  /// Worst-K capacity of the slow-query log; 0 disables it.
+  size_t slow_query_capacity = 8;
 };
 
 class Server {
@@ -92,7 +110,20 @@ class Server {
   /// The kStats answer, also available in-process.
   StatsResponse SnapshotStats() const;
 
+  /// The unified metrics registry (server + QueryService stack).
+  /// `kStats format=text` answers with MetricsText(); tools also dump it
+  /// on shutdown.
+  const obs::MetricsRegistry& registry() const { return registry_; }
+  std::string MetricsText() const { return registry_.TextExposition(); }
+
  private:
+  /// A server-side cursor plus the trace that produced it, so every
+  /// later FetchNext keeps attributing materialization work to the same
+  /// span tree.
+  struct CursorEntry {
+    std::unique_ptr<engine::ResultCursor> cursor;
+    std::shared_ptr<obs::Trace> trace;
+  };
   /// Per-connection state. Reader thread, worker tasks and the close
   /// path all hold a shared_ptr, so the fd closes exactly once — in the
   /// destructor, after the last user is gone (no fd-reuse races).
@@ -109,8 +140,7 @@ class Server {
     /// completes first or finds the cursor already gone — never touches
     /// a dying one.
     qv::Mutex cursor_mu;
-    std::map<uint64_t, std::unique_ptr<engine::ResultCursor>> cursors
-        QV_GUARDED_BY(cursor_mu);
+    std::map<uint64_t, CursorEntry> cursors QV_GUARDED_BY(cursor_mu);
     uint64_t next_cursor QV_GUARDED_BY(cursor_mu) = 1;
     /// Set when the peer disconnected or the server is stopping; writers
     /// skip the (dead) socket.
@@ -125,27 +155,45 @@ class Server {
   /// pass the admission gate and are submitted.
   void HandleFrame(const std::shared_ptr<Connection>& conn, Frame frame,
                    std::chrono::steady_clock::time_point arrival);
-  /// Executes one admitted pooled RPC on a worker thread.
+  /// Trace + description of one RPC, filled by RunOpcode and consumed by
+  /// the response path (traced payload) and the slow-query log.
+  struct RpcObs {
+    /// Serialized span tree; empty when the request ran untraced.
+    std::string trace;
+    /// Human-readable request summary for the slow-query log.
+    std::string description;
+  };
+
+  /// Runs one RPC end to end: execute, respond (wrapping the payload
+  /// with the span tree when the client asked for a trace), record
+  /// latency, offer the slow-query log. Used by workers and the inline
+  /// reader-thread path alike.
   void ExecuteRpc(const std::shared_ptr<Connection>& conn, const Frame& frame,
                   std::chrono::steady_clock::time_point arrival);
   /// Builds + executes the opcode's success payload; any error becomes
   /// an error frame. `arrival` anchors the request's absolute deadline.
   Result<std::string> RunOpcode(const std::shared_ptr<Connection>& conn,
                                 const Frame& frame,
-                                std::chrono::steady_clock::time_point arrival);
+                                std::chrono::steady_clock::time_point arrival,
+                                RpcObs* obs);
   /// Destroys every cursor the connection still holds (disconnect path).
   void CloseConnectionCursors(const std::shared_ptr<Connection>& conn);
 
   /// Writes one frame; on socket failure marks the connection closing.
   void SendFrame(const std::shared_ptr<Connection>& conn, const Frame& frame);
   void SendResponse(const std::shared_ptr<Connection>& conn, Opcode opcode,
-                    uint64_t request_id, std::string payload);
+                    uint64_t request_id, std::string payload,
+                    uint8_t flags = 0);
   void SendError(const std::shared_ptr<Connection>& conn, Opcode opcode,
                  uint64_t request_id, const Status& status);
   /// Response-written timestamp minus arrival, into the opcode's
-  /// histogram.
-  void RecordLatency(Opcode opcode,
-                     std::chrono::steady_clock::time_point arrival);
+  /// histogram; returns the elapsed microseconds.
+  uint64_t RecordLatency(Opcode opcode,
+                         std::chrono::steady_clock::time_point arrival);
+  /// Registers the server's own counters, gauges and per-opcode latency
+  /// histograms into registry_ (constructor-time; names are unique by
+  /// construction, so failure is a programming error).
+  void RegisterServerMetrics();
 
   service::QueryService* service_;
   ServerOptions options_;
@@ -178,6 +226,15 @@ class Server {
   std::atomic<uint64_t> frames_out_{0};
   std::atomic<uint64_t> protocol_errors_{0};
   Histogram latency_[kOpcodeSlots];
+  /// Per-opcode admission outcomes (slot 0 unused), alongside the
+  /// process-wide totals above.
+  std::atomic<uint64_t> op_shed_[kOpcodeSlots]{};
+  std::atomic<uint64_t> op_deadline_rejected_[kOpcodeSlots]{};
+
+  /// Unified registry: server series registered in the constructor, plus
+  /// everything QueryService::RegisterMetrics pulls in.
+  obs::MetricsRegistry registry_;
+  obs::SlowQueryLog slow_log_;
 
   ThreadPool pool_;  // last-ish: workers must stop before state above
 };

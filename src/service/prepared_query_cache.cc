@@ -33,11 +33,11 @@ std::shared_ptr<const engine::PreparedQuery> PreparedQueryCache::Get(
   qv::MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.Increment();
     return nullptr;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_.Increment();
   return it->second->prepared;
 }
 
@@ -58,7 +58,7 @@ void PreparedQueryCache::Put(
   total_entries_.fetch_add(1, std::memory_order_relaxed);
   shard.lru.push_front(Entry{key, std::move(prepared)});
   shard.index.emplace(key, shard.lru.begin());
-  insertions_.fetch_add(1, std::memory_order_relaxed);
+  insertions_.Increment();
   EvictLocked(&shard);
 }
 
@@ -79,7 +79,7 @@ void PreparedQueryCache::EvictLocked(Shard* shard) {
     total_entries_.fetch_sub(1, std::memory_order_relaxed);
     shard->index.erase(victim.key);
     shard->lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_.Increment();
   }
 }
 
@@ -97,10 +97,32 @@ void PreparedQueryCache::Clear() {
 }
 
 PreparedQueryCache::Stats PreparedQueryCache::stats() const {
-  return Stats{hits_.load(std::memory_order_relaxed),
-               misses_.load(std::memory_order_relaxed),
-               insertions_.load(std::memory_order_relaxed),
-               evictions_.load(std::memory_order_relaxed)};
+  return Stats{hits_.value(), misses_.value(), insertions_.value(),
+               evictions_.value()};
+}
+
+Status PreparedQueryCache::RegisterMetrics(obs::MetricsRegistry* registry,
+                                           obs::LabelSet labels) const {
+  QV_RETURN_IF_ERROR(
+      registry->RegisterCounter("qv_pdtcache_hits_total", labels, &hits_));
+  QV_RETURN_IF_ERROR(
+      registry->RegisterCounter("qv_pdtcache_misses_total", labels, &misses_));
+  QV_RETURN_IF_ERROR(registry->RegisterCounter("qv_pdtcache_insertions_total",
+                                               labels, &insertions_));
+  QV_RETURN_IF_ERROR(registry->RegisterCounter("qv_pdtcache_evictions_total",
+                                               labels, &evictions_));
+  QV_RETURN_IF_ERROR(registry->RegisterCallback(
+      "qv_pdtcache_entries", labels,
+      obs::MetricsRegistry::InstrumentKind::kGauge, [this]() -> int64_t {
+        return static_cast<int64_t>(
+            total_entries_.load(std::memory_order_relaxed));
+      }));
+  return registry->RegisterCallback(
+      "qv_pdtcache_bytes", labels,
+      obs::MetricsRegistry::InstrumentKind::kGauge, [this]() -> int64_t {
+        return static_cast<int64_t>(
+            total_bytes_.load(std::memory_order_relaxed));
+      });
 }
 
 size_t PreparedQueryCache::size() const {

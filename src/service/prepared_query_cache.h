@@ -29,6 +29,7 @@
 
 #include "common/sync.h"
 #include "engine/view_search_engine.h"
+#include "obs/metrics.h"
 
 namespace quickview::service {
 
@@ -45,7 +46,7 @@ class PreparedQueryCache {
     uint64_t max_bytes = 0;
   };
 
-  struct Stats {
+  struct Stats {  // lint:allow(adhoc-stats) snapshot view; cache registers obs:: instruments
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t insertions = 0;
@@ -66,8 +67,14 @@ class PreparedQueryCache {
   /// Drops every entry (in-flight queries keep their references alive).
   void Clear();
 
+  /// Thin view over the cache's registry instruments.
   Stats stats() const;
   size_t size() const;
+
+  /// Registers the cache's instruments (qv_pdtcache_*) under `labels`.
+  /// The cache must outlive the registry reads.
+  Status RegisterMetrics(obs::MetricsRegistry* registry,
+                         obs::LabelSet labels = {}) const;
 
  private:
   struct Entry {
@@ -89,10 +96,11 @@ class PreparedQueryCache {
   std::atomic<size_t> total_entries_{0};
   std::atomic<uint64_t> total_bytes_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
-  mutable std::atomic<uint64_t> hits_{0};
-  mutable std::atomic<uint64_t> misses_{0};
-  mutable std::atomic<uint64_t> insertions_{0};
-  mutable std::atomic<uint64_t> evictions_{0};
+  // Registry-native counters (relaxed atomics, lock-free reads).
+  mutable obs::Counter hits_;
+  mutable obs::Counter misses_;
+  mutable obs::Counter insertions_;
+  mutable obs::Counter evictions_;
 };
 
 }  // namespace quickview::service

@@ -76,7 +76,7 @@ Status QueryService::RegisterView(const std::string& name,
 
 Status QueryService::ApplyMutation(Mutation op, const std::string& name,
                                    const std::string& xml_text,
-                                   std::atomic<uint64_t>* counter) {
+                                   obs::Counter* counter) {
   if (live_ == nullptr) {
     return Status::InvalidArgument(
         "document mutations require a live-mode QueryService (constructed "
@@ -87,7 +87,7 @@ Status QueryService::ApplyMutation(Mutation op, const std::string& name,
                        ? live_->InsertDocument(name, xml_text)
                        : live_->RemoveDocument(name);
   QUICKVIEW_RETURN_IF_ERROR(applied);
-  counter->fetch_add(1, std::memory_order_relaxed);
+  counter->Increment();
   // Bump the data epoch of every view that reads `name` (or whose doc
   // set is unknown): their cache keys change, so stale PDTs can never
   // serve the new corpus state. Other views' entries stay warm.
@@ -113,7 +113,7 @@ Status QueryService::RemoveDocument(const std::string& name) {
 
 Result<std::unique_ptr<engine::ResultCursor>> QueryService::OpenSearch(
     const BatchQuery& query) {
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  queries_.Increment();
   // Boundary validation, hoisted into the ONE implementation every entry
   // point shares (SearchRequest::Validate): empty keyword list, zero
   // top_k and a nonsense shard hint are caller bugs, rejected with a
@@ -224,6 +224,7 @@ Result<std::unique_ptr<engine::ResultCursor>> QueryService::PrepareCursor(
   request.options = query.options;
   request.deadline = query.deadline;
   request.cancel = query.cancel;
+  request.trace = query.trace;
 
   std::shared_ptr<const engine::PreparedQuery> prepared = cache_.Get(key);
   const bool cache_hit = prepared != nullptr;
@@ -257,6 +258,7 @@ QueryService::PrepareShardedCursor(const BatchQuery& query) {
   request.shard = query.shard;
   request.deadline = query.deadline;
   request.cancel = query.cancel;
+  request.trace = query.trace;
 
   // Plan once on the calling thread for the cache key's signature (each
   // shard task re-plans from the same text inside Open, so every cached
@@ -406,9 +408,9 @@ void QueryService::FoldEngineStats(const engine::EngineStats& stats) {
 
 QueryService::Stats QueryService::stats() const {
   Stats out;
-  out.queries = queries_.load(std::memory_order_relaxed);
-  out.documents_inserted = inserts_.load(std::memory_order_relaxed);
-  out.documents_removed = removes_.load(std::memory_order_relaxed);
+  out.queries = queries_.value();
+  out.documents_inserted = inserts_.value();
+  out.documents_removed = removes_.value();
   out.cache = cache_.stats();
   {
     qv::MutexLock lock(stats_mu_);
@@ -434,6 +436,36 @@ QueryService::Stats QueryService::stats() const {
     add_pool(*pool_stats_);
   }
   return out;
+}
+
+Status QueryService::RegisterMetrics(obs::MetricsRegistry* registry,
+                                     obs::LabelSet labels) const {
+  QV_RETURN_IF_ERROR(registry->RegisterCounter("qv_service_queries_total",
+                                               labels, &queries_));
+  QV_RETURN_IF_ERROR(registry->RegisterCounter(
+      "qv_service_document_inserts_total", labels, &inserts_));
+  QV_RETURN_IF_ERROR(registry->RegisterCounter(
+      "qv_service_document_removes_total", labels, &removes_));
+  QV_RETURN_IF_ERROR(cache_.RegisterMetrics(registry, labels));
+  QV_RETURN_IF_ERROR(pool_.RegisterMetrics(registry, labels));
+  if (live_ != nullptr) {
+    QV_RETURN_IF_ERROR(live_->RegisterMetrics(registry, labels));
+  }
+  // Pools behind a sharded packed corpus register per shard — the label
+  // keeps N pools apart under one metric name (and is the worked
+  // example of the registry's label-series contract).
+  if (shards_ != nullptr) {
+    for (size_t i = 0; i < shards_->size(); ++i) {
+      if (shards_->shard(i).packed == nullptr) continue;
+      obs::LabelSet shard_labels = labels;
+      shard_labels.emplace_back("shard", std::to_string(i));
+      QV_RETURN_IF_ERROR(shards_->shard(i).packed->pool().RegisterMetrics(
+          registry, std::move(shard_labels)));
+    }
+  } else if (pool_stats_ != nullptr) {
+    QV_RETURN_IF_ERROR(pool_stats_->RegisterMetrics(registry, labels));
+  }
+  return Status::OK();
 }
 
 }  // namespace quickview::service

@@ -85,11 +85,14 @@ struct BatchQuery {
   /// SearchRequest::cancel (the server's per-request handle; see there
   /// for semantics). Left null, the engine makes a private one.
   std::shared_ptr<CancellationToken> cancel = nullptr;
+  /// Optional per-request trace, forwarded into SearchRequest::trace
+  /// (see there for the span tree the engine records). Null = off.
+  std::shared_ptr<obs::Trace> trace = nullptr;
 };
 
 class QueryService {
  public:
-  struct Stats {
+  struct Stats {  // lint:allow(adhoc-stats) snapshot view; service registers obs:: instruments
     uint64_t queries = 0;
     /// Successful live-mode mutations (zero in the static modes).
     uint64_t documents_inserted = 0;
@@ -189,6 +192,12 @@ class QueryService {
   Stats stats() const;
   int threads() const { return pool_.thread_count(); }
 
+  /// Registers the service's instruments (qv_service_*) plus those of
+  /// its PDT cache and thread pool into `registry`. Call once, after
+  /// construction; the service must outlive the registry reads.
+  Status RegisterMetrics(obs::MetricsRegistry* registry,
+                         obs::LabelSet labels = {}) const;
+
  private:
   struct RegisteredView {
     std::string text;
@@ -211,8 +220,7 @@ class QueryService {
   /// epoch d in a cache key always means "built from corpus state d")
   /// and `counter` advances.
   Status ApplyMutation(Mutation op, const std::string& name,
-                       const std::string& xml_text,
-                       std::atomic<uint64_t>* counter);
+                       const std::string& xml_text, obs::Counter* counter);
 
   /// The registered view's text and version pair, read under views_mu_.
   struct ViewSnapshot {
@@ -272,9 +280,10 @@ class QueryService {
   mutable qv::SharedMutex views_mu_;
   std::map<std::string, RegisteredView> views_ QV_GUARDED_BY(views_mu_);
   PreparedQueryCache cache_;
-  std::atomic<uint64_t> queries_{0};
-  std::atomic<uint64_t> inserts_{0};
-  std::atomic<uint64_t> removes_{0};
+  // Registry-native counters (stats() is a thin view over them).
+  obs::Counter queries_;
+  obs::Counter inserts_;
+  obs::Counter removes_;
   ThreadPool pool_;  // last: workers must stop before members above die
 };
 

@@ -43,7 +43,7 @@ namespace quickview::storage {
 class DocumentStore {
  public:
   /// A snapshot of (or a local accumulator for) access counters.
-  struct Stats {
+  struct Stats {  // lint:allow(adhoc-stats) snapshot view over the store's counters
     uint64_t fetch_calls = 0;
     uint64_t bytes_fetched = 0;
     /// Disk-backed stores only (always zero for in-memory backing).

@@ -14,7 +14,9 @@ LiveDatabase::LiveDatabase()
 LiveDatabase::LiveDatabase(std::shared_ptr<xml::Database> initial)
     : db_(std::move(initial)),
       indexes_(index::BuildDatabaseIndexes(*db_)),
-      store_(std::make_shared<const DocumentStore>(*db_)) {}
+      store_(std::make_shared<const DocumentStore>(*db_)) {
+  documents_.Set(static_cast<int64_t>(db_->documents().size()));
+}
 
 Status LiveDatabase::InsertDocument(const std::string& name,
                                     const std::string& xml_text) {
@@ -40,6 +42,8 @@ Status LiveDatabase::InsertDocument(const std::string& name,
   }
   db_->AddDocument(name, std::move(doc));
   store_ = std::make_shared<const DocumentStore>(*db_);
+  inserts_.Increment();
+  documents_.Set(static_cast<int64_t>(db_->documents().size()));
   return Status::OK();
 }
 
@@ -49,7 +53,18 @@ Status LiveDatabase::RemoveDocument(const std::string& name) {
   }
   indexes_->Remove(name);
   store_ = std::make_shared<const DocumentStore>(*db_);
+  removes_.Increment();
+  documents_.Set(static_cast<int64_t>(db_->documents().size()));
   return Status::OK();
+}
+
+Status LiveDatabase::RegisterMetrics(obs::MetricsRegistry* registry,
+                                     obs::LabelSet labels) const {
+  QV_RETURN_IF_ERROR(registry->RegisterCounter("qv_livedb_inserts_total",
+                                               labels, &inserts_));
+  QV_RETURN_IF_ERROR(registry->RegisterCounter("qv_livedb_removes_total",
+                                               labels, &removes_));
+  return registry->RegisterGauge("qv_livedb_documents", labels, &documents_);
 }
 
 std::vector<std::string> LiveDatabase::document_names() const {

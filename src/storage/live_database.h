@@ -43,6 +43,7 @@
 #include "common/result.h"
 #include "common/sync.h"
 #include "index/index_builder.h"
+#include "obs/metrics.h"
 #include "storage/document_store.h"
 #include "xml/dom.h"
 
@@ -98,11 +99,23 @@ class LiveDatabase {
 
   std::vector<std::string> document_names() const QV_REQUIRES_SHARED(mu_);
 
+  /// Registers the database's instruments (qv_livedb_*) under `labels`.
+  /// Safe without the corpus lock: the instruments are atomics
+  /// maintained by the mutation path. The database must outlive the
+  /// registry reads.
+  Status RegisterMetrics(obs::MetricsRegistry* registry,
+                         obs::LabelSet labels = {}) const;
+
  private:
   mutable qv::SharedMutex mu_;
   std::shared_ptr<xml::Database> db_ QV_GUARDED_BY(mu_);
   std::unique_ptr<index::DatabaseIndexes> indexes_ QV_GUARDED_BY(mu_);
   std::shared_ptr<const DocumentStore> store_ QV_GUARDED_BY(mu_);
+  // Registry-native instruments, maintained under the exclusive lock
+  // but readable lock-free (exposition never blocks on a mutation).
+  obs::Counter inserts_;   // successful InsertDocument calls
+  obs::Counter removes_;   // successful RemoveDocument calls
+  obs::Gauge documents_;   // current corpus size
 };
 
 }  // namespace quickview::storage

@@ -28,7 +28,7 @@ inline constexpr NodeIndex kInvalidNode = static_cast<NodeIndex>(-1);
 /// PDTs. For a 'c'-annotated node the subtree content is pruned away and
 /// summarized by `term_tf` (per query keyword) and `byte_length`; the
 /// original location is remembered for deferred materialization.
-struct NodeStats {
+struct NodeStats {  // lint:allow(adhoc-stats) per-document structural counts, not telemetry
   /// Subtree term frequency for each query keyword, by keyword position.
   std::vector<uint32_t> term_tf;
   /// Serialized byte length of the full (unpruned) subtree.

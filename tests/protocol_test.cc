@@ -387,5 +387,99 @@ TEST(ProtocolPayloadTest, StatsResponseRoundTrip) {
   EXPECT_FALSE(DecodeStatsResponse(payload + "x").ok());
 }
 
+TEST(ProtocolFrameTest, TraceFlagRoundTrips) {
+  Frame frame = MakeFrame(Opcode::kSearch, 7, "inner");
+  frame.flags = kFlagTrace;
+  const std::string wire = Encoded(frame);
+  Frame decoded;
+  size_t consumed = 0;
+  auto result = DecodeFrame(wire, &decoded, &consumed);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(*result, FrameDecode::kFrame);
+  EXPECT_EQ(decoded.flags, kFlagTrace);
+  EXPECT_EQ(decoded.payload, "inner");
+}
+
+TEST(ProtocolPayloadTest, TracedPayloadRoundTrip) {
+  const std::string trace = "trace 7\nrequest start=0us dur=5us\n";
+  const std::string inner("binary\0payload", 14);
+  std::string wrapped;
+  EncodeTracedPayload(trace, inner, &wrapped);
+  auto split = SplitTracedPayload(wrapped);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  EXPECT_EQ(split->trace, trace);
+  EXPECT_EQ(split->inner, inner);
+  // An empty trace and empty inner are both legal.
+  wrapped.clear();
+  EncodeTracedPayload("", "", &wrapped);
+  split = SplitTracedPayload(wrapped);
+  ASSERT_TRUE(split.ok());
+  EXPECT_TRUE(split->trace.empty());
+  EXPECT_TRUE(split->inner.empty());
+  // A length prefix pointing past the payload is a ParseError.
+  std::string bogus;
+  EncodeTracedPayload(trace, inner, &bogus);
+  bogus.resize(4 + trace.size() - 1);
+  EXPECT_EQ(SplitTracedPayload(bogus).status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(SplitTracedPayload("abc").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(ProtocolPayloadTest, StatsRpcRequestFormats) {
+  // The historical encoding — an empty payload — still means binary.
+  auto decoded = DecodeStatsRpcRequest(std::string_view());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->format, StatsRpcRequest::kBinary);
+  // Binary encodes AS the empty payload, keeping old servers compatible.
+  StatsRpcRequest req;
+  std::string payload;
+  Encode(req, &payload);
+  EXPECT_TRUE(payload.empty());
+  // Text is one explicit format byte.
+  req.format = StatsRpcRequest::kText;
+  Encode(req, &payload);
+  ASSERT_EQ(payload.size(), 1u);
+  decoded = DecodeStatsRpcRequest(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->format, StatsRpcRequest::kText);
+  // Unknown formats and trailing bytes are ParseError.
+  EXPECT_FALSE(DecodeStatsRpcRequest(std::string(1, '\x02')).ok());
+  EXPECT_FALSE(DecodeStatsRpcRequest("ab").ok());
+}
+
+TEST(ProtocolPayloadTest, StatsResponseCarriesAdmissionAndSlowQueries) {
+  StatsResponse resp;
+  OpcodeLatency& search = resp.latency[static_cast<size_t>(Opcode::kSearch)];
+  search.count = 10;
+  search.shed = 4;
+  search.deadline_rejected = 2;
+  SlowQueryEntry slow;
+  slow.latency_us = 125000;
+  slow.request_id = 42;
+  slow.opcode = static_cast<uint8_t>(Opcode::kSearch);
+  slow.description = "search view=default keywords=xml,search";
+  slow.trace = "trace 42\nrequest start=0us dur=125000us\n";
+  resp.slow_queries.push_back(slow);
+  resp.slow_queries.push_back(SlowQueryEntry{100, 7, 3, "open_cursor", ""});
+  std::string payload;
+  Encode(resp, &payload);
+  auto decoded = DecodeStatsResponse(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const OpcodeLatency& got =
+      decoded->latency[static_cast<size_t>(Opcode::kSearch)];
+  EXPECT_EQ(got.shed, 4u);
+  EXPECT_EQ(got.deadline_rejected, 2u);
+  ASSERT_EQ(decoded->slow_queries.size(), 2u);
+  EXPECT_EQ(decoded->slow_queries[0].latency_us, 125000u);
+  EXPECT_EQ(decoded->slow_queries[0].request_id, 42u);
+  EXPECT_EQ(decoded->slow_queries[0].description, slow.description);
+  EXPECT_EQ(decoded->slow_queries[0].trace, slow.trace);
+  EXPECT_EQ(decoded->slow_queries[1].opcode, 3u);
+  EXPECT_TRUE(decoded->slow_queries[1].trace.empty());
+  EXPECT_FALSE(DecodeStatsResponse(payload.substr(0, payload.size() - 3)).ok());
+  EXPECT_FALSE(DecodeStatsResponse(payload + "x").ok());
+}
+
 }  // namespace
 }  // namespace quickview::server

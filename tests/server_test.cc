@@ -287,7 +287,11 @@ TEST_F(ServerTest, FullAdmissionQueueShedsImmediately) {
   ASSERT_TRUE(DecodeStatusPayload(frame->payload, &shed).ok());
   EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
   EXPECT_NE(shed.message().find("admission queue full"), std::string::npos);
-  EXPECT_EQ(server->SnapshotStats().shed, 1u);
+  StatsResponse mid = server->SnapshotStats();
+  EXPECT_EQ(mid.shed, 1u);
+  // Shedding is attributed to the opcode that was shed.
+  EXPECT_EQ(mid.latency[static_cast<size_t>(Opcode::kSearch)].shed, 1u);
+  EXPECT_EQ(mid.latency[static_cast<size_t>(Opcode::kStats)].shed, 0u);
 
   // Release the pool: the two admitted requests complete normally.
   release->store(true, std::memory_order_release);
@@ -331,7 +335,11 @@ TEST_F(ServerTest, ExpiredDeadlineCrossesTheWireTyped) {
   Status expired;
   ASSERT_TRUE(DecodeStatusPayload(frame->payload, &expired).ok());
   EXPECT_EQ(expired.code(), StatusCode::kDeadlineExceeded);
-  EXPECT_EQ(server->SnapshotStats().deadline_rejected, 1u);
+  StatsResponse stats = server->SnapshotStats();
+  EXPECT_EQ(stats.deadline_rejected, 1u);
+  EXPECT_EQ(
+      stats.latency[static_cast<size_t>(Opcode::kSearch)].deadline_rejected,
+      1u);
 }
 
 TEST_F(ServerTest, ConnectionCapRejectsWithTypedError) {
@@ -383,6 +391,112 @@ TEST_F(ServerTest, LiveBackendMutatesOverTheWire) {
   EXPECT_EQ(stats->documents_inserted, 1u);
   EXPECT_EQ(stats->documents_removed, 1u);
   server.Stop();
+}
+
+TEST_F(ServerTest, TracedSearchReturnsCompleteSpanTree) {
+  auto server = StartServer();
+  Client client = ConnectTo(*server);
+  SearchRpcRequest request;
+  request.view = "default";
+  request.keywords = {"xml", "search"};
+  std::string trace;
+  auto response = client.Search(request, &trace);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_FALSE(response->hits.empty());
+  // The span tree crosses the wire and covers the whole pipeline: plan +
+  // PDT build + evaluation under the shard span, then merge, then hit
+  // materialization (kSearch drains its cursor server-side).
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.rfind("trace ", 0), 0u) << trace;
+  for (const char* span :
+       {"\n  shard shard=0", "\n    plan", "\n    build_pdts",
+        "\n    evaluate", "\n  merge", "\n  materialize"}) {
+    EXPECT_NE(trace.find(span), std::string::npos) << span << "\n" << trace;
+  }
+  // The same request untraced still answers with a plain payload.
+  auto plain = client.Search(request);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+}
+
+TEST_F(ServerTest, TracedCursorKeepsAttributingAcrossFetches) {
+  auto server = StartServer();
+  Client client = ConnectTo(*server);
+  SearchRpcRequest request;
+  request.view = "default";
+  request.keywords = {"xml"};
+  request.top_k = 10;
+  std::string open_trace;
+  auto opened = client.OpenCursor(request, &open_trace);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  // At open time nothing has been materialized yet.
+  ASSERT_FALSE(open_trace.empty());
+  EXPECT_NE(open_trace.find("\n  shard shard=0"), std::string::npos);
+  EXPECT_EQ(open_trace.find("materialize"), std::string::npos) << open_trace;
+  // The cursor keeps its trace: a traced fetch returns the grown tree.
+  std::string fetch_trace;
+  auto page = client.FetchNext(opened->cursor_id, 5, &fetch_trace);
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_NE(fetch_trace.find("\n  materialize"), std::string::npos)
+      << fetch_trace;
+  EXPECT_TRUE(client.CloseCursor(opened->cursor_id).ok());
+}
+
+TEST_F(ServerTest, StatsTextIsPrometheusExposition) {
+  auto server = StartServer();
+  Client client = ConnectTo(*server);
+  SearchRpcRequest request;
+  request.view = "default";
+  request.keywords = {"xml"};
+  ASSERT_TRUE(client.Search(request).ok());
+  auto text = client.StatsText();
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  // One registry spans every layer: server frames and per-opcode latency
+  // histograms next to the service, cache and buffer-pool series.
+  for (const char* needle :
+       {"# TYPE qv_server_frames_received_total counter",
+        "# TYPE qv_server_latency_us histogram", "opcode=\"Search\"",
+        "le=\"+Inf\"", "qv_service_queries_total 1",
+        "qv_threadpool_tasks_submitted_total{pool=\"rpc\"}",
+        "qv_pdtcache_misses_total 1"}) {
+    EXPECT_NE(text->find(needle), std::string::npos) << needle << "\n" << *text;
+  }
+  // The binary format is still the default on an empty payload.
+  auto binary = client.Stats();
+  ASSERT_TRUE(binary.ok()) << binary.status().ToString();
+  EXPECT_EQ(binary->queries, 1u);
+}
+
+TEST_F(ServerTest, SlowQueryLogSurfacesWorstRequests) {
+  ServerOptions options;
+  options.trace_all = true;
+  options.slow_query_capacity = 2;
+  auto server = StartServer(options);
+  Client client = ConnectTo(*server);
+  SearchRpcRequest request;
+  request.view = "default";
+  request.keywords = {"xml"};
+  for (int i = 0; i < 5; ++i) {
+    auto response = client.Search(request);  // never sets kFlagTrace
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+  }
+  StatsResponse stats = server->SnapshotStats();
+  ASSERT_EQ(stats.slow_queries.size(), 2u);  // worst-K, not last-K
+  EXPECT_GE(stats.slow_queries[0].latency_us, stats.slow_queries[1].latency_us);
+  for (const SlowQueryEntry& entry : stats.slow_queries) {
+    EXPECT_EQ(entry.opcode, static_cast<uint8_t>(Opcode::kSearch));
+    EXPECT_NE(entry.description.find("search view=default keywords=xml"),
+              std::string::npos)
+        << entry.description;
+    // trace_all traced the request server-side even though the client
+    // never asked, so the log can explain the latency.
+    EXPECT_NE(entry.trace.find("shard"), std::string::npos) << entry.trace;
+  }
+  // The log crosses the wire in the binary Stats payload.
+  auto wire = client.Stats();
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  ASSERT_EQ(wire->slow_queries.size(), 2u);
+  EXPECT_EQ(wire->slow_queries[0].opcode,
+            static_cast<uint8_t>(Opcode::kSearch));
 }
 
 TEST_F(ServerTest, StopWithConnectedClientsIsClean) {

@@ -31,6 +31,16 @@ raw-durability  fsync / fdatasync / pwrite outside src/pagestore/. All
                 stray fsync elsewhere bypasses its write/flush protocol
                 (and, once the WAL lands, its group-commit batching).
 
+adhoc-stats     A new `struct FooStats` / `struct FooCounters`
+                declaration under src/ outside src/obs/. Process-wide
+                telemetry belongs in obs::MetricsRegistry instruments
+                (Counter / Gauge / Histogram) so it appears in the
+                Prometheus text exposition and the Stats RPC instead of
+                growing another hand-rolled snapshot struct. Genuine
+                per-request value types (EngineStats and friends, wire
+                structs, baseline measurement records) carry a waiver
+                naming why they are data, not telemetry.
+
 raw-socket      socket / bind / listen / accept / connect / recv / send
                 (and friends) outside src/server/. All network I/O goes
                 through the framed protocol in src/server/ — Server on
@@ -75,6 +85,8 @@ SOCKET_CALL = (
     r"(?:::)?\b(?:socket|bind|listen|accept4?|connect|recv|send|sendto|"
     r"recvfrom|setsockopt|getsockopt|getsockname|shutdown|"
     r"epoll_create1?|epoll_ctl|epoll_wait)\s*\(")
+
+ADHOC_STATS = re.compile(r"^\s*struct\s+\w*(?:Stats|Counters)\b")
 
 RESULT_DECL = re.compile(r"\bResult<.*>\s+(\w+)\s*(?:=|\{|\(|;)")
 VALUE_USE = re.compile(r"(?:std::move\s*\(\s*)?\b(\w+)\s*\)?\s*\.\s*value\s*\(\s*\)")
@@ -161,6 +173,17 @@ def check_file(rel_path, raw_lines, findings):
                         (rel_path, i + 1, "raw-durability",
                          "durability syscall outside src/pagestore/; all "
                          "fsync/pwrite belong to the storage engine"))
+
+    # --- adhoc-stats ------------------------------------------------------
+    if norm.startswith("src/") and not norm.startswith("src/obs/"):
+        for i, line in enumerate(code):
+            if ADHOC_STATS.match(line):
+                if not allowed(raw_lines[i], "adhoc-stats"):
+                    findings.append(
+                        (rel_path, i + 1, "adhoc-stats",
+                         "ad-hoc stats struct; register obs:: Counter/"
+                         "Gauge/Histogram instruments instead (waive "
+                         "per-request value types with a justification)"))
 
     # --- raw-socket -------------------------------------------------------
     if not norm.startswith("src/server/"):
@@ -256,6 +279,20 @@ SELFTEST_CASES = [
     ("raw-socket", "tools/x.cc", '  Log("about socket()");', False),
     ("raw-socket", "src/storage/x.cc",
      "  ::shutdown(fd, SHUT_RDWR);  // lint:allow(raw-socket) interop",
+     False),
+    ("adhoc-stats", "src/foo/bar.h", "struct FooStats {", True),
+    ("adhoc-stats", "src/foo/bar.h", "  struct Stats {", True),
+    ("adhoc-stats", "src/foo/bar.cc", "struct IoCounters {", True),
+    # The registry's own instruments live in src/obs/.
+    ("adhoc-stats", "src/obs/metrics.h", "struct FooStats {", False),
+    # Tools/tests/bench report their own run-local numbers freely.
+    ("adhoc-stats", "tools/x.cc", "struct RunStats {", False),
+    # Suffix must be a whole word: Statistics / StatsResponse-style
+    # uses inside a name do not match.
+    ("adhoc-stats", "src/foo/bar.h", "struct Statistics {", False),
+    ("adhoc-stats", "src/foo/bar.h", "struct StatsResponseView {", False),
+    ("adhoc-stats", "src/foo/bar.h",
+     "struct FooStats {  // lint:allow(adhoc-stats) per-request values",
      False),
     ("unchecked-value", "src/foo/bar.cc",
      "void F() {\n  Result<int> r = G();\n  Use(r.value());\n}", True),

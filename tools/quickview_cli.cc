@@ -23,8 +23,12 @@
 //       [--threads N]
 //       [--top N] [--any] [--repeat R] [--page N] [--frames N]
 //       [--shards N] [--colocate tag] [--demo-view] [--deadline-ms N]
+//       [--trace]
 //       (--deadline-ms bounds each query's wall clock; expiry fails the
 //       query DeadlineExceeded through the engine's cancellation token)
+//       (--trace runs every query under an obs::Trace and prints each
+//       span-tree breakdown — plan/build_pdts/evaluate per shard, merge,
+//       materialize — after the result line)
 //       (or: quickview_cli serve --demo)
 //       Batch mode: read one keyword query per stdin line (comma-
 //       separated keywords), execute the whole batch concurrently on a
@@ -71,6 +75,7 @@
 #include "pagestore/pack.h"
 #include "pagestore/packed_db.h"
 #include "pagestore/shard_pack.h"
+#include "obs/trace.h"
 #include "service/query_service.h"
 #include "storage/document_store.h"
 #include "storage/persistence.h"
@@ -102,7 +107,7 @@ int Usage() {
                "  quickview_cli serve <db-dir>|<db.qvpack>|<db.qvset>|--demo "
                "--view <file>|--demo-view [--threads N] [--top N] [--any] "
                "[--repeat R] [--page N] [--frames N] [--shards N] "
-               "[--colocate tag] [--deadline-ms N]\n"
+               "[--colocate tag] [--deadline-ms N] [--trace]\n"
                "    (keyword queries on stdin, one comma-separated "
                "list per line)\n"
                "  quickview_cli page [<db.qvpack>|<db.qvset>] "
@@ -130,6 +135,7 @@ struct Flags {
   bool demo_view = false;  // use the built-in books/reviews view text
   int shards = 0;          // 0 = unsharded; N >= 1 partitions the corpus
   std::string colocate;    // join-key tag for shard co-location
+  bool trace = false;      // serve: print per-query span-tree breakdowns
 };
 
 /// Strict non-negative integer parse; false on junk or overflow (flag
@@ -200,6 +206,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
     } else if (arg == "--deadline-ms") {
       const char* v = next();
       if (!ParseCount(v, 1 << 30, &flags->deadline_ms)) return false;
+    } else if (arg == "--trace") {
+      flags->trace = true;
     } else if (arg == "--demo-view") {
       flags->demo_view = true;
     } else if (arg == "--shards") {
@@ -666,8 +674,12 @@ int CmdServe(const Flags& flags) {
                    "thread; --threads/--repeat are ignored\n");
     }
     int failures = 0;
-    for (const service::BatchQuery& query : batch) {
+    uint64_t trace_id = 0;
+    for (service::BatchQuery& query : batch) {
       const std::string joined = JoinStrings(query.keywords, ",");
+      if (flags.trace) {
+        query.trace = std::make_shared<obs::Trace>(++trace_id);
+      }
       auto cursor = query_service->OpenSearch(query);
       if (!cursor.ok()) {
         ++failures;
@@ -699,6 +711,9 @@ int CmdServe(const Flags& flags) {
           "%llu store fetches\n",
           joined.c_str(), (*cursor)->fetched(), s.matching_results,
           page_no, static_cast<unsigned long long>(s.store_fetches));
+      if (query.trace != nullptr) {
+        std::printf("%s", query.trace->Serialize().c_str());
+      }
     }
     service::QueryService::Stats stats = query_service->stats();
     std::printf("streamed %zu queries; cache hits %llu misses %llu\n",
@@ -713,6 +728,13 @@ int CmdServe(const Flags& flags) {
   batch.reserve(unique_queries * static_cast<size_t>(flags.repeat));
   for (int r = 1; r < flags.repeat; ++r) {
     for (size_t i = 0; i < unique_queries; ++i) batch.push_back(batch[i]);
+  }
+  if (flags.trace) {
+    // Traces are per-entry, AFTER replication — repeated copies of one
+    // query must not interleave their spans into a shared tree.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      batch[i].trace = std::make_shared<obs::Trace>(i + 1);
+    }
   }
 
   auto start = std::chrono::steady_clock::now();
@@ -734,6 +756,9 @@ int CmdServe(const Flags& flags) {
     std::printf("[%s] %zu/%zu results, top score %.4f\n", joined.c_str(),
                 r.stats.matching_results, r.stats.view_results,
                 r.hits.empty() ? 0.0 : r.hits[0].score);
+    if (batch[i].trace != nullptr) {
+      std::printf("%s", batch[i].trace->Serialize().c_str());
+    }
   }
   for (size_t i = unique_queries; i < responses.size(); ++i) {
     if (!responses[i].ok()) ++failures;

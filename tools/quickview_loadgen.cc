@@ -3,11 +3,14 @@
 //
 //   quickview_loadgen --port P [--host H] [--connections N] [--requests N]
 //       [--qps N] [--paged-every N] [--page N] [--deadline-ms N] [--top N]
-//       [--any] [--view NAME] [--keywords k1,k2[;k3,k4;...]]
+//       [--any] [--view NAME] [--keywords k1,k2[;k3,k4;...]] [--trace]
 //
 // Prints throughput, the latency percentile ladder, and the typed error
 // split, then issues one final Stats RPC so smoke tests can assert on
-// server-side counters without a second tool.
+// server-side counters without a second tool. --trace follows up with
+// one traced Search per keyword set and prints the server's span-tree
+// breakdown (plan / build_pdts / evaluate per shard, merge,
+// materialize) flame-style.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -32,7 +35,7 @@ int Usage() {
       "usage: quickview_loadgen --port P [--host H] [--connections N]\n"
       "    [--requests N] [--qps N] [--paged-every N] [--page N]\n"
       "    [--deadline-ms N] [--top N] [--any] [--view NAME]\n"
-      "    [--keywords k1,k2[;k3,k4;...]]\n");
+      "    [--keywords k1,k2[;k3,k4;...]] [--trace]\n");
   return 2;
 }
 
@@ -49,7 +52,8 @@ bool ParseCount(const char* text, long long max_value, long long* out) {
   return true;
 }
 
-bool ParseFlags(int argc, char** argv, server::LoadOptions* options) {
+bool ParseFlags(int argc, char** argv, server::LoadOptions* options,
+                bool* trace) {
   bool have_port = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -86,6 +90,8 @@ bool ParseFlags(int argc, char** argv, server::LoadOptions* options) {
     } else if (arg == "--top") {
       if (!ParseCount(next(), 1 << 20, &value) || value == 0) return false;
       options->top_k = static_cast<uint32_t>(value);
+    } else if (arg == "--trace") {
+      *trace = true;
     } else if (arg == "--any") {
       options->conjunctive = false;
     } else if (arg == "--all") {
@@ -118,7 +124,8 @@ bool ParseFlags(int argc, char** argv, server::LoadOptions* options) {
 
 int main(int argc, char** argv) {
   server::LoadOptions options;
-  if (!ParseFlags(argc, argv, &options)) return Usage();
+  bool trace = false;
+  if (!ParseFlags(argc, argv, &options, &trace)) return Usage();
 
   auto report = server::RunLoadDriver(options);
   if (!report.ok()) return Fail(report.status());
@@ -158,5 +165,29 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats->open_cursors),
       static_cast<unsigned long long>(stats->protocol_errors),
       static_cast<unsigned long long>(stats->queries));
+
+  if (trace) {
+    // One traced request per keyword set: the server's span tree is the
+    // flame-style "where did the time go" answer for this workload.
+    std::vector<std::vector<std::string>> sets = options.keyword_sets;
+    if (sets.empty()) sets.push_back({"xml", "search"});
+    for (const std::vector<std::string>& keywords : sets) {
+      server::SearchRpcRequest request;
+      request.view = options.view;
+      request.keywords = keywords;
+      request.top_k = options.top_k;
+      request.conjunctive = options.conjunctive;
+      std::string span_tree;
+      auto traced = client.Search(request, &span_tree);
+      if (!traced.ok()) return Fail(traced.status());
+      std::string label;
+      for (const std::string& keyword : keywords) {
+        if (!label.empty()) label += ',';
+        label += keyword;
+      }
+      std::printf("trace breakdown [%s]:\n%s", label.c_str(),
+                  span_tree.c_str());
+    }
+  }
   return 0;
 }

@@ -5,7 +5,7 @@
 //       [--host H] [--port P] [--port-file F]
 //       [--threads N] [--workers N] [--admission-limit N] [--max-conns N]
 //       [--frames N] [--shards N] [--colocate tag] [--live]
-//       [--view <file>]
+//       [--view <file>] [--trace-all] [--slow-threshold-us N] [--slow-log N]
 //
 // With no source (or --demo) it serves the built-in books/reviews
 // corpus. --live wraps an in-memory corpus in a LiveDatabase so Insert/
@@ -16,7 +16,13 @@
 // --port 0 (the default) binds an ephemeral port; --port-file writes
 // "<port>\n" once listening, which is how the smoke test and local
 // scripts find the server. SIGINT/SIGTERM shut down cleanly: stop
-// accepting, close connections, drain workers, print final stats.
+// accepting, close connections, drain workers, then print final stats
+// (per-opcode latency/shed/deadline table + slow-query log) and dump
+// the full Prometheus exposition of the metrics registry.
+//
+// --trace-all traces every request server-side so slow-query-log
+// entries carry span trees; --slow-threshold-us / --slow-log tune what
+// the log considers and how many worst requests it keeps.
 #include <csignal>
 #include <cstdio>
 #include <fstream>
@@ -50,7 +56,8 @@ int Usage() {
       "usage: quickview_server [<db-dir>|<db.qvpack>|<db.qvset>] [--demo]\n"
       "    [--host H] [--port P] [--port-file F] [--threads N] [--workers N]\n"
       "    [--admission-limit N] [--max-conns N] [--frames N] [--shards N]\n"
-      "    [--colocate tag] [--live] [--view <file>]\n");
+      "    [--colocate tag] [--live] [--view <file>] [--trace-all]\n"
+      "    [--slow-threshold-us N] [--slow-log N]\n");
   return 2;
 }
 
@@ -69,6 +76,9 @@ struct Flags {
   size_t frames = 256;
   int shards = 0;
   std::string colocate;
+  bool trace_all = false;
+  long long slow_threshold_us = 0;
+  long long slow_log = 8;
 };
 
 /// Strict non-negative integer parse; false on junk or overflow.
@@ -138,6 +148,14 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       const char* v = next();
       if (v == nullptr) return false;
       flags->colocate = v;
+    } else if (arg == "--trace-all") {
+      flags->trace_all = true;
+    } else if (arg == "--slow-threshold-us") {
+      if (!ParseCount(next(), 1LL << 40, &flags->slow_threshold_us)) {
+        return false;
+      }
+    } else if (arg == "--slow-log") {
+      if (!ParseCount(next(), 1 << 20, &flags->slow_log)) return false;
     } else {
       flags->positional.push_back(std::move(arg));
     }
@@ -258,18 +276,35 @@ void PrintFinalStats(const server::StatsResponse& stats) {
       static_cast<unsigned long long>(stats.frames_sent));
   for (uint8_t op = server::kMinOpcode; op <= server::kMaxOpcode; ++op) {
     const server::OpcodeLatency& l = stats.latency[op];
-    if (l.count == 0) continue;
-    std::printf("  %-12s %8llu calls  p50 %lluus  p90 %lluus  p99 %lluus\n",
-                server::OpcodeName(static_cast<server::Opcode>(op)),
-                static_cast<unsigned long long>(l.count),
-                static_cast<unsigned long long>(l.p50_us),
-                static_cast<unsigned long long>(l.p90_us),
-                static_cast<unsigned long long>(l.p99_us));
+    if (l.count == 0 && l.shed == 0 && l.deadline_rejected == 0) continue;
+    std::printf(
+        "  %-12s %8llu calls  p50 %lluus  p90 %lluus  p99 %lluus  "
+        "shed %llu  deadline-rejected %llu\n",
+        server::OpcodeName(static_cast<server::Opcode>(op)),
+        static_cast<unsigned long long>(l.count),
+        static_cast<unsigned long long>(l.p50_us),
+        static_cast<unsigned long long>(l.p90_us),
+        static_cast<unsigned long long>(l.p99_us),
+        static_cast<unsigned long long>(l.shed),
+        static_cast<unsigned long long>(l.deadline_rejected));
   }
   std::printf("service: %llu queries, cache hits %llu misses %llu\n",
               static_cast<unsigned long long>(stats.queries),
               static_cast<unsigned long long>(stats.cache_hits),
               static_cast<unsigned long long>(stats.cache_misses));
+  if (!stats.slow_queries.empty()) {
+    std::printf("slow queries (worst first):\n");
+    for (const server::SlowQueryEntry& entry : stats.slow_queries) {
+      std::printf("  %8lluus  id=%llu  %s  %s\n",
+                  static_cast<unsigned long long>(entry.latency_us),
+                  static_cast<unsigned long long>(entry.request_id),
+                  server::OpcodeName(static_cast<server::Opcode>(entry.opcode)),
+                  entry.description.c_str());
+      if (!entry.trace.empty()) {
+        std::printf("%s", entry.trace.c_str());
+      }
+    }
+  }
 }
 
 int Run(const Flags& flags) {
@@ -303,6 +338,10 @@ int Run(const Flags& flags) {
   options.worker_threads = flags.workers;
   options.admission_queue_limit = static_cast<size_t>(flags.admission_limit);
   options.max_connections = static_cast<size_t>(flags.max_conns);
+  options.trace_all = flags.trace_all;
+  options.slow_query_threshold_us =
+      static_cast<uint64_t>(flags.slow_threshold_us);
+  options.slow_query_capacity = static_cast<size_t>(flags.slow_log);
   server::Server server(backend->service.get(), options);
   Status started = server.Start();
   if (!started.ok()) return Fail(started);
@@ -326,6 +365,8 @@ int Run(const Flags& flags) {
   std::printf("caught signal %d, shutting down\n", signal_number);
   server.Stop();
   PrintFinalStats(server.SnapshotStats());
+  // The same bytes `kStats format=text` serves — scrapeable post-mortem.
+  std::printf("metrics exposition:\n%s", server.MetricsText().c_str());
   return 0;
 }
 
