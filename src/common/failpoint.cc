@@ -1,0 +1,73 @@
+#include "common/failpoint.h"
+
+#include <unistd.h>
+
+namespace quickview::fail {
+
+namespace internal {
+std::atomic<bool> g_armed{false};
+}  // namespace internal
+
+namespace {
+
+// Remaining crossings before the crash; claimed with fetch_sub so exactly
+// one thread observes the 1 -> 0 transition.
+std::atomic<int64_t> g_countdown{0};
+std::atomic<int64_t> g_hits{0};
+std::atomic<uint64_t> g_torn_seed{0};
+
+// True when this crossing is the armed one.
+bool ClaimHit() {
+  g_hits.fetch_add(1, std::memory_order_relaxed);
+  return g_countdown.fetch_sub(1, std::memory_order_acq_rel) == 1;
+}
+
+}  // namespace
+
+void ArmCrash(int64_t countdown, uint64_t torn_seed) {
+  g_hits.store(0, std::memory_order_relaxed);
+  g_torn_seed.store(torn_seed, std::memory_order_relaxed);
+  g_countdown.store(countdown, std::memory_order_relaxed);
+  internal::g_armed.store(countdown > 0, std::memory_order_release);
+}
+
+void Disarm() {
+  internal::g_armed.store(false, std::memory_order_release);
+  g_countdown.store(0, std::memory_order_relaxed);
+}
+
+int64_t Hits() { return g_hits.load(std::memory_order_relaxed); }
+
+void InjectHit(const char* site) {
+  (void)site;
+  if (ClaimHit()) _exit(kCrashExitCode);
+}
+
+bool MaybeTornWrite(const char* site, int fd, const void* data, size_t size) {
+  (void)site;
+  if (!Armed() || !ClaimHit()) return false;
+  if (size > 1) {
+    // splitmix64 over (seed, hit count): deterministic per trial, a
+    // different strict prefix per crossing.
+    uint64_t x = g_torn_seed.load(std::memory_order_relaxed) +
+                 0x9e3779b97f4a7c15ull *
+                     static_cast<uint64_t>(g_hits.load(
+                         std::memory_order_relaxed));
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    size_t prefix = static_cast<size_t>(x % size);  // in [0, size)
+    const char* p = static_cast<const char*>(data);
+    size_t off = 0;
+    while (off < prefix) {
+      ssize_t n = ::write(fd, p + off, prefix - off);
+      if (n <= 0) break;  // crashing anyway; a short torn write is fine
+      off += static_cast<size_t>(n);
+    }
+  }
+  _exit(kCrashExitCode);
+}
+
+}  // namespace quickview::fail

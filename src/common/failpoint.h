@@ -1,0 +1,82 @@
+// Crash-injection failpoints — the chaos hooks behind the WAL crash
+// harness (tests/wal_crash_test.cc), replacing ad-hoc test plumbing with
+// one registry the production code can carry permanently.
+//
+//   QUICKVIEW_INJECT("wal.commit.before_sync");
+//
+// compiles to a single relaxed atomic load when nothing is armed — cheap
+// enough to leave in release builds, the same bargain OceanBase strikes
+// with its tracepoint macro. A test arms the registry with a countdown:
+//
+//   quickview::fail::ArmCrash(/*countdown=*/17, /*torn_seed=*/42);
+//
+// and the 17th injection point the process crosses calls _exit(
+// kCrashExitCode) — no destructors, no buffered-stream flushes, exactly
+// the state a power failure leaves behind (modulo the page cache, which
+// a parent process observing the file after the child's exit sees in
+// full — so "durable" from the harness's point of view means "was
+// actually written", which is what the injection points probe).
+//
+// Write-site variant: MaybeTornWrite() sits where the WAL issues its
+// batch write. When the countdown expires there, it writes a
+// pseudo-random strict prefix of the in-flight buffer and exits —
+// simulating the torn tail a mid-append crash leaves on disk.
+//
+// Thread safety: arming/disarming and hits are all atomics; countdown
+// expiry is claimed with a fetch_sub so exactly one thread crashes.
+#ifndef QUICKVIEW_COMMON_FAILPOINT_H_
+#define QUICKVIEW_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace quickview::fail {
+
+/// Exit code of an injected crash; the harness's waitpid distinguishes it
+/// from asserts/sanitizer aborts.
+inline constexpr int kCrashExitCode = 61;
+
+namespace internal {
+extern std::atomic<bool> g_armed;
+}  // namespace internal
+
+/// True when a crash countdown is armed. One relaxed load — the only
+/// cost QUICKVIEW_INJECT pays when injection is off.
+inline bool Armed() {
+  return internal::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Arms the registry: the `countdown`-th injection point crossed from now
+/// (1-based, across all threads) crashes the process. `torn_seed` feeds
+/// the prefix-length PRNG of MaybeTornWrite.
+void ArmCrash(int64_t countdown, uint64_t torn_seed = 0);
+
+/// Disarms; pending countdowns are forgotten.
+void Disarm();
+
+/// Injection points crossed while armed (test observability).
+int64_t Hits();
+
+/// Called by QUICKVIEW_INJECT when armed: counts the hit and crashes via
+/// _exit(kCrashExitCode) if the countdown expired at `site`.
+void InjectHit(const char* site);
+
+/// Write-shaped injection point. Disarmed or countdown not expired:
+/// returns false and writes nothing — the caller performs its own full
+/// write. Countdown expired: writes a pseudo-random strict prefix of
+/// [data, data+size) to `fd` and _exit()s, never returning.
+bool MaybeTornWrite(const char* site, int fd, const void* data, size_t size);
+
+}  // namespace quickview::fail
+
+/// A crash-injection point. Free when disarmed; under an armed countdown
+/// the chosen crossing _exit()s the process.
+#define QUICKVIEW_INJECT(site)                   \
+  do {                                           \
+    if (quickview::fail::Armed()) {              \
+      quickview::fail::InjectHit(site);          \
+    }                                            \
+  } while (0)
+
+#endif  // QUICKVIEW_COMMON_FAILPOINT_H_

@@ -1,59 +1,28 @@
 #include "pagestore/delta_log.h"
 
-#include <filesystem>
-#include <fstream>
-#include <sstream>
+#include <memory>
+#include <utility>
 
 #include "pagestore/page.h"
+#include "pagestore/wal.h"
 #include "xml/parser.h"
 
 namespace quickview::pagestore {
 
 namespace {
 
-constexpr char kMagic[] = "QVDELTA1";
-constexpr size_t kMagicSize = 8;
-
-uint32_t RecordChecksum(std::string_view record_bytes) {
-  uint32_t h = 2166136261u;
-  for (char c : record_bytes) {
-    h ^= static_cast<uint8_t>(c);
-    h *= 16777619u;
-  }
-  return h;
-}
-
-std::string EncodeRecord(bool tombstone, const std::string& name,
-                         const std::string& xml_text) {
-  std::string record;
-  record.push_back(tombstone ? 't' : 'i');
-  AppendU32(&record, static_cast<uint32_t>(name.size()));
-  record.append(name);
-  AppendU64(&record, static_cast<uint64_t>(xml_text.size()));
-  record.append(xml_text);
-  AppendU32(&record, RecordChecksum(record));
-  return record;
-}
-
-Status AppendRecord(const std::string& pack_path, const std::string& record) {
-  const std::string log_path = DeltaLogPath(pack_path);
-  // The magic goes first whenever the log has no bytes yet — NOT merely
-  // when the file is absent: a zero-byte log (crash between the creating
-  // open and the first write) must heal on the next append instead of
-  // accumulating magic-less records that poison every later open.
-  std::error_code ec;
-  uintmax_t size = std::filesystem::file_size(log_path, ec);
-  bool has_header = !ec && size > 0;
-  std::ofstream out(log_path, std::ios::binary | std::ios::app);
-  if (!out) {
-    return Status::Internal("cannot open delta log " + log_path);
-  }
-  if (!has_header) out.write(kMagic, kMagicSize);
-  out.write(record.data(), static_cast<std::streamsize>(record.size()));
-  out.flush();
-  if (!out) {
-    return Status::Internal("short write to delta log " + log_path);
-  }
+Status AppendDurably(const std::string& pack_path, const DeltaRecord& record) {
+  // Opening the WAL re-runs recovery, so an append after a crash first
+  // truncates any torn tail — the log self-heals on the write path. Each
+  // append is one contiguous write on the WAL's O_APPEND fd (the first
+  // one carries the magic), fdatasync'd before Append returns: the
+  // probe-then-open header heal and the buffered two-write append of the
+  // old ad-hoc appender are gone.
+  QUICKVIEW_ASSIGN_OR_RETURN(std::unique_ptr<Wal> wal,
+                             Wal::Open(DeltaLogPath(pack_path)));
+  QUICKVIEW_ASSIGN_OR_RETURN(uint64_t seq,
+                             wal->Append(EncodeDeltaPayload(record)));
+  (void)seq;
   return Status::OK();
 }
 
@@ -61,6 +30,44 @@ Status AppendRecord(const std::string& pack_path, const std::string& record) {
 
 std::string DeltaLogPath(const std::string& pack_path) {
   return pack_path + ".delta";
+}
+
+std::string EncodeDeltaPayload(const DeltaRecord& record) {
+  std::string payload;
+  payload.push_back(record.tombstone ? 't' : 'i');
+  AppendU32(&payload, static_cast<uint32_t>(record.name.size()));
+  payload.append(record.name);
+  AppendU64(&payload, static_cast<uint64_t>(record.xml.size()));
+  payload.append(record.xml);
+  return payload;
+}
+
+Result<DeltaRecord> DecodeDeltaPayload(std::string_view payload) {
+  if (payload.empty()) {
+    return Status::ParseError("delta payload is empty");
+  }
+  size_t pos = 0;
+  char type = payload[pos++];
+  if (type != 'i' && type != 't') {
+    return Status::ParseError("delta payload has unknown record type '" +
+                              std::string(1, type) + "'");
+  }
+  DeltaRecord record;
+  record.tombstone = type == 't';
+  uint32_t name_len = 0;
+  uint64_t xml_len = 0;
+  if (!ReadU32(payload, &pos, &name_len) ||
+      payload.size() - pos < name_len) {
+    return Status::ParseError("delta payload has a truncated name");
+  }
+  record.name.assign(payload.substr(pos, name_len));
+  pos += name_len;
+  if (!ReadU64(payload, &pos, &xml_len) ||
+      payload.size() - pos != xml_len) {
+    return Status::ParseError("delta payload has a malformed body length");
+  }
+  record.xml.assign(payload.substr(pos, static_cast<size_t>(xml_len)));
+  return record;
 }
 
 Status PackAppend(const std::string& pack_path, const std::string& name,
@@ -71,73 +78,30 @@ Status PackAppend(const std::string& pack_path, const std::string& name,
   // Validate at the write boundary: a record that cannot replay would
   // poison every later open of the pack.
   QUICKVIEW_RETURN_IF_ERROR(xml::ParseXml(xml_text));
-  return AppendRecord(pack_path, EncodeRecord(/*tombstone=*/false, name,
-                                              xml_text));
+  DeltaRecord record;
+  record.name = name;
+  record.xml = xml_text;
+  return AppendDurably(pack_path, record);
 }
 
 Status PackTombstone(const std::string& pack_path, const std::string& name) {
   if (name.empty()) {
     return Status::InvalidArgument("document name must not be empty");
   }
-  return AppendRecord(pack_path,
-                      EncodeRecord(/*tombstone=*/true, name, std::string()));
+  DeltaRecord record;
+  record.tombstone = true;
+  record.name = name;
+  return AppendDurably(pack_path, record);
 }
 
 Result<std::vector<DeltaRecord>> ReadDeltaLog(const std::string& pack_path) {
-  const std::string log_path = DeltaLogPath(pack_path);
-  std::ifstream in(log_path, std::ios::binary);
-  if (!in) return std::vector<DeltaRecord>();
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string bytes = buffer.str();
-
-  if (bytes.size() < kMagicSize ||
-      bytes.compare(0, kMagicSize, kMagic, kMagicSize) != 0) {
-    return Status::ParseError("delta log " + log_path +
-                              " has a bad magic header");
-  }
+  QUICKVIEW_ASSIGN_OR_RETURN(WalReplay replay,
+                             ReplayWal(DeltaLogPath(pack_path)));
   std::vector<DeltaRecord> records;
-  size_t pos = kMagicSize;
-  while (pos < bytes.size()) {
-    const size_t record_start = pos;
-    if (bytes.size() - pos < 1) break;
-    char type = bytes[pos++];
-    if (type != 'i' && type != 't') {
-      return Status::ParseError("delta log " + log_path +
-                                ": unknown record type at byte " +
-                                std::to_string(record_start));
-    }
-    uint32_t name_len = 0;
-    uint64_t xml_len = 0;
-    DeltaRecord record;
-    record.tombstone = type == 't';
-    if (!ReadU32(bytes, &pos, &name_len) || bytes.size() - pos < name_len) {
-      return Status::ParseError("delta log " + log_path +
-                                ": truncated record at byte " +
-                                std::to_string(record_start));
-    }
-    record.name.assign(bytes, pos, name_len);
-    pos += name_len;
-    if (!ReadU64(bytes, &pos, &xml_len) || bytes.size() - pos < xml_len) {
-      return Status::ParseError("delta log " + log_path +
-                                ": truncated record at byte " +
-                                std::to_string(record_start));
-    }
-    record.xml.assign(bytes, pos, static_cast<size_t>(xml_len));
-    pos += static_cast<size_t>(xml_len);
-    uint32_t stored_checksum = 0;
-    if (!ReadU32(bytes, &pos, &stored_checksum)) {
-      return Status::ParseError("delta log " + log_path +
-                                ": truncated checksum at byte " +
-                                std::to_string(record_start));
-    }
-    uint32_t computed = RecordChecksum(
-        std::string_view(bytes).substr(record_start, pos - 4 - record_start));
-    if (computed != stored_checksum) {
-      return Status::ParseError("delta log " + log_path +
-                                ": checksum mismatch at byte " +
-                                std::to_string(record_start));
-    }
+  records.reserve(replay.payloads.size());
+  for (const std::string& payload : replay.payloads) {
+    QUICKVIEW_ASSIGN_OR_RETURN(DeltaRecord record,
+                               DecodeDeltaPayload(payload));
     records.push_back(std::move(record));
   }
   return records;

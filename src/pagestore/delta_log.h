@@ -6,18 +6,24 @@
 // log into a fresh pack, byte-identical to packing the final corpus
 // directly.
 //
-// File layout: 8-byte magic "QVDELTA1", then per record
+// The log IS a write-ahead log: records ride pagestore/wal.h frames
+// (sequenced, length-prefixed, checksummed, committed by one contiguous
+// write + fdatasync), with the document payload encoded as
 //   u8 type ('i' insert | 't' tombstone) | u32 name_len | name |
-//   u64 xml_len | xml | u32 FNV-1a checksum of everything before it.
-// Records are self-checksummed so a torn append or bit rot surfaces as a
-// ParseError at open, never as a silently wrong corpus.
+//   u64 xml_len | xml.
+// Recovery at open follows the WAL's position rule: a torn FINAL record
+// (the one a crash mid-append leaves behind) is truncated away and the
+// committed prefix recovered; corruption with bytes following — a
+// mid-log checksum mismatch or sequence break — is ParseError, never a
+// silent repair.
 //
-// Concurrency: single writer, append-only; readers see the log only at
-// PackedDb::Open time (reopen to observe later appends).
+// Concurrency: single writer per path, append-only; readers see the log
+// only at PackedDb::Open time (reopen to observe later appends).
 #ifndef QUICKVIEW_PAGESTORE_DELTA_LOG_H_
 #define QUICKVIEW_PAGESTORE_DELTA_LOG_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -33,19 +39,31 @@ struct DeltaRecord {
 /// The side-log path for a pack: `pack_path` + ".delta".
 std::string DeltaLogPath(const std::string& pack_path);
 
+/// The WAL payload encoding of one record (the frame around it — seq,
+/// length, checksum — is pagestore/wal.h's business).
+std::string EncodeDeltaPayload(const DeltaRecord& record);
+
+/// Decodes a committed WAL payload. ParseError on a malformed payload —
+/// the frame checksum already passed, so this is a writer bug or
+/// corruption, never a torn append.
+Result<DeltaRecord> DecodeDeltaPayload(std::string_view payload);
+
 /// Appends an inserted (or replaced) document to the pack's delta log,
-/// creating the log if needed. The XML is parsed first: a malformed
-/// document fails here, at the write boundary, and appends nothing.
+/// creating the log if needed, durable (fdatasync) before returning. The
+/// XML is parsed first: a malformed document fails here, at the write
+/// boundary, and appends nothing.
 Status PackAppend(const std::string& pack_path, const std::string& name,
                   const std::string& xml_text);
 
 /// Appends a tombstone: `name` is deleted from the corpus (whether it
-/// lives in the base pack or in an earlier log record).
+/// lives in the base pack or in an earlier log record). Durable before
+/// returning.
 Status PackTombstone(const std::string& pack_path, const std::string& name);
 
-/// Reads every record of the pack's delta log in append order. Returns an
-/// empty vector when no log exists; ParseError on a corrupt or truncated
-/// log.
+/// Reads every committed record of the pack's delta log in append order.
+/// Returns an empty vector when no log exists; a torn tail is dropped
+/// (without modifying the file — the next writer truncates it); only
+/// non-tail corruption is ParseError.
 Result<std::vector<DeltaRecord>> ReadDeltaLog(const std::string& pack_path);
 
 }  // namespace quickview::pagestore

@@ -12,6 +12,7 @@
 #include "pagestore/disk_btree.h"
 #include "pagestore/packed_db.h"
 #include "pagestore/paged_file.h"
+#include "pagestore/wal.h"
 #include "xml/serializer.h"
 
 namespace quickview::pagestore {
@@ -269,11 +270,26 @@ Status CompactPack(const std::string& in_path, const std::string& out_path) {
   }
   std::unique_ptr<index::DatabaseIndexes> indexes =
       index::BuildDatabaseIndexes(database);
-  QUICKVIEW_RETURN_IF_ERROR(PackDatabase(database, *indexes, out_path));
+  // Build the output to the side and publish it with one atomic rename:
+  // a crash mid-compact must never leave a truncated .qvpack at out_path
+  // that is indistinguishable from a complete one. PagedFileWriter
+  // fsyncs the temp file in Finish; the rename plus directory fsync make
+  // the swap itself durable.
+  const std::string tmp_path = out_path + ".compact.tmp";
+  std::remove(tmp_path.c_str());
+  QUICKVIEW_RETURN_IF_ERROR(PackDatabase(database, *indexes, tmp_path));
   // The compacted pack IS the folded state; an old side log lying next
-  // to the output would replay on top of it at the next open.
+  // to the output would replay on top of it at the next open. Drop it
+  // BEFORE the rename: a crash between the two leaves out_path
+  // unpublished (old state intact minus a log that only made sense over
+  // the pre-compaction pack), whereas the reverse order could publish
+  // the fresh pack with the stale log still replaying on top of it.
   std::remove(DeltaLogPath(out_path).c_str());
-  return Status::OK();
+  QUICKVIEW_RETURN_IF_ERROR(SyncParentDirectory(out_path));
+  if (std::rename(tmp_path.c_str(), out_path.c_str()) != 0) {
+    return Status::Internal("cannot rename " + tmp_path + " to " + out_path);
+  }
+  return SyncParentDirectory(out_path);
 }
 
 }  // namespace quickview::pagestore

@@ -1,0 +1,331 @@
+#include "pagestore/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "pagestore/page.h"
+
+namespace quickview::pagestore {
+
+namespace {
+
+constexpr char kWalMagic[] = "QVWAL001";
+constexpr size_t kMagicSize = 8;
+// u32 payload_len | u64 seq before the payload, u32 checksum after it.
+constexpr size_t kFrameHeaderSize = 12;
+constexpr size_t kFrameTrailerSize = 4;
+// Far above any document this engine ingests; a "length" beyond it can
+// only be garbage, and the frame it starts will not fit the file anyway.
+constexpr uint32_t kMaxWalPayload = 1u << 30;
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  // Same justification as pagestore/paged_file.cc: glibc strerror returns
+  // thread-local storage and the two strerror_r signatures are not worth
+  // an error path under the log's single-leader invariant.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+uint32_t WalChecksum(std::string_view bytes) {
+  uint32_t h = 2166136261u;
+  for (char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+std::string EncodeFrame(uint64_t seq, std::string_view payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size() + kFrameTrailerSize);
+  AppendU32(&frame, static_cast<uint32_t>(payload.size()));
+  AppendU64(&frame, seq);
+  frame.append(payload);
+  AppendU32(&frame, WalChecksum(frame));
+  return frame;
+}
+
+/// The shared recovery scan. Classifies damage by position: anything
+/// that prevents completing the FINAL record is a torn tail (recover the
+/// prefix); the same damage with bytes after it is fatal.
+Result<WalReplay> ScanWal(std::string_view bytes, const std::string& path) {
+  WalReplay replay;
+  if (bytes.empty()) return replay;
+  if (bytes.size() < kMagicSize) {
+    // A crash tore the very first append inside the magic itself.
+    replay.tail_truncated = true;
+    replay.dropped_bytes = bytes.size();
+    return replay;
+  }
+  if (bytes.compare(0, kMagicSize, kWalMagic, kMagicSize) != 0) {
+    return Status::ParseError("wal " + path + " has a bad magic header");
+  }
+  size_t pos = kMagicSize;
+  replay.committed_bytes = pos;
+  while (pos < bytes.size()) {
+    const size_t remaining = bytes.size() - pos;
+    uint32_t payload_len = 0;
+    uint64_t seq = 0;
+    size_t cursor = pos;
+    uint64_t frame_size = 0;
+    bool fits = remaining >= kFrameHeaderSize && ReadU32(bytes, &cursor,
+                                                        &payload_len);
+    if (fits) {
+      fits = ReadU64(bytes, &cursor, &seq);
+      frame_size = kFrameHeaderSize + static_cast<uint64_t>(payload_len) +
+                   kFrameTrailerSize;
+      fits = fits && payload_len <= kMaxWalPayload && remaining >= frame_size;
+    }
+    if (!fits) {
+      replay.tail_truncated = true;
+      replay.dropped_bytes = remaining;
+      return replay;
+    }
+    const std::string_view body =
+        bytes.substr(pos, kFrameHeaderSize + payload_len);
+    cursor = pos + kFrameHeaderSize + payload_len;
+    uint32_t stored = 0;
+    ReadU32(bytes, &cursor, &stored);
+    if (WalChecksum(body) != stored) {
+      if (pos + frame_size == bytes.size()) {
+        // Nothing follows: a torn (or bit-rotted — indistinguishable)
+        // final record. Recover the committed prefix.
+        replay.tail_truncated = true;
+        replay.dropped_bytes = remaining;
+        return replay;
+      }
+      return Status::ParseError(
+          "wal " + path + ": checksum mismatch at byte " +
+          std::to_string(pos) + " with " +
+          std::to_string(bytes.size() - pos - frame_size) +
+          " bytes following");
+    }
+    if (seq != replay.last_seq + 1) {
+      // A checksum-valid record with the wrong sequence number was never
+      // torn — the log is corrupt or spliced. Never auto-repair.
+      return Status::ParseError(
+          "wal " + path + ": sequence break at byte " + std::to_string(pos) +
+          " (record " + std::to_string(seq) + " after " +
+          std::to_string(replay.last_seq) + ")");
+    }
+    replay.payloads.emplace_back(body.substr(kFrameHeaderSize));
+    replay.last_seq = seq;
+    pos += frame_size;
+    replay.committed_bytes = pos;
+  }
+  return replay;
+}
+
+Result<std::string> ReadWholeFile(int fd, const std::string& path) {
+  std::string bytes;
+  char buf[1 << 16];
+  off_t off = 0;
+  for (;;) {
+    ssize_t n = ::pread(fd, buf, sizeof buf, off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(ErrnoMessage("cannot read wal", path));
+    }
+    if (n == 0) return bytes;
+    bytes.append(buf, static_cast<size_t>(n));
+    off += n;
+  }
+}
+
+}  // namespace
+
+Result<WalReplay> ReplayWal(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return WalReplay();
+    return Status::Internal(ErrnoMessage("cannot open wal", path));
+  }
+  Result<std::string> bytes = ReadWholeFile(fd, path);
+  ::close(fd);
+  QUICKVIEW_RETURN_IF_ERROR(bytes);
+  return ScanWal(*bytes, path);
+}
+
+Status SyncParentDirectory(const std::string& path) {
+  std::string dir = std::filesystem::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Internal(ErrnoMessage("cannot open directory", dir));
+  }
+  int rc = ::fsync(fd);
+  int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = saved_errno;
+    return Status::Internal(ErrnoMessage("fsync failed on directory", dir));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
+                                       const WalOptions& options) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Status::Internal(ErrnoMessage("cannot open wal", path));
+  }
+  Result<std::string> bytes = ReadWholeFile(fd, path);
+  if (!bytes.ok()) {
+    ::close(fd);
+    return bytes.status();
+  }
+  Result<WalReplay> replay = ScanWal(*bytes, path);
+  if (!replay.ok()) {
+    ::close(fd);
+    return replay.status();
+  }
+  if (replay->committed_bytes < bytes->size()) {
+    // Drop the torn tail for real, so the next append starts exactly at
+    // the committed prefix.
+    if (::ftruncate(fd, static_cast<off_t>(replay->committed_bytes)) != 0) {
+      Status failed =
+          Status::Internal(ErrnoMessage("cannot truncate torn wal", path));
+      ::close(fd);
+      return failed;
+    }
+    if (options.sync && ::fdatasync(fd) != 0) {
+      Status failed =
+          Status::Internal(ErrnoMessage("fdatasync failed on", path));
+      ::close(fd);
+      return failed;
+    }
+  }
+  if (options.sync) {
+    // The creating open above may have minted the directory entry.
+    Status dir_sync = SyncParentDirectory(path);
+    if (!dir_sync.ok()) {
+      ::close(fd);
+      return dir_sync;
+    }
+  }
+  return std::unique_ptr<Wal>(
+      new Wal(path, fd, options, *std::move(replay)));
+}
+
+Wal::Wal(std::string path, int fd, const WalOptions& options,
+         WalReplay replay)
+    : path_(std::move(path)),
+      fd_(fd),
+      options_(options),
+      replay_(std::move(replay)),
+      next_seq_(replay_.last_seq + 1),
+      file_bytes_(replay_.committed_bytes) {
+  replayed_records_.Set(static_cast<int64_t>(replay_.payloads.size()));
+  torn_dropped_bytes_.Set(static_cast<int64_t>(replay_.dropped_bytes));
+}
+
+Wal::~Wal() { ::close(fd_); }
+
+Status Wal::WriteAndSync(const std::string& buf) {
+  QUICKVIEW_INJECT("wal.commit.before_write");
+  if (fail::MaybeTornWrite("wal.commit.torn_write", fd_, buf.data(),
+                           buf.size())) {
+    return Status::Internal("unreachable: torn write injection returned");
+  }
+  size_t off = 0;
+  while (off < buf.size()) {
+    ssize_t n = ::write(fd_, buf.data() + off, buf.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(ErrnoMessage("write failed on", path_));
+    }
+    off += static_cast<size_t>(n);
+  }
+  QUICKVIEW_INJECT("wal.commit.before_sync");
+  if (options_.sync) {
+    if (::fdatasync(fd_) != 0) {
+      return Status::Internal(ErrnoMessage("fdatasync failed on", path_));
+    }
+    syncs_.Increment();
+  }
+  QUICKVIEW_INJECT("wal.commit.after_sync");
+  return Status::OK();
+}
+
+Result<uint64_t> Wal::Append(std::string_view payload,
+                             const std::function<Status()>& apply) {
+  if (payload.empty() || payload.size() > kMaxWalPayload) {
+    return Status::InvalidArgument("wal payload must be 1.." +
+                                   std::to_string(kMaxWalPayload) + " bytes");
+  }
+  Waiter me;
+  if (apply) me.apply = &apply;
+  qv::MutexLock lock(mu_);
+  if (!broken_.ok()) return broken_;
+  me.seq = next_seq_++;
+  me.frame = EncodeFrame(me.seq, payload);
+  queue_.push_back(&me);
+  if (leader_active_) {
+    // A leader is committing; it will pick this record up in its next
+    // batch (that is the group: everyone who arrived during its I/O).
+    while (!me.done) cv_.Wait(lock);
+  } else {
+    leader_active_ = true;
+    while (!queue_.empty()) {
+      std::vector<Waiter*> batch;
+      if (options_.group_commit) {
+        batch.swap(queue_);
+      } else {
+        // Per-record mode: one write+sync per record, same protocol.
+        batch.push_back(queue_.front());
+        queue_.erase(queue_.begin());
+      }
+      std::string buf;
+      if (file_bytes_ == 0) buf.append(kWalMagic, kMagicSize);
+      for (Waiter* w : batch) buf.append(w->frame);
+      lock.Unlock();
+      Status io = WriteAndSync(buf);
+      for (Waiter* w : batch) {
+        w->result = io;
+        if (io.ok() && w->apply != nullptr) w->result = (*w->apply)();
+      }
+      lock.Lock();
+      if (io.ok()) {
+        file_bytes_ += buf.size();
+        appends_.Increment(batch.size());
+        batches_.Increment();
+        group_size_.Record(batch.size());
+      } else {
+        // The file may now end in a torn frame; only a reopen (which
+        // truncates it) may append again.
+        broken_ = io;
+      }
+      for (Waiter* w : batch) w->done = true;
+      cv_.NotifyAll();
+    }
+    leader_active_ = false;
+  }
+  QUICKVIEW_RETURN_IF_ERROR(me.result);
+  return me.seq;
+}
+
+Status Wal::RegisterMetrics(obs::MetricsRegistry* registry,
+                            obs::LabelSet labels) const {
+  QV_RETURN_IF_ERROR(
+      registry->RegisterCounter("qv_wal_appends_total", labels, &appends_));
+  QV_RETURN_IF_ERROR(
+      registry->RegisterCounter("qv_wal_syncs_total", labels, &syncs_));
+  QV_RETURN_IF_ERROR(registry->RegisterCounter("qv_wal_commit_batches_total",
+                                               labels, &batches_));
+  QV_RETURN_IF_ERROR(registry->RegisterHistogram("qv_wal_group_size", labels,
+                                                 &group_size_));
+  QV_RETURN_IF_ERROR(registry->RegisterGauge("qv_wal_replayed_records",
+                                             labels, &replayed_records_));
+  return registry->RegisterGauge("qv_wal_torn_dropped_bytes", labels,
+                                 &torn_dropped_bytes_);
+}
+
+}  // namespace quickview::pagestore

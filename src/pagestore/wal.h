@@ -1,0 +1,162 @@
+// Write-ahead log: the durability backbone of the mutable engine. The
+// `.delta` side log (pagestore/delta_log.h) and LiveDatabase's durable
+// mutation path both write through this one class, which owns the three
+// guarantees the old ad-hoc appender lacked:
+//
+//   Durability   every Append returns only after its record reached
+//                stable storage via fdatasync on an O_APPEND fd —
+//                never a buffered flush into the page cache.
+//   Atomicity    each commit is ONE contiguous write() (the first one
+//                carries the 8-byte magic), so concurrent appenders can
+//                never interleave partial records or double-write the
+//                header, and a crash tears at most the final write.
+//   Group commit concurrent appenders are batched: the first into the
+//                critical section becomes the leader, drains every
+//                staged record into one write+fdatasync, runs the
+//                batch's apply callbacks in sequence order, and wakes
+//                the followers — amortizing the fsync (the dominant
+//                ingest cost) across all of them.
+//
+// File layout: 8-byte magic "QVWAL001", then per record
+//   u32 payload_len | u64 seq | payload | u32 FNV-1a over the first
+//   12 + payload_len bytes.
+// `seq` increases by exactly 1 per record, starting at 1.
+//
+// Recovery: opening scans the file and classifies damage by position.
+// A record that cannot be completed — short frame, or checksum mismatch
+// with NOTHING after it — is a torn tail: the committed prefix is
+// recovered, the tail truncated, and the log stays writable. The same
+// damage with bytes following (mid-log corruption, a sequence break, a
+// malformed frame that checksums clean) is fatal ParseError: silent
+// repair there would drop acknowledged commits.
+//
+// Checkpointing is pagestore/pack.h CompactPack: fold base + log into a
+// fresh pack (written atomically: temp file + fsync + rename + directory
+// fsync), after which the log is deleted and sequence numbers restart.
+#ifndef QUICKVIEW_PAGESTORE_WAL_H_
+#define QUICKVIEW_PAGESTORE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/result.h"
+#include "common/sync.h"
+#include "obs/metrics.h"
+
+namespace quickview::pagestore {
+
+struct WalOptions {
+  /// Batch concurrent appenders into one write+fdatasync. When false
+  /// every record pays its own sync — the configuration bench_wal_ingest
+  /// compares group commit against.
+  bool group_commit = true;
+  /// Issue fdatasync at all. Off only for tests/benches that isolate
+  /// framing cost; an acknowledged append is then NOT crash-durable.
+  bool sync = true;
+};
+
+/// What a recovery scan found. `payloads` are the committed records in
+/// append order; a torn tail (if any) has already been classified and —
+/// on the Wal::Open path — physically truncated away.
+struct WalReplay {
+  std::vector<std::string> payloads;
+  uint64_t last_seq = 0;         // seq of the last committed record
+  uint64_t committed_bytes = 0;  // file prefix holding the records
+  bool tail_truncated = false;   // a torn tail was dropped
+  uint64_t dropped_bytes = 0;    // its size
+};
+
+/// Read-only recovery scan: never modifies the file. A missing file is
+/// an empty replay. ParseError only for non-tail corruption.
+Result<WalReplay> ReplayWal(const std::string& path);
+
+/// fsyncs the directory holding `path`, making a created or renamed
+/// directory entry itself durable (fsync of the file alone does not).
+Status SyncParentDirectory(const std::string& path);
+
+class Wal {
+ public:
+  /// Opens (creating if absent) the log at `path`, recovers the
+  /// committed prefix, truncates any torn tail, and fsyncs the parent
+  /// directory so the log file survives a crash of its creator.
+  /// Single writer per path: two Wal instances on one file may
+  /// double-write the magic.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& path,
+                                           const WalOptions& options = {});
+
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Durably appends `payload`, returning its sequence number once the
+  /// record — and every record batched with it — is on stable storage.
+  /// `apply`, when provided, runs exactly once after durability, in
+  /// sequence order with every other append's callback (it may run on
+  /// the batch leader's thread); its error becomes this call's return
+  /// value, with the record already durable. An I/O failure fails the
+  /// whole batch and poisons the log: every later Append is rejected
+  /// (the file may hold a torn frame only a reopen may truncate).
+  Result<uint64_t> Append(std::string_view payload,
+                          const std::function<Status()>& apply = nullptr)
+      QV_EXCLUDES(mu_);
+
+  /// Records recovered when this instance opened the file.
+  const WalReplay& replay() const { return replay_; }
+  const std::string& path() const { return path_; }
+
+  /// Lifetime instrument readings (relaxed; exact once writers quiesce).
+  uint64_t appended_records() const { return appends_.value(); }
+  uint64_t sync_calls() const { return syncs_.value(); }
+  uint64_t commit_batches() const { return batches_.value(); }
+
+  /// Registers qv_wal_* under `labels`: appends/syncs/batches counters,
+  /// the records-per-sync histogram, and replay gauges. The Wal must
+  /// outlive the registry reads.
+  Status RegisterMetrics(obs::MetricsRegistry* registry,
+                         obs::LabelSet labels = {}) const;
+
+ private:
+  struct Waiter {
+    uint64_t seq = 0;
+    std::string frame;
+    const std::function<Status()>* apply = nullptr;
+    Status result;
+    bool done = false;
+  };
+
+  Wal(std::string path, int fd, const WalOptions& options, WalReplay replay);
+
+  /// One contiguous write of `buf` plus (when configured) fdatasync.
+  /// Runs outside mu_ — only the leader, so the fd sees one writer.
+  Status WriteAndSync(const std::string& buf);
+
+  const std::string path_;
+  const int fd_;
+  const WalOptions options_;
+  const WalReplay replay_;
+
+  qv::Mutex mu_;
+  qv::CondVar cv_;
+  std::vector<Waiter*> queue_ QV_GUARDED_BY(mu_);
+  bool leader_active_ QV_GUARDED_BY(mu_) = false;
+  uint64_t next_seq_ QV_GUARDED_BY(mu_);
+  uint64_t file_bytes_ QV_GUARDED_BY(mu_);
+  // First I/O failure; poisons every later Append (see Append doc).
+  Status broken_ QV_GUARDED_BY(mu_);
+
+  // Registry-native instruments (relaxed atomics).
+  obs::Counter appends_;        // records durably committed
+  obs::Counter syncs_;          // fdatasync calls issued
+  obs::Counter batches_;        // commit batches (leader rounds)
+  Histogram group_size_;        // records per commit batch
+  obs::Gauge replayed_records_;   // recovered at open
+  obs::Gauge torn_dropped_bytes_;  // torn tail truncated at open
+};
+
+}  // namespace quickview::pagestore
+
+#endif  // QUICKVIEW_PAGESTORE_WAL_H_

@@ -82,23 +82,30 @@ Status QueryService::ApplyMutation(Mutation op, const std::string& name,
         "document mutations require a live-mode QueryService (constructed "
         "over a storage::LiveDatabase)");
   }
-  qv::WriterLock data_lock(live_->mu());
-  Status applied = op == Mutation::kInsert
-                       ? live_->InsertDocument(name, xml_text)
-                       : live_->RemoveDocument(name);
-  QUICKVIEW_RETURN_IF_ERROR(applied);
-  counter->Increment();
   // Bump the data epoch of every view that reads `name` (or whose doc
   // set is unknown): their cache keys change, so stale PDTs can never
-  // serve the new corpus state. Other views' entries stay warm.
-  qv::WriterLock views_lock(views_mu_);
-  for (auto& [view_name, view] : views_) {
-    if (!view.docs_known ||
-        std::find(view.source_docs.begin(), view.source_docs.end(), name) !=
-            view.source_docs.end()) {
-      ++view.data_version;
+  // serve the new corpus state. Other views' entries stay warm. The
+  // bump runs as the mutation's post_apply hook — under the SAME
+  // exclusive live_->mu() hold as the corpus change (torn reads between
+  // corpus and epochs stay impossible), with views_mu_ nested inside it
+  // per the documented lock order. With a WAL attached the whole
+  // mutation rides its group commit: logged durably first, applied (and
+  // epoch-bumped) in sequence order by the commit-group leader.
+  auto bump_epochs = [this, &name]() {
+    qv::WriterLock views_lock(views_mu_);
+    for (auto& [view_name, view] : views_) {
+      if (!view.docs_known ||
+          std::find(view.source_docs.begin(), view.source_docs.end(), name) !=
+              view.source_docs.end()) {
+        ++view.data_version;
+      }
     }
-  }
+  };
+  Status applied = op == Mutation::kInsert
+                       ? live_->CommitInsert(name, xml_text, bump_epochs)
+                       : live_->CommitRemove(name, bump_epochs);
+  QUICKVIEW_RETURN_IF_ERROR(applied);
+  counter->Increment();
   return Status::OK();
 }
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "pagestore/delta_log.h"
 #include "xml/parser.h"
 
 namespace quickview::storage {
@@ -58,13 +59,114 @@ Status LiveDatabase::RemoveDocument(const std::string& name) {
   return Status::OK();
 }
 
+Status LiveDatabase::OpenWal(const std::string& path,
+                             const pagestore::WalOptions& options) {
+  if (wal_ != nullptr) {
+    return Status::InvalidArgument("a WAL is already attached at " +
+                                   wal_->path());
+  }
+  QUICKVIEW_ASSIGN_OR_RETURN(std::unique_ptr<pagestore::Wal> wal,
+                             pagestore::Wal::Open(path, options));
+  // Replay the committed history into the corpus before accepting new
+  // traffic. A tombstone for an absent name is a no-op (see
+  // CommitRemove's race note), anything else that fails to apply is a
+  // real error — the log would not match the corpus it claims to
+  // describe.
+  qv::WriterLock lock(mu_);
+  for (const std::string& payload : wal->replay().payloads) {
+    QUICKVIEW_ASSIGN_OR_RETURN(pagestore::DeltaRecord record,
+                               pagestore::DecodeDeltaPayload(payload));
+    if (record.tombstone) {
+      Status removed = RemoveDocument(record.name);
+      if (!removed.ok() && removed.code() != StatusCode::kNotFound) {
+        return removed;
+      }
+    } else {
+      QUICKVIEW_RETURN_IF_ERROR(InsertDocument(record.name, record.xml));
+    }
+  }
+  wal_ = std::move(wal);
+  return Status::OK();
+}
+
+Status LiveDatabase::CommitInsert(const std::string& name,
+                                  const std::string& xml_text,
+                                  const std::function<void()>& post_apply) {
+  if (wal_ == nullptr) {
+    qv::WriterLock lock(mu_);
+    QUICKVIEW_RETURN_IF_ERROR(InsertDocument(name, xml_text));
+    if (post_apply) post_apply();
+    return Status::OK();
+  }
+  if (name.empty()) {
+    return Status::InvalidArgument("document name must not be empty");
+  }
+  // Validate before logging (and before joining a commit group): a
+  // record that cannot replay would poison recovery, and rejecting it
+  // here keeps the failure out of the WAL entirely.
+  QUICKVIEW_RETURN_IF_ERROR(xml::ParseXml(xml_text));
+  pagestore::DeltaRecord record;
+  record.name = name;
+  record.xml = xml_text;
+  // The apply callback runs on the commit-group leader's thread, after
+  // the record is durable, in sequence order — so WAL order and apply
+  // order agree and replay reproduces exactly this corpus.
+  QUICKVIEW_ASSIGN_OR_RETURN(
+      uint64_t seq,
+      wal_->Append(pagestore::EncodeDeltaPayload(record), [&]() {
+        qv::WriterLock lock(mu_);
+        Status applied = InsertDocument(name, xml_text);
+        if (applied.ok() && post_apply) post_apply();
+        return applied;
+      }));
+  (void)seq;
+  return Status::OK();
+}
+
+Status LiveDatabase::CommitRemove(const std::string& name,
+                                  const std::function<void()>& post_apply) {
+  if (wal_ == nullptr) {
+    qv::WriterLock lock(mu_);
+    Status removed = RemoveDocument(name);
+    if (removed.ok() && post_apply) post_apply();
+    return removed;
+  }
+  {
+    // Pre-check so a remove of an absent name fails without logging a
+    // tombstone. Two racing removers may both pass and both log; the
+    // loser's apply returns NotFound (its tombstone replays as a no-op).
+    qv::ReaderLock lock(mu_);
+    if (db_->GetDocumentShared(name) == nullptr) {
+      return Status::NotFound("no document named '" + name + "'");
+    }
+  }
+  pagestore::DeltaRecord record;
+  record.tombstone = true;
+  record.name = name;
+  QUICKVIEW_ASSIGN_OR_RETURN(
+      uint64_t seq,
+      wal_->Append(pagestore::EncodeDeltaPayload(record), [&]() {
+        qv::WriterLock lock(mu_);
+        Status removed = RemoveDocument(name);
+        if (removed.ok() && post_apply) post_apply();
+        return removed;
+      }));
+  (void)seq;
+  return Status::OK();
+}
+
 Status LiveDatabase::RegisterMetrics(obs::MetricsRegistry* registry,
                                      obs::LabelSet labels) const {
   QV_RETURN_IF_ERROR(registry->RegisterCounter("qv_livedb_inserts_total",
                                                labels, &inserts_));
   QV_RETURN_IF_ERROR(registry->RegisterCounter("qv_livedb_removes_total",
                                                labels, &removes_));
-  return registry->RegisterGauge("qv_livedb_documents", labels, &documents_);
+  QV_RETURN_IF_ERROR(
+      registry->RegisterGauge("qv_livedb_documents", labels, &documents_));
+  if (wal_ != nullptr) {
+    return wal_->RegisterMetrics(registry, std::move(labels));
+  }
+  return Status::OK();
 }
 
 std::vector<std::string> LiveDatabase::document_names() const {

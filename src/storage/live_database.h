@@ -36,6 +36,7 @@
 #define QUICKVIEW_STORAGE_LIVE_DATABASE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -44,6 +45,7 @@
 #include "common/sync.h"
 #include "index/index_builder.h"
 #include "obs/metrics.h"
+#include "pagestore/wal.h"
 #include "storage/document_store.h"
 #include "xml/dom.h"
 
@@ -81,6 +83,36 @@ class LiveDatabase {
   /// if absent. Store snapshots captured earlier keep the document alive.
   Status RemoveDocument(const std::string& name) QV_REQUIRES(mu_);
 
+  /// Attaches a write-ahead log at `path` and replays its committed
+  /// records into the corpus (a torn tail is truncated — see
+  /// pagestore/wal.h). Call once, before the database is shared with
+  /// other threads; afterwards CommitInsert/CommitRemove are the durable
+  /// mutation entry points. InvalidArgument if a WAL is already attached.
+  Status OpenWal(const std::string& path,
+                 const pagestore::WalOptions& options = {}) QV_EXCLUDES(mu_);
+
+  /// The attached WAL (nullptr when none) — replay info, instruments.
+  const pagestore::Wal* wal() const { return wal_.get(); }
+
+  /// Durable insert/replace: the record is group-committed to the WAL
+  /// (fdatasync) and only then applied under the exclusive lock, so an
+  /// acknowledged mutation can always be replayed. `post_apply` (when
+  /// provided) runs after a successful apply, under the same exclusive
+  /// hold — bookkeeping that must publish atomically with the mutation
+  /// (QueryService's view data epochs) goes there. Without an attached
+  /// WAL these degrade to the plain in-memory mutation under the lock.
+  Status CommitInsert(const std::string& name, const std::string& xml_text,
+                      const std::function<void()>& post_apply = nullptr)
+      QV_EXCLUDES(mu_);
+
+  /// Durable remove. NotFound (nothing logged) if `name` is absent at
+  /// the pre-check; under a concurrent-remover race the tombstone may
+  /// still commit and the loser gets NotFound — replay treats a
+  /// tombstone for an absent name as a no-op, so recovery is unaffected.
+  Status CommitRemove(const std::string& name,
+                      const std::function<void()>& post_apply = nullptr)
+      QV_EXCLUDES(mu_);
+
   /// Current corpus / index surface. Pointers are valid only while the
   /// shared lock is held (a mutation may replace per-document indexes in
   /// place).
@@ -108,6 +140,10 @@ class LiveDatabase {
 
  private:
   mutable qv::SharedMutex mu_;
+  // Set once by OpenWal before the database is shared; the Wal itself is
+  // internally synchronized (its group-commit mutex), so the pointer
+  // needs no lock after attachment.
+  std::unique_ptr<pagestore::Wal> wal_;
   std::shared_ptr<xml::Database> db_ QV_GUARDED_BY(mu_);
   std::unique_ptr<index::DatabaseIndexes> indexes_ QV_GUARDED_BY(mu_);
   std::shared_ptr<const DocumentStore> store_ QV_GUARDED_BY(mu_);

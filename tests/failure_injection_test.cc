@@ -1,10 +1,21 @@
 // Failure injection and robustness: malformed inputs must come back as
-// Status errors — never crashes, never silent wrong answers.
+// Status errors — never crashes, never silent wrong answers. The last
+// section pins down the crash-injection registry (common/failpoint.h)
+// that the WAL crash harness builds on.
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <random>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "baseline/gtp_termjoin.h"
+#include "common/failpoint.h"
 #include "baseline/naive_engine.h"
 #include "engine/view_search_engine.h"
 #include "index/index_builder.h"
@@ -174,6 +185,81 @@ TEST_F(InjectionFixture, EmptyDatabase) {
   engine::ViewSearchEngine engine(&empty, indexes.get(), &store);
   auto response = ExecView(engine, "fn:doc(books.xml)//book", {"x"});
   EXPECT_FALSE(response.ok());
+}
+
+TEST(FailpointTest, DisarmedInjectionIsANoop) {
+  fail::Disarm();
+  ASSERT_FALSE(fail::Armed());
+  // Crossing an injection point while disarmed must cost nothing and
+  // kill nothing — this is the "free when off" half of the contract.
+  for (int i = 0; i < 1000; ++i) QUICKVIEW_INJECT("test.noop");
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "fp_noop.bin").string();
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  const char buf[] = "must not be written by a disarmed torn-write point";
+  EXPECT_FALSE(fail::MaybeTornWrite("test.noop", fd, buf, sizeof buf));
+  ::close(fd);
+  EXPECT_EQ(std::filesystem::file_size(path), 0u);
+}
+
+TEST(FailpointTest, CrashFiresAtExactlyTheNthCrossing) {
+  int pipe_fds[2];
+  ASSERT_EQ(::pipe(pipe_fds), 0);
+  pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    ::close(pipe_fds[0]);
+    fail::ArmCrash(/*countdown=*/3);
+    for (int i = 0; i < 10; ++i) {
+      // One byte per crossing, sent BEFORE the injection point: the
+      // parent counts how far the child got before the crash.
+      char tick = 't';
+      (void)::write(pipe_fds[1], &tick, 1);
+      QUICKVIEW_INJECT("test.countdown");
+    }
+    _exit(0);  // only reached if the countdown never fired
+  }
+  ::close(pipe_fds[1]);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), fail::kCrashExitCode);
+  char drained[16];
+  ssize_t got = 0;
+  ssize_t n = 0;
+  while ((n = ::read(pipe_fds[0], drained, sizeof drained)) > 0) got += n;
+  ::close(pipe_fds[0]);
+  EXPECT_EQ(got, 3);  // crossings 1 and 2 passed; the 3rd crashed
+}
+
+TEST(FailpointTest, TornWriteLeavesAStrictPrefix) {
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "fp_torn.bin").string();
+  std::filesystem::remove(path);
+  std::string buffer;
+  for (int i = 0; i < 100; ++i) buffer.push_back(static_cast<char>('A' + i % 26));
+  pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) _exit(2);
+    fail::ArmCrash(/*countdown=*/1, /*torn_seed=*/1234);
+    fail::MaybeTornWrite("test.torn", fd, buffer.data(), buffer.size());
+    _exit(3);  // MaybeTornWrite must not return once the countdown expired
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), fail::kCrashExitCode);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(static_cast<bool>(in));
+  std::ostringstream written;
+  written << in.rdbuf();
+  // A torn write is a STRICT prefix: shorter than the buffer, and byte
+  // for byte identical as far as it goes.
+  EXPECT_LT(written.str().size(), buffer.size());
+  EXPECT_EQ(written.str(), buffer.substr(0, written.str().size()));
 }
 
 TEST_F(InjectionFixture, KeywordsAreCaseNormalized) {

@@ -251,6 +251,10 @@ std::vector<service::BatchQuery> MakeQueryBatch(const std::string& view) {
   return batch;
 }
 
+std::string TestPath(const std::string& leaf) {
+  return (std::filesystem::path(::testing::TempDir()) / leaf).string();
+}
+
 // ---------------------------------------------------------------------------
 // The randomized differential harness
 // ---------------------------------------------------------------------------
@@ -275,6 +279,14 @@ TEST(UpdateDifferentialTest, RandomizedUpdatesMatchFreshRebuild) {
   int next_aux_id = 0;
 
   storage::LiveDatabase live;
+  // Every mutation step below goes through the durable WAL path: the
+  // service routes InsertDocument/RemoveDocument through
+  // CommitInsert/CommitRemove, which group-commit to this log before
+  // applying. The cold replay at the end proves the log alone rebuilds
+  // the final corpus.
+  const std::string wal_path = TestPath("update_differential.wal");
+  std::filesystem::remove(wal_path);
+  ASSERT_TRUE(live.OpenWal(wal_path).ok());
   service::QueryServiceOptions options;
   options.threads = 2;
   service::QueryService service(&live, options);
@@ -391,6 +403,18 @@ TEST(UpdateDifferentialTest, RandomizedUpdatesMatchFreshRebuild) {
   EXPECT_GE(mutations, 200);
   EXPECT_GE(service.stats().documents_inserted, 100u);
   EXPECT_GE(service.stats().documents_removed, 10u);
+  // Every acknowledged mutation is in the WAL, fdatasync'd before its
+  // ack. A cold replay must rebuild exactly the final corpus.
+  EXPECT_GE(live.wal()->appended_records(),
+            service.stats().documents_inserted);
+  storage::LiveDatabase recovered;
+  ASSERT_TRUE(recovered.OpenWal(wal_path).ok());
+  RebuiltEngine final_oracle(model);
+  {
+    qv::ReaderLock recovered_lock(recovered.mu());
+    ExpectSameIndexState(*recovered.indexes(), *final_oracle.indexes,
+                         "cold WAL replay");
+  }
 }
 
 TEST(UpdateDifferentialTest, MutationInvalidatesOnlyReferencingViews) {
@@ -490,10 +514,6 @@ TEST(UpdateDifferentialTest, CursorOpenedBeforeUpdateDrainsItsSnapshot) {
 // ---------------------------------------------------------------------------
 // Packed database: delta overlay + compaction parity
 // ---------------------------------------------------------------------------
-
-std::string TestPath(const std::string& leaf) {
-  return (std::filesystem::path(::testing::TempDir()) / leaf).string();
-}
 
 std::string ReadFileBytes(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -635,7 +655,7 @@ TEST(UpdateDeltaLogTest, OverlayAndCompactMatchDirectPack) {
   }
 }
 
-TEST(UpdateDeltaLogTest, CorruptLogFailsOpenLoudly) {
+TEST(UpdateDeltaLogTest, MidLogCorruptionFailsOpenLoudly) {
   CorpusModel model;
   model.books.push_back(Book{0, "xml search in practice", 2000});
   const std::string pack = TestPath("update_delta_corrupt.qvpack");
@@ -649,7 +669,13 @@ TEST(UpdateDeltaLogTest, CorruptLogFailsOpenLoudly) {
   ASSERT_TRUE(pagestore::PackAppend(pack, "aux.xml",
                                     "<notes><note>x</note></notes>")
                   .ok());
-  // Flip a byte in the record body: the checksum must catch it.
+  ASSERT_TRUE(pagestore::PackAppend(pack, "aux2.xml",
+                                    "<notes><note>y</note></notes>")
+                  .ok());
+  // Flip a byte in the FIRST record's payload (offset 20 = its first
+  // payload byte, after 8 magic + 12 frame header). Corruption with
+  // bytes following is never a torn tail: open must refuse, loudly,
+  // rather than silently drop an acknowledged commit and its successors.
   {
     std::fstream log(pagestore::DeltaLogPath(pack),
                      std::ios::binary | std::ios::in | std::ios::out);
@@ -663,6 +689,50 @@ TEST(UpdateDeltaLogTest, CorruptLogFailsOpenLoudly) {
   // An append rejected at the boundary leaves the log unchanged.
   EXPECT_EQ(pagestore::PackAppend(pack, "bad.xml", "<unclosed>").code(),
             StatusCode::kParseError);
+}
+
+TEST(UpdateDeltaLogTest, CorruptFinalRecordRecoversCommittedPrefix) {
+  CorpusModel model;
+  model.books.push_back(Book{0, "xml search in practice", 2000});
+  const std::string pack = TestPath("update_delta_tail.qvpack");
+  std::filesystem::remove(pack);
+  std::filesystem::remove(pagestore::DeltaLogPath(pack));
+  {
+    std::shared_ptr<xml::Database> db = BuildFromCorpus(model.Documents());
+    auto indexes = index::BuildDatabaseIndexes(*db);
+    ASSERT_TRUE(pagestore::PackDatabase(*db, *indexes, pack).ok());
+  }
+  ASSERT_TRUE(pagestore::PackAppend(pack, "aux.xml",
+                                    "<notes><note>x</note></notes>")
+                  .ok());
+  ASSERT_TRUE(pagestore::PackAppend(pack, "aux2.xml",
+                                    "<notes><note>y</note></notes>")
+                  .ok());
+  // Damage the FINAL record (flip its last byte — part of the frame
+  // checksum). With nothing after it this is indistinguishable from a
+  // torn append: open recovers the committed prefix instead of bricking
+  // the pack.
+  {
+    auto size = std::filesystem::file_size(pagestore::DeltaLogPath(pack));
+    std::fstream log(pagestore::DeltaLogPath(pack),
+                     std::ios::binary | std::ios::in | std::ios::out);
+    log.seekg(static_cast<std::streamoff>(size) - 1, std::ios::beg);
+    char last = static_cast<char>(log.get());
+    log.seekp(static_cast<std::streamoff>(size) - 1, std::ios::beg);
+    log.put(static_cast<char>(last ^ 0x40));
+  }
+  auto opened = pagestore::PackedDb::Open(pack);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ((*opened)->delta_stats().inserts, 1u);
+
+  // The next append heals the log for real: the torn tail is truncated
+  // on the write path and the new record committed after the survivor.
+  ASSERT_TRUE(pagestore::PackAppend(pack, "aux3.xml",
+                                    "<notes><note>z</note></notes>")
+                  .ok());
+  auto healed = pagestore::PackedDb::Open(pack);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_EQ((*healed)->delta_stats().inserts, 2u);
 }
 
 TEST(UpdateDeltaLogTest, ZeroByteLogHealsOnNextAppend) {

@@ -28,8 +28,15 @@ unchecked-value Calling .value() on a variable declared as Result<T>
 
 raw-durability  fsync / fdatasync / pwrite outside src/pagestore/. All
                 durability syscalls belong to the storage engine; a
-                stray fsync elsewhere bypasses its write/flush protocol
-                (and, once the WAL lands, its group-commit batching).
+                stray fsync elsewhere bypasses the WAL's write/flush
+                protocol and its group-commit batching.
+
+wal-durability  The inverse guard: src/pagestore/wal.cc must CONTAIN a
+                real durability syscall. The original delta-log bug was
+                an append path that only flushed userspace buffers —
+                "durable" in name only. raw-durability permits the
+                syscall in the log module; this rule requires it, so
+                the pair pins fdatasync to exactly the commit path.
 
 adhoc-stats     A new `struct FooStats` / `struct FooCounters`
                 declaration under src/ outside src/obs/. Process-wide
@@ -174,6 +181,15 @@ def check_file(rel_path, raw_lines, findings):
                          "durability syscall outside src/pagestore/; all "
                          "fsync/pwrite belong to the storage engine"))
 
+    # --- wal-durability ---------------------------------------------------
+    if norm == "src/pagestore/wal.cc":
+        if not any(re.search(DURABILITY_CALL, line) for line in code):
+            findings.append(
+                (rel_path, 1, "wal-durability",
+                 "the WAL commit path contains no fsync/fdatasync; an "
+                 "append that only flushes userspace buffers is not "
+                 "durable"))
+
     # --- adhoc-stats ------------------------------------------------------
     if norm.startswith("src/") and not norm.startswith("src/obs/"):
         for i, line in enumerate(code):
@@ -266,6 +282,20 @@ SELFTEST_CASES = [
     ("raw-durability", "src/pagestore/paged_file.cc", "  ::fsync(fd_);",
      False),
     ("raw-durability", "src/storage/x.cc", '  Log("about fsync()");', False),
+    # The two halves of the WAL durability pin: the log module may (and
+    # must) call fdatasync; a flush-only wal.cc is the original bug.
+    ("raw-durability", "src/pagestore/wal.cc", "  ::fdatasync(fd_);", False),
+    ("wal-durability", "src/pagestore/wal.cc",
+     "Status Wal::WriteAndSync() {\n  ::fdatasync(fd_);\n}", False),
+    ("wal-durability", "src/pagestore/wal.cc",
+     "Status Wal::WriteAndSync() {\n  out_.flush();\n}", True),
+    # A syscall that only appears in a comment does not count.
+    ("wal-durability", "src/pagestore/wal.cc",
+     "// calls fdatasync eventually\nStatus F() {\n  out_.flush();\n}",
+     True),
+    # Other files are not required to sync.
+    ("wal-durability", "src/pagestore/pack.cc",
+     "Status F() {\n  out_.flush();\n}", False),
     ("raw-socket", "tools/x.cc",
      "  int fd = socket(AF_INET, SOCK_STREAM, 0);", True),
     ("raw-socket", "tests/x_test.cc", "  ::connect(fd, addr, len);", True),

@@ -4,7 +4,7 @@
 //   quickview_server [<db-dir>|<db.qvpack>|<db.qvset>] [--demo]
 //       [--host H] [--port P] [--port-file F]
 //       [--threads N] [--workers N] [--admission-limit N] [--max-conns N]
-//       [--frames N] [--shards N] [--colocate tag] [--live]
+//       [--frames N] [--shards N] [--colocate tag] [--live] [--wal <path>]
 //       [--view <file>] [--trace-all] [--slow-threshold-us N] [--slow-log N]
 //
 // With no source (or --demo) it serves the built-in books/reviews
@@ -12,6 +12,12 @@
 // Remove RPCs mutate it; the static backends answer those with
 // InvalidArgument. The view registered under the name "default" is the
 // built-in books/reviews view unless --view names a file.
+//
+// --wal <path> (requires --live) makes mutations durable: committed
+// records in an existing log at <path> are replayed over the base corpus
+// at startup (a torn tail is truncated), and every Insert/Remove RPC is
+// group-committed (fdatasync) to the log before it is acknowledged, so
+// a crash or restart never loses an acked mutation.
 //
 // --port 0 (the default) binds an ephemeral port; --port-file writes
 // "<port>\n" once listening, which is how the smoke test and local
@@ -56,7 +62,8 @@ int Usage() {
       "usage: quickview_server [<db-dir>|<db.qvpack>|<db.qvset>] [--demo]\n"
       "    [--host H] [--port P] [--port-file F] [--threads N] [--workers N]\n"
       "    [--admission-limit N] [--max-conns N] [--frames N] [--shards N]\n"
-      "    [--colocate tag] [--live] [--view <file>] [--trace-all]\n"
+      "    [--colocate tag] [--live] [--wal <path>] [--view <file>] "
+      "[--trace-all]\n"
       "    [--slow-threshold-us N] [--slow-log N]\n");
   return 2;
 }
@@ -69,6 +76,7 @@ struct Flags {
   std::string view;
   bool demo = false;
   bool live = false;
+  std::string wal;  // durable commit log; requires --live
   int threads = 0;  // QueryService pool; 0 = hardware concurrency
   int workers = 0;  // server RPC pool; 0 = hardware concurrency
   long long admission_limit = 128;
@@ -118,6 +126,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->demo = true;
     } else if (arg == "--live") {
       flags->live = true;
+    } else if (arg == "--wal") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      flags->wal = v;
     } else if (arg == "--threads") {
       long long value = 0;
       if (!ParseCount(next(), 4096, &value)) return false;
@@ -193,6 +205,9 @@ Result<Backend> OpenBackend(const Flags& flags) {
       flags.positional.empty() ? std::string() : flags.positional[0];
   service::QueryServiceOptions options;
   options.threads = flags.threads;
+  if (!flags.wal.empty() && !flags.live) {
+    return Status::InvalidArgument("--wal requires --live");
+  }
 
   if (!source.empty() && HasSuffix(source, ".qvset")) {
     if (flags.live) {
@@ -235,8 +250,16 @@ Result<Backend> OpenBackend(const Flags& flags) {
 
   if (flags.live) {
     backend.live = std::make_unique<storage::LiveDatabase>(backend.db);
-    std::printf("live corpus: %zu documents (Insert/Remove enabled)\n",
-                backend.db->documents().size());
+    if (!flags.wal.empty()) {
+      QUICKVIEW_RETURN_IF_ERROR(backend.live->OpenWal(flags.wal));
+      const pagestore::WalReplay& replay = backend.live->wal()->replay();
+      std::printf("wal %s: replayed %zu committed records%s\n",
+                  flags.wal.c_str(), replay.payloads.size(),
+                  replay.tail_truncated ? " (torn tail truncated)" : "");
+    }
+    std::printf("live corpus: %zu documents (Insert/Remove enabled%s)\n",
+                backend.db->documents().size(),
+                flags.wal.empty() ? "" : ", durable");
     backend.service = std::make_unique<service::QueryService>(
         backend.live.get(), options);
     return backend;
